@@ -1,0 +1,83 @@
+"""Ablation: buffer size / period sweep — trace size vs analysis error.
+
+Paper SS:VI-C: "The size is controllable by changing the sample buffer
+size and the sampling period." This bench sweeps both knobs over one
+workload and maps the trade-off: larger buffers / shorter periods cost
+proportionally more trace bytes and buy lower windowed-metric error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, save_result
+from repro._util.tables import format_table
+from repro.core.histograms import mape, window_histogram
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.sampler import SamplingConfig
+from repro.trace.tracefile import packet_bytes
+from repro.workloads.microbench import run_microbench
+
+SIZES = [8, 16, 32, 64]
+
+
+def test_ablation_buffer_sweep(benchmark):
+    r = run_microbench("str4/irr", n_elems=4096, repeats=100, seed=0)
+    _, full_hist = window_histogram(r.events_observed, "F", sizes=SIZES)
+
+    def run():
+        rows = []
+        for period, cap in [
+            (40_000, 256),
+            (20_000, 256),
+            (10_000, 256),
+            (10_000, 512),
+            (10_000, 1024),
+            (5_000, 1024),
+        ]:
+            cfg = SamplingConfig(period=period, buffer_capacity=cap, seed=3)
+            col = collect_sampled_trace(r.events_observed, r.n_loads, cfg)
+            _, hist = window_histogram(
+                col.events, "F", sizes=SIZES, sample_id=col.sample_id
+            )
+            err = mape(hist, full_hist)
+            rows.append(
+                {
+                    "period": period,
+                    "cap": cap,
+                    "bytes": packet_bytes(col.events),
+                    "frac": len(col.events) / len(r.events_observed),
+                    "mape": err,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["period", "buffer", "trace bytes", "trace %", "MAPE F"],
+        [
+            [
+                s["period"],
+                s["cap"],
+                s["bytes"],
+                f"{100 * s['frac']:.1f}%",
+                f"{s['mape']:.2f}" if np.isfinite(s["mape"]) else "-",
+            ]
+            for s in rows
+        ],
+        title="Ablation: buffer/period sweep — trace size vs histogram error",
+    )
+    save_result("ablation_buffer_sweep", table)
+
+    # trace size scales ~linearly with capacity at fixed period...
+    by_key = {(s["period"], s["cap"]): s for s in rows}
+    assert by_key[(10_000, 1024)]["bytes"] > 3.0 * by_key[(10_000, 256)]["bytes"]
+    # ...and inversely with period at fixed capacity
+    assert by_key[(10_000, 256)]["bytes"] > 3.0 * by_key[(40_000, 256)]["bytes"]
+    # every configuration keeps MAPE inside the paper's bound, and the
+    # densest configuration is at least as accurate as the sparsest
+    finite = [s for s in rows if np.isfinite(s["mape"])]
+    assert all(s["mape"] < 25 for s in finite)
+    densest = by_key[(5_000, 1024)]["mape"]
+    sparsest = by_key[(40_000, 256)]["mape"]
+    assert densest <= sparsest + 1.0

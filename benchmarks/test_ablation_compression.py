@@ -1,0 +1,72 @@
+"""Ablation: proxy-based Constant-load compression vs instrument-everything.
+
+DESIGN.md calls out the per-block proxy scheme (paper Fig. 2) as a design
+choice: suppressing Constant loads and carrying their counts on a proxy
+shrinks the packet stream 1.2-2x without losing any information needed by
+the analyses. This bench measures both sides of the trade:
+
+* packet-stream bytes with vs without compression;
+* that the decompression math recovers the exact suppressed counts, so
+  kappa-corrected metrics (A-hat, dF, A_const%) are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, save_result
+from repro._util.tables import format_table
+from repro.core.diagnostics import compute_diagnostics
+from repro.trace.compress import compression_ratio, decompress_counts
+from repro.trace.event import LoadClass
+from repro.trace.tracefile import packet_bytes
+from repro.workloads.microbench import run_microbench
+
+
+def test_ablation_compression(benchmark):
+    def run():
+        rows = []
+        for spec in ("str1", "irr", "str1|irr"):
+            for opt in ("O0", "O3"):
+                r = run_microbench(spec, n_elems=2048, repeats=20, opt_level=opt)
+                compressed_b = packet_bytes(r.events_observed)
+                uncompressed_b = 8 * len(r.events_full)
+                kappa = compression_ratio(r.events_observed)
+                rows.append(
+                    {
+                        "name": f"{spec}-{opt}",
+                        "kappa": kappa,
+                        "saving": uncompressed_b / compressed_b,
+                        "observed": r.events_observed,
+                        "full": r.events_full,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    table = format_table(
+        ["benchmark", "kappa", "space saving"],
+        [[r["name"], f"{r['kappa']:.2f}", f"{r['saving']:.2f}x"] for r in rows],
+        title="Ablation: class-based compression vs instrument-everything",
+    )
+    save_result("ablation_compression", table)
+
+    for r in rows:
+        # compression is lossless for every analysis input:
+        # 1. implied access counts match the uncompressed trace exactly
+        assert decompress_counts(r["observed"]) == len(r["full"])
+        # 2. non-constant addresses identical
+        nc = r["full"][r["full"]["cls"] != int(LoadClass.CONSTANT)]
+        assert np.array_equal(nc["addr"], r["observed"]["addr"])
+        # 3. kappa-corrected diagnostics equal the uncompressed ones
+        d_c = compute_diagnostics(r["observed"])
+        d_u = compute_diagnostics(r["full"])
+        assert d_c.A_implied == d_u.A_implied
+        assert abs(d_c.dF - d_u.dF) < 1e-12
+        assert abs(d_c.A_const_pct - d_u.A_const_pct) < 1e-9
+        # 4. the saving equals kappa by construction
+        assert r["saving"] == r["kappa"]
+
+    o0 = [r["saving"] for r in rows if r["name"].endswith("O0")]
+    o3 = [r["saving"] for r in rows if r["name"].endswith("O3")]
+    assert min(o0) > max(o3), "O0 always compresses more than O3"

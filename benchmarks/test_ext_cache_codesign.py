@@ -1,0 +1,73 @@
+"""Extension: memory-system co-design with a cache model (paper SS:IX).
+
+The paper's future work: "Using models of different memory systems, we
+can obtain insight into memory system performance and concurrency with
+respect to data location, data movement, and workload accesses."
+
+This bench drives the LRU cache model with the miniVite traces and
+checks that the analytical diagnostics predict the simulated hardware:
+
+* the chained map (v1) misses far more than the hopscotch maps;
+* strided accesses hit better than irregular ones in every variant;
+* across variants, higher footprint growth -> lower hit ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, save_result
+from repro._util.tables import format_table
+from repro.core.cachesim import CacheConfig, simulate_cache
+from repro.core.diagnostics import compute_diagnostics
+from repro.trace.event import LoadClass
+
+#: a 4 KiB cache, proportional to our reduced working sets (scale-10
+#: graphs), with the stream prefetcher on — the paper's premise
+CACHE = CacheConfig(size_bytes=4 * 1024, line_bytes=64, ways=8, prefetch_next_line=True)
+PREFIX = 150_000  # bounded prefix keeps the python-level simulation fast
+
+
+def test_ext_cache_codesign(benchmark, minivite_runs):
+    def work():
+        out = {}
+        for v, r in minivite_runs.items():
+            lo, hi = r.phase_bounds["modularity"]
+            ev = r.events[lo : min(hi, lo + PREFIX)]
+            stats = simulate_cache(ev, CACHE)
+            diag = compute_diagnostics(ev)
+            out[v] = (stats, diag)
+        return out
+
+    results = once(benchmark, work)
+    rows = []
+    for v, (stats, diag) in results.items():
+        rows.append(
+            [
+                v,
+                f"{100 * stats.hit_ratio:.1f}%",
+                f"{100 * stats.class_hit_ratio(LoadClass.STRIDED):.1f}%",
+                f"{100 * stats.class_hit_ratio(LoadClass.IRREGULAR):.1f}%",
+                f"{diag.dF:.3f}",
+            ]
+        )
+    table = format_table(
+        ["variant", "hit ratio", "strided hits", "irregular hits", "dF"],
+        rows,
+        title="Extension: 4 KiB 8-way LRU + stream prefetch driven by miniVite traces",
+    )
+    save_result("ext_cache_codesign", table)
+
+    hit = {v: s.hit_ratio for v, (s, _) in results.items()}
+    # hopscotch variants beat the chained map in the cache
+    assert hit["v2"] > hit["v1"]
+    assert hit["v3"] > hit["v1"]
+    for v, (stats, _) in results.items():
+        s = stats.class_hit_ratio(LoadClass.STRIDED)
+        i = stats.class_hit_ratio(LoadClass.IRREGULAR)
+        assert s > i, f"{v}: strided should hit better ({s:.2f} vs {i:.2f})"
+    # footprint growth anti-correlates with hit ratio across variants
+    dfs = np.array([d.dF for _, d in results.values()])
+    hits = np.array([s.hit_ratio for s, _ in results.values()])
+    r = np.corrcoef(dfs, hits)[0, 1]
+    assert r < 0, f"dF vs hit-ratio correlation should be negative, got {r:.2f}"

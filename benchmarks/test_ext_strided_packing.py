@@ -1,0 +1,74 @@
+"""Extension: strided-run packing and 32-bit payloads (paper SS:VI-B).
+
+"It may be possible to further reduce overhead with 32-bit packets and
+additional compression that reduces ptwrites for Strided loads." This
+bench measures how much each buys on the paper's workload spectrum:
+darknet (pure strided -> packs almost entirely), miniVite (mixed), and a
+pointer-chase microbenchmark (nothing to pack) — verifying losslessness
+along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, save_result
+from repro._util.tables import format_table
+from repro.trace.packing import pack_strided_runs, packed_bytes, unpack_strided_runs
+from repro.trace.tracefile import packet_bytes
+from repro.workloads.microbench import run_microbench
+
+
+def test_ext_strided_packing(benchmark, darknet_runs, minivite_runs):
+    ub = run_microbench("irr", n_elems=2048, repeats=20)
+    cases = {
+        "Darknet-alexnet": darknet_runs["alexnet"].events,
+        "miniVite-v2": minivite_runs["v2"].events,
+        "miniVite-v1": minivite_runs["v1"].events,
+        "ubench-irr": ub.events_observed,
+    }
+
+    def work():
+        out = {}
+        for name, events in cases.items():
+            # pack a bounded prefix so the bench stays fast
+            ev = events[:300_000]
+            packed = pack_strided_runs(ev)
+            out[name] = {
+                "events": ev,
+                "packed": packed,
+                "raw_b": packet_bytes(ev),
+                "packed_b": packed_bytes(packed),
+                "packed32_b": packed_bytes(packed, payload32=True),
+            }
+        return out
+
+    stats = once(benchmark, work)
+    rows = [
+        [
+            name,
+            f"{s['packed'].packing_ratio:.1f}x",
+            f"{s['raw_b'] / max(1, s['packed_b']):.1f}x",
+            f"{s['raw_b'] / max(1, s['packed32_b']):.1f}x",
+        ]
+        for name, s in stats.items()
+    ]
+    table = format_table(
+        ["workload", "record packing", "byte saving", "+32-bit payloads"],
+        rows,
+        title="Extension: strided-run packing (lossless) per workload",
+    )
+    save_result("ext_strided_packing", table)
+
+    # losslessness on the mixed workload
+    mixed = stats["miniVite-v2"]
+    assert np.array_equal(
+        unpack_strided_runs(mixed["packed"]), mixed["events"]
+    )
+    # the strided-heavy workloads pack hard; pointer chasing does not
+    assert stats["Darknet-alexnet"]["packed"].packing_ratio > 5
+    assert stats["miniVite-v2"]["packed"].packing_ratio > 1.3
+    assert stats["ubench-irr"]["packed"].packing_ratio < 1.5
+    # 32-bit payloads always help further
+    for name, s in stats.items():
+        assert s["packed32_b"] < s["packed_b"], name

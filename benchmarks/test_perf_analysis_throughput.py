@@ -1,0 +1,66 @@
+"""Performance: analysis-layer throughput (real pytest-benchmark timing).
+
+Table II's point is that analysis cost tracks trace size; these benches
+pin the per-operation throughput of the hot analysis primitives on a
+standard 100K-record trace so regressions show up in the benchmark
+history. Unlike the experiment benches, these run multiple rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reuse import reuse_distances
+from repro.core.windows import trace_window_metrics
+from repro.core.zoom import location_zoom
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.event import make_events
+from repro.trace.packing import pack_strided_runs
+from repro.trace.sampler import SamplingConfig
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    addr = np.where(
+        np.arange(N) % 2 == 0,
+        0x10_0000 + (np.arange(N) * 8) % (1 << 20),
+        0x40_0000 + rng.integers(0, 1 << 14, N) * 8,
+    )
+    cls = np.where(np.arange(N) % 2 == 0, 1, 2)
+    return make_events(ip=1 + (np.arange(N) % 5), addr=addr, cls=cls)
+
+
+@pytest.fixture(scope="module")
+def sampled(stream):
+    cfg = SamplingConfig(period=2_000, buffer_capacity=512, fill_jitter=0.0)
+    return collect_sampled_trace(stream, config=cfg)
+
+
+def test_perf_collect(benchmark, stream):
+    cfg = SamplingConfig(period=2_000, buffer_capacity=512, fill_jitter=0.0)
+    col = benchmark(collect_sampled_trace, stream, None, cfg)
+    assert col.n_samples == 50
+
+
+def test_perf_window_metrics(benchmark, stream):
+    vals = benchmark(trace_window_metrics, stream, 64)
+    assert len(vals) >= N // 64
+
+
+def test_perf_reuse_distance_sampled(benchmark, sampled):
+    d = benchmark(reuse_distances, sampled.events, 64, sampled.sample_id)
+    assert len(d) == len(sampled.events)
+
+
+def test_perf_zoom(benchmark, sampled):
+    root = benchmark(location_zoom, sampled.events)
+    assert root.n_accesses == len(sampled.events)
+
+
+def test_perf_packing(benchmark, stream):
+    packed = benchmark(pack_strided_runs, stream[:20_000])
+    assert packed.n_original == 20_000

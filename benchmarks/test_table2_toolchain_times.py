@@ -1,0 +1,89 @@
+"""Table II: binary instrumentation & analysis wall-clock times.
+
+The paper reports per-benchmark times for the instrumenter and the two
+analysis sub-steps: trace building ('Analysis/1' — perf packets to the
+analysis trace) and trace analysis ('Analysis/2'). Shapes to hold:
+instrumentation time grows with binary size/complexity, and analysis
+time grows with trace size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import UBENCH_SAMPLING, once, save_result
+from repro._util.tables import format_table
+from repro._util.timers import Timer
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.windows import code_windows
+from repro.instrument.instrumenter import instrument_module
+from repro.instrument.rebuild import rebuild_trace
+from repro.isa.interp import Interpreter
+from repro.simmem.address_space import AddressSpace
+from repro.trace.collector import collect_sampled_trace
+from repro.workloads.microbench import _setup_data, build_microbench
+
+
+def _one_case(spec: str, n_elems: int, repeats: int):
+    module = build_microbench(spec, n_elems=n_elems, repeats=repeats)
+    with Timer() as t_inst:
+        inst = instrument_module(module)
+    space = AddressSpace()
+    regions = _setup_data(space, n_elems, 0)
+    res = Interpreter(inst.module, space).run(
+        "main", regions["arr"].base, regions["cond"].base, mode="instrumented"
+    )
+    with Timer() as t_a1:  # Analysis/1: packets -> load-level trace
+        events = rebuild_trace(res.packets, inst.annotations)
+    with Timer() as t_a2:  # Analysis/2: sampling + diagnostic suite
+        col = collect_sampled_trace(events, res.n_loads, UBENCH_SAMPLING)
+        compute_diagnostics(col.events)
+        code_windows(col.events)
+    return {
+        "binary_instrs": inst.module.n_instructions(),
+        "trace_records": len(events),
+        "t_instrument": t_inst.elapsed,
+        "t_analysis1": t_a1.elapsed,
+        "t_analysis2": t_a2.elapsed,
+    }
+
+
+def test_table2_times(benchmark):
+    cases = {
+        # name: (spec, n_elems, repeats) — binary size grows with segments
+        "ubench-small": ("str4", 1024, 40),
+        "ubench-multi": ("str1|str8|irr|str4/irr", 1024, 20),
+        "ubench-large-trace": ("str1|irr", 4096, 60),
+    }
+
+    def run():
+        return {name: _one_case(*args) for name, args in cases.items()}
+
+    stats = once(benchmark, run)
+    rows = [
+        [
+            name,
+            s["binary_instrs"],
+            s["trace_records"],
+            f"{s['t_instrument'] * 1e3:.1f}ms",
+            f"{s['t_analysis1'] * 1e3:.1f}ms",
+            f"{s['t_analysis2'] * 1e3:.1f}ms",
+        ]
+        for name, s in stats.items()
+    ]
+    table = format_table(
+        ["benchmark", "binary instrs", "trace records", "Instrument", "Analysis/1", "Analysis/2"],
+        rows,
+        title="Table II: toolchain wall-clock times",
+    )
+    save_result("table2_toolchain_times", table)
+
+    small, multi, large = (
+        stats["ubench-small"],
+        stats["ubench-multi"],
+        stats["ubench-large-trace"],
+    )
+    # instrumentation cost follows binary size
+    assert multi["binary_instrs"] > small["binary_instrs"]
+    assert multi["t_instrument"] > 0
+    # analysis cost follows trace size
+    assert large["trace_records"] > small["trace_records"]
+    assert large["t_analysis1"] >= 0 and large["t_analysis2"] >= 0

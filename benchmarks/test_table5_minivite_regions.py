@@ -1,0 +1,93 @@
+"""Table V: miniVite spatio-temporal reuse of hot memory (64 B blocks).
+
+The location analysis names three hot objects: the *map* (hash table),
+the *remote edges of local vertices* (CSR targets), and the other
+objects reached from buildMap's caller. Shapes:
+
+* all three regions receive a meaningful share of accesses;
+* the map is the most intensely reused object (highest accesses/block);
+* v3's right-sized map improves (lowers) reuse distance over v2;
+* the hash-table redesign changes D on the map region while the graph
+  region's D ordering v1 > v2/v3 reflects fewer irregular interleavings.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import APP_SAMPLING, once, save_result
+from repro.core.reuse import region_reuse
+from repro.core.zoom import ZoomRegion
+from repro.core.report import render_region_table
+from repro.trace.collector import collect_sampled_trace
+
+OBJECTS = {
+    "map (hash table)": ("map",),
+    "remote edges": ("graph-targets",),
+    "other objs (comm)": ("comm",),
+}
+
+
+def _region_stats(run, labels, block=64):
+    lo = min(run.region_extents[l][0] for l in labels if l in run.region_extents)
+    hi = max(run.region_extents[l][1] for l in labels if l in run.region_extents)
+    col = collect_sampled_trace(run.events, run.n_loads, APP_SAMPLING)
+    d_mean, d_max, a = region_reuse(
+        col.events, lo, hi - lo, block=block, sample_id=col.sample_id
+    )
+    n_blocks = max(1, (hi - lo) // block)
+    region = ZoomRegion(
+        base=lo,
+        size=hi - lo,
+        depth=0,
+        n_accesses=a,
+        pct_of_total=100 * a / max(1, len(col.events)),
+        D_mean=d_mean,
+        D_max=d_max,
+        n_blocks=n_blocks,
+        accesses_per_block=a / n_blocks,
+    )
+    return region
+
+
+def test_table5(benchmark, minivite_runs):
+    def run():
+        out = {}
+        for v, r in minivite_runs.items():
+            objects = dict(OBJECTS)
+            if "map-nodes" in r.region_extents:
+                # v1's map object spans bucket array + node chunks
+                objects["map (hash table)"] = ("map", "map-nodes")
+            out[v] = {
+                name: _region_stats(r, labels) for name, labels in objects.items()
+            }
+        return out
+
+    stats = once(benchmark, run)
+    blocks = []
+    for v, regions in stats.items():
+        blocks.append(
+            render_region_table(
+                list(regions.items()),
+                title=f"Table V ({v}): spatio-temporal reuse of hot memory (64 B)",
+            )
+        )
+    save_result("table5_minivite_regions", "\n\n".join(blocks))
+
+    for v, regions in stats.items():
+        m = regions["map (hash table)"]
+        edges = regions["remote edges"]
+        assert m.n_accesses > 0 and edges.n_accesses > 0, v
+        # the map is the hottest object per block (paper: 72-155 vs ~4)
+        assert m.accesses_per_block > edges.accesses_per_block, v
+
+    # the hash-table redesign transforms the map's locality: v1's chained
+    # chases have far worse reuse distance than either hopscotch variant
+    # (the paper's v2-vs-v3 sub-ordering is within noise at our scale;
+    # see EXPERIMENTS.md)
+    d_map = {v: stats[v]["map (hash table)"].D_mean for v in stats}
+    assert d_map["v1"] > 2 * d_map["v2"]
+    assert d_map["v1"] > 2 * d_map["v3"]
+
+    # remote-edges locality improves monotonically v1 -> v2 -> v3
+    # (paper: 8.71 -> 4.90 -> 3.32)
+    d_edges = {v: stats[v]["remote edges"].D_mean for v in stats}
+    assert d_edges["v1"] > d_edges["v2"] >= d_edges["v3"] * 0.9

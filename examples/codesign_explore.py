@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hardware/software co-design: trace once, explore memory systems.
+
+The paper's closing direction (SS:IX): "Using models of different memory
+systems, we can obtain insight into memory system performance ... with
+respect to data location, data movement, and workload accesses."
+
+This example traces two ISA kernels once — a dense stencil and an
+irregular gather — and then replays the same traces against a family of
+cache hierarchies, mapping each kernel's AMAT across L1/L2 sizes. The
+diagnostics predict the outcome: the stencil's tiny footprint and 100%
+strided traffic are insensitive to cache size, while the gather's
+irregular component chases capacity.
+
+Run:  python examples/codesign_explore.py
+"""
+
+from __future__ import annotations
+
+from repro.core.cachesim import CacheConfig, HierarchyConfig, simulate_hierarchy
+from repro.core.diagnostics import compute_diagnostics
+from repro.workloads.kernels import run_kernel
+
+
+def hierarchy(l1_kib: int, l2_kib: int) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1=CacheConfig(size_bytes=l1_kib * 1024, ways=8, prefetch_next_line=True),
+        l2=CacheConfig(size_bytes=l2_kib * 1024, ways=16, prefetch_next_line=True),
+    )
+
+
+def main() -> None:
+    traces = {}
+    for name, n in (("stencil", 2048), ("gather", 4096)):
+        r = run_kernel(name, n=n, repeats=3)
+        d = compute_diagnostics(r.events_observed)
+        traces[name] = r.events_observed
+        print(
+            f"{name:<8} accesses={d.A_implied:>8,}  footprint={d.F:>8,} addrs  "
+            f"dF={d.dF:.3f}  F_str%={d.F_str_pct:.0f}"
+        )
+
+    points = [(2, 16), (4, 32), (8, 64), (16, 128)]
+    print("\nAMAT (cycles) across cache hierarchies:")
+    header = "  kernel   " + "  ".join(f"L1={a}K/L2={b}K" for a, b in points)
+    print(header)
+    for name, events in traces.items():
+        cells = []
+        for l1, l2 in points:
+            stats = simulate_hierarchy(events, hierarchy(l1, l2))
+            cells.append(f"{stats.amat:11.1f}")
+        print(f"  {name:<8}" + "  ".join(cells))
+
+    print(
+        "\nThe stencil saturates at L1 latency in every configuration — its"
+        "\nworking set is a handful of lines and the streamer hides the rest."
+        "\nThe gather's AMAT falls only when the table finally fits: exactly"
+        "\nthe footprint-vs-capacity relationship the trace diagnostics"
+        "\n(F, F_irr%) predict without running any simulation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Case study: how data-structure choice shapes memory behaviour.
+
+Reproduces the workflow of the paper's miniVite study (SS:VII-A): run
+Louvain community detection with three hash-map implementations, trace
+each, and let the diagnostics explain the performance differences —
+
+* v1 (chained open hash, `std::unordered_map`-like): few accesses but
+  irregular pointer chases -> poor locality;
+* v2 (hopscotch closed hash, default-sized): strided probes that
+  prefetch well, but per-vertex resizing copies inflate access counts;
+* v3 (hopscotch right-sized per vertex): strided probes and no copies.
+
+Run:  python examples/diagnose_hash_tables.py
+"""
+
+from __future__ import annotations
+
+from repro import AnalysisConfig, MemGaze, SamplingConfig
+from repro.core.report import render_function_table
+from repro.core.reuse import region_reuse
+from repro.workloads.minivite import run_minivite
+
+HOT = ["buildMap", "map.insert", "getMax"]
+
+
+def main() -> None:
+    mg = MemGaze(AnalysisConfig(SamplingConfig(period=12_000, buffer_capacity=1024)))
+    runs = {}
+    for variant in ("v1", "v2", "v3"):
+        print(f"running miniVite {variant} ...")
+        runs[variant] = run_minivite(variant, scale=10, edge_factor=8, max_iters=2)
+
+    print("\n== run times (memory-cost model units) ==")
+    for v, r in runs.items():
+        print(f"  {v}: {r.sim_time:12,.0f}   (modularity {r.modularity:.3f})")
+
+    for v, r in runs.items():
+        result = mg.analyze_events(r.events, n_loads_total=r.n_loads, fn_names=r.fn_names)
+        hot = {f: d for f, d in result.per_function.items() if f in HOT}
+        print()
+        print(render_function_table(hot, title=f"{v}: hot function locality", order=HOT))
+
+        lo, hi = r.region_extents["map"]
+        if "map-nodes" in r.region_extents:
+            lo = min(lo, r.region_extents["map-nodes"][0])
+            hi = max(hi, r.region_extents["map-nodes"][1])
+        d_mean, d_max, a = region_reuse(
+            result.events, lo, hi - lo, block=64, sample_id=result.sample_id
+        )
+        print(f"  map object: D={d_mean:.2f} (max {d_max}), {a} sampled accesses")
+
+    print(
+        "\nReading the tables: v1's map.insert has F_str% near 0 — every probe"
+        "\nis a pointer chase. v2 converts the probes to strided runs (high"
+        "\nF_str%) but pays for per-instance resizing with the largest access"
+        "\ncount. v3 keeps the strided probes and drops the copies: fewer"
+        "\naccesses, lowest run time. The paper's conclusion holds: sparse"
+        "\nstructures have smaller footprints but irregular patterns; dense"
+        "\nstructures trade footprint for prefetchable accesses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Case study: algorithm choice in graph analytics (GAP, SS:VII-C).
+
+Compares PageRank's Gauss-Seidel-style `pr` against the Jacobi/SpMV
+`pr-spmv`, and Afforest (`cc`) against Shiloach-Vishkin (`cc-sv`),
+through the paper's lenses: hot-object reuse distance, access counts,
+and the (region page x time) heatmaps that expose what averages hide.
+
+Run:  python examples/graph_analytics_reuse.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SamplingConfig, access_heatmap, collect_sampled_trace
+from repro.core.heatmap import render_heatmap_ascii
+from repro.core.reuse import region_reuse
+from repro.workloads.gap import run_cc, run_pagerank
+
+SAMPLING = SamplingConfig(period=12_000, buffer_capacity=1024, seed=0)
+
+
+def hot_object_row(run, label: str) -> str:
+    lo, hi = run.region_extents[label]
+    col = collect_sampled_trace(run.events, run.n_loads, SAMPLING)
+    d, d_max, a = region_reuse(col.events, lo, hi - lo, block=64, sample_id=col.sample_id)
+    return f"D={d:6.2f}  maxD={d_max:4d}  A={a:6d}  time={run.sim_time:12,.0f}"
+
+
+def main() -> None:
+    print("== PageRank: pr (in-place updates) vs pr-spmv (explicit SpMV) ==")
+    for alg in ("pr", "pr-spmv"):
+        run = run_pagerank(alg, scale=10, edge_factor=8, max_iters=20)
+        print(f"  {alg:<8} o-score: {hot_object_row(run, 'o-score')}  "
+              f"({run.n_iterations} iterations)")
+    print(
+        "  pr folds 1/deg into the contribution array, so each edge costs one"
+        "\n  gather; pr-spmv reads explicit per-edge values too — more accesses,"
+        "\n  longer reuse spans, a slower run.\n"
+    )
+
+    print("== Connected Components: cc (Afforest) vs cc-sv (Shiloach-Vishkin) ==")
+    runs = {}
+    for alg in ("cc", "cc-sv"):
+        runs[alg] = run_cc(alg, scale=10, edge_factor=8)
+        print(f"  {alg:<6} cc array: {hot_object_row(runs[alg], 'cc')}")
+
+    print("\n== Fig. 8-style heatmaps over the cc array (darker = more) ==")
+    for alg, run in runs.items():
+        lo, hi = run.region_extents["cc"]
+        col = collect_sampled_trace(run.events, run.n_loads, SAMPLING)
+        hm = access_heatmap(
+            col.events, lo, hi - lo, n_pages=16, n_bins=60, sample_id=col.sample_id
+        )
+        print(f"\n  {alg}: access frequency (rows = pages, cols = time)")
+        for line in render_heatmap_ascii(hm.counts).splitlines():
+            print("   |" + line + "|")
+
+    print(
+        "\n  Summary metrics alone would mislead here — the heatmaps show cc"
+        "\n  concentrating accesses into short dark bands (its sampling and"
+        "\n  finish phases) while cc-sv re-sweeps everything each round; that,"
+        "\n  not the average reuse distance, is why Afforest wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Case study: locality of conv-net inference over time (SS:VII-B).
+
+Traces Darknet-style AlexNet and ResNet152 inference (im2col + gemm),
+then looks at gemm through the time lens of paper Table VIII: equal
+access intervals with footprint, growth, and intra-sample reuse distance
+per interval — showing how the shrinking inner dimension N moves B-row
+reuse across the sample-window observability boundary.
+
+Run:  python examples/inference_locality.py
+"""
+
+from __future__ import annotations
+
+from repro import SamplingConfig, collect_sampled_trace
+from repro.core.interval_tree import access_interval_metrics
+from repro.core.pipeline import AnalysisConfig, MemGaze
+from repro.core.report import render_function_table, render_interval_table
+from repro.trace.compress import sample_ratio_from
+from repro.workloads.darknet import MODELS, run_darknet
+
+SAMPLING = SamplingConfig(period=2_000, buffer_capacity=256, seed=0)
+
+
+def main() -> None:
+    mg = MemGaze(AnalysisConfig(SAMPLING))
+    for model in ("alexnet", "resnet152"):
+        print(f"== {model}: {len(MODELS[model])} conv layers ==")
+        run = run_darknet(model)
+        result = mg.analyze_events(
+            run.events, n_loads_total=run.n_loads, fn_names=run.fn_names
+        )
+        hot = {
+            f: d for f, d in result.per_function.items() if f in ("gemm", "im2col")
+        }
+        print(render_function_table(hot, title="hot kernels", order=["gemm", "im2col"]))
+
+        col = collect_sampled_trace(run.events, run.n_loads, SAMPLING)
+        gemm_fid = next(f for f, n in run.fn_names.items() if n == "gemm")
+        mask = col.events["fn"] == gemm_fid
+        rows = access_interval_metrics(
+            col.events[mask],
+            8,
+            rho=sample_ratio_from(col),
+            reuse_block=64,
+            sample_id=col.sample_id[mask],
+        )
+        print()
+        print(render_interval_table(rows, title="gemm locality over access intervals"))
+        print()
+
+    print(
+        "Both kernels are fully strided (F_str% = 100) — the expected shape"
+        "\nfor dense linear algebra. Reuse distance grows through the network:"
+        "\nearly layers have large N, so B-row reuse spans exceed the sample"
+        "\nwindow and go unobserved; as N shrinks the reuse comes into view."
+    )
+
+
+if __name__ == "__main__":
+    main()

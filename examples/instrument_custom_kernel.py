@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Toolchain walkthrough: instrument your own kernel end to end.
+
+Authors a small kernel in the synthetic ISA (a blocked stencil-ish sweep
+plus an indirection table), then drives every stage of the MemGaze
+pipeline by hand:
+
+1. static load classification (Constant / Strided / Irregular);
+2. ptwrite insertion with per-block Constant-load proxies;
+3. instrumented execution -> raw ptwrite packet stream;
+4. trace rebuild from packets + annotations ('Analysis/1');
+5. sampling and analysis with source-line attribution ('Analysis/2').
+
+Run:  python examples/instrument_custom_kernel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SamplingConfig, collect_sampled_trace
+from repro.core.diagnostics import compute_diagnostics
+from repro.instrument import (
+    SourceMap,
+    classify_module,
+    instrument_module,
+    rebuild_trace,
+)
+from repro.isa import Interpreter, ProgramBuilder
+from repro.simmem import AddressSpace
+
+
+def build_kernel():
+    """out[i] = table[idx[i]] + row[i] for i in range(n), repeated."""
+    b = ProgramBuilder("custom", source_file="kernel.c")
+    with b.proc("kernel", params=("row", "idx", "table", "n")) as p:
+        with p.loop("i", 0, "n"):
+            p.load_local("bound", offset=8)  # Constant: spilled loop bound
+            p.load("r", base="row", index="i", scale=8)  # Strided
+            p.load("j", base="idx", index="i", scale=8)  # Strided
+            p.load("t", base="table", index="j", scale=8)  # Irregular
+            p.add("sum", "r", "t")
+            p.store("sum", base="row", index="i", scale=8)
+        p.ret(0)
+    with b.proc("main", params=("row", "idx", "table", "n")) as p:
+        with p.loop("rep", 0, 50):
+            p.call(None, "kernel", "row", "idx", "table", "n")
+        p.ret(0)
+    return b.build()
+
+
+def main() -> None:
+    module = build_kernel()
+
+    print("== 1. static classification ==")
+    classes = classify_module(module)
+    for addr, info in sorted(classes.items()):
+        print(f"  {hex(addr)}  {info.proc:<8} {info.cls.name:<10} stride={info.stride}")
+
+    print("\n== 2. instrumentation ==")
+    inst = instrument_module(module, classes)
+    ann = inst.annotations
+    print(f"  static loads:        {ann.n_static_loads}")
+    print(f"  instrumented:        {ann.n_static_instrumented}")
+    print(f"  suppressed Constant: {ann.n_static_suppressed}")
+    print(f"  ptwrites inserted:   {len(ann.ptwrites)}")
+
+    print("\n== 3. instrumented execution ==")
+    n = 1024
+    space = AddressSpace()
+    row = space.malloc(8 * n, "row")
+    idx = space.malloc(8 * n, "idx")
+    table = space.malloc(8 * n, "table")
+    rng = np.random.default_rng(0)
+    for i, j in enumerate(rng.integers(0, n, n)):
+        space.store_value(idx.base + 8 * i, int(j))
+    res = Interpreter(inst.module, space).run(
+        "main", row.base, idx.base, table.base, n, mode="instrumented"
+    )
+    print(f"  retired loads:   {res.n_loads:,}")
+    print(f"  ptwrite packets: {len(res.packets):,}")
+
+    print("\n== 4. trace rebuild (Analysis/1) ==")
+    events = rebuild_trace(res.packets, ann)
+    print(f"  load-level records: {len(events):,} "
+          f"(+{int(events['n_const'].sum()):,} Constant loads via proxies)")
+
+    print("\n== 5. sampling + analysis (Analysis/2) ==")
+    col = collect_sampled_trace(
+        events, res.n_loads, SamplingConfig(period=4_999, buffer_capacity=512)
+    )
+    d = compute_diagnostics(col.events)
+    print(f"  samples: {col.n_samples}, records: {len(col.events)}")
+    print(f"  dF={d.dF:.3f}  F_str%={d.F_str_pct:.1f}  A_const%={d.A_const_pct:.1f}")
+
+    sm = SourceMap.from_annotations(ann)
+    print("\n  hottest source lines (function, file, line -> sampled accesses):")
+    for (fn, file, line), count in sm.attribute_events(col.events).most_common(4):
+        print(f"    {fn:<8} {file}:{line:<4} {count:>8,}")
+
+
+if __name__ == "__main__":
+    main()

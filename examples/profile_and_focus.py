@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Production workflow: profile, focus, and trust your numbers.
+
+Shows the parts of MemGaze around the core metrics that make it usable
+day to day:
+
+1. hotspot pre-pass -> region of interest (paper SS:II);
+2. hardware-guard (ROI) tracing: better resolution on the hot code for
+   a fraction of the records;
+3. undersampling detection: which per-function estimates to trust
+   (paper SS:VI-A's confidence-interval suggestion, implemented);
+4. working-set curve at OS-page granularity (paper SS:V-B).
+
+Run:  python examples/profile_and_focus.py
+"""
+
+from __future__ import annotations
+
+from repro import SamplingConfig, collect_sampled_trace
+from repro.core.confidence import code_window_confidence
+from repro.core.hotspot import find_hotspots, roi_from_hotspots
+from repro.core.windows import code_windows
+from repro.core.workingset import working_set_curve
+from repro.trace.guards import apply_guards
+from repro.workloads.minivite import run_minivite
+
+SAMPLING = SamplingConfig(period=12_000, buffer_capacity=1024, seed=0)
+
+
+def main() -> None:
+    print("running miniVite v2 ...")
+    run = run_minivite("v2", scale=10, edge_factor=8, max_iters=2)
+
+    print("\n== 1. hotspot pre-pass ==")
+    pre = collect_sampled_trace(run.events, run.n_loads, SAMPLING)
+    hotspots = find_hotspots(pre.events, run.fn_names, coverage=0.8)
+    for h in hotspots:
+        print(f"  {h.function:<14} {100 * h.share:5.1f}% of loads")
+
+    print("\n== 2. ROI tracing through hardware guards ==")
+    roi = roi_from_hotspots(hotspots[:2], run.events)
+    guarded, masked = apply_guards(run.events, roi)
+    print(f"  guard ranges: {[(hex(a), hex(b)) for a, b in roi.ranges]}")
+    print(f"  records kept: {len(guarded):,} / {len(run.events):,} "
+          f"({masked:,} ptwrites hardware-masked)")
+    col = collect_sampled_trace(guarded, run.n_loads, SAMPLING)
+    for fn, d in code_windows(col.events, fn_names=run.fn_names).items():
+        print(f"  {fn:<14} dF={d.dF:.3f}  F_str%={d.F_str_pct:5.1f}  "
+              f"(observed {d.A_obs:,} records)")
+
+    print("\n== 3. which estimates can you trust? ==")
+    full_col = collect_sampled_trace(run.events, run.n_loads, SAMPLING)
+    conf = code_window_confidence(full_col, run.fn_names)
+    for name, c in sorted(conf.items(), key=lambda kv: -kv[1].A_est):
+        lo, hi = c.ci95
+        flag = "  <-- UNDERSAMPLED" if c.undersampled else ""
+        print(f"  {name:<14} A~{c.A_est:>12,.0f}  95% CI [{lo:,.0f}, {hi:,.0f}]  "
+              f"in {c.n_samples_present}/{c.n_samples_total} samples{flag}")
+
+    print("\n== 4. working set over time (4 KiB pages) ==")
+    for p in working_set_curve(full_col, n_intervals=6):
+        bar = "#" * max(1, int(p.pages_est / 40))
+        print(f"  interval {p.interval}: ~{p.pages_est:7.0f} pages "
+              f"({p.mb_est:6.1f} MiB est)  reuse {100 * p.captured_fraction:4.1f}%  {bar}")
+
+
+if __name__ == "__main__":
+    main()

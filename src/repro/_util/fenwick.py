@@ -1,0 +1,72 @@
+"""Fenwick (binary-indexed) tree over integer positions.
+
+Used by the reuse-distance computation (``repro.core.reuse``): the classic
+O(n log n) stack-distance algorithm keeps one bit per trace position that
+marks the *most recent* access to each block, and counts marked positions
+in a suffix with a prefix-sum query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``n`` integer-valued slots, 0-indexed externally.
+
+    Supports point update and prefix/range queries in O(log n). Values may
+    be negative (needed to *unmark* a position when a block is re-accessed).
+    """
+
+    __slots__ = ("_n", "_tree")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        self._n = n
+        # slot 0 unused internally; 1-indexed tree
+        self._tree = np.zeros(n + 1, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of slots."""
+        return self._n
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` to slot ``i`` (0-indexed)."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"index {i} out of range [0, {self._n})")
+        tree = self._tree
+        i += 1
+        while i <= self._n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum of slots ``[0, i]`` (0-indexed, inclusive).
+
+        ``i == -1`` returns 0 (the empty prefix).
+        """
+        if i >= self._n:
+            raise IndexError(f"index {i} out of range [0, {self._n})")
+        total = 0
+        tree = self._tree
+        i += 1
+        while i > 0:
+            total += int(tree[i])
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``[lo, hi]`` inclusive; empty when ``lo > hi``."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def total(self) -> int:
+        """Sum of every slot."""
+        if self._n == 0:
+            return 0
+        return self.prefix_sum(self._n - 1)

@@ -1,0 +1,355 @@
+"""Command-line interface: ``memgaze``.
+
+Three subcommands mirror the tool's workflow:
+
+``memgaze trace``
+    Run a bundled workload, collect a sampled trace with the given
+    period/buffer, and write it to a ``.npz`` trace archive.
+
+``memgaze report``
+    Read a trace archive and print the analyses: whole-trace footprint
+    diagnostics, per-function code windows, hot memory regions (zoom),
+    locality over time, working-set curve, and sampling confidence.
+
+``memgaze info``
+    Show a trace archive's collection metadata.
+
+Workloads are named ``family:variant``::
+
+    ubench:str4/irr      microbenchmark spec (ISA path)
+    minivite:v1|v2|v3    Louvain with the three map variants
+    pagerank:pr|pr-spmv  GAP-style PageRank
+    cc:cc|cc-sv          GAP-style Connected Components
+    darknet:alexnet|resnet152
+
+Example::
+
+    memgaze trace --workload minivite:v2 --period 12000 --buffer 1024 -o v2.npz
+    memgaze report v2.npz --functions --regions --working-set
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.confidence import code_window_confidence
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.hotspot import find_hotspots
+from repro.core.interval_tree import access_interval_metrics
+from repro.core.report import (
+    format_quantity,
+    render_function_table,
+    render_interval_table,
+    render_region_table,
+)
+from repro.core.windows import code_windows
+from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
+from repro.core.workingset import working_set_curve
+from repro.trace.collector import CollectionResult, collect_sampled_trace
+from repro.trace.compress import compression_ratio, sample_ratio_from
+from repro.trace.sampler import SamplingConfig
+from repro.trace.tracefile import TraceMeta, read_trace, write_trace
+
+__all__ = ["main", "build_parser"]
+
+
+# -- workload runners -----------------------------------------------------------
+
+
+def _run_workload(name: str, scale: int, seed: int):
+    """Run ``family:variant``; returns (events, n_loads, fn_names, label)."""
+    family, _, variant = name.partition(":")
+    if family == "ubench":
+        from repro.workloads.microbench import run_microbench
+
+        spec = variant or "str4/irr"
+        r = run_microbench(spec, n_elems=1 << max(8, scale), repeats=60, seed=seed)
+        return r.events_observed, r.n_loads, r.fn_names, f"ubench {spec}"
+    if family == "minivite":
+        from repro.workloads.minivite import run_minivite
+
+        r = run_minivite(variant or "v1", scale=scale, seed=seed, max_iters=2)
+        return r.events, r.n_loads, r.fn_names, f"miniVite {r.variant}"
+    if family == "pagerank":
+        from repro.workloads.gap.pagerank import run_pagerank
+
+        r = run_pagerank(variant or "pr", scale=scale, seed=seed)
+        return r.events, r.n_loads, r.fn_names, f"PageRank {r.algorithm}"
+    if family == "cc":
+        from repro.workloads.gap.cc import run_cc
+
+        r = run_cc(variant or "cc", scale=scale, seed=seed)
+        return r.events, r.n_loads, r.fn_names, f"CC {r.algorithm}"
+    if family == "darknet":
+        from repro.workloads.darknet import run_darknet
+
+        r = run_darknet(variant or "alexnet", seed=seed)
+        return r.events, r.n_loads, r.fn_names, f"Darknet {r.model}"
+    raise SystemExit(f"unknown workload family {family!r} (see memgaze trace -h)")
+
+
+# -- subcommands ------------------------------------------------------------------
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events, n_loads, fn_names, label = _run_workload(args.workload, args.scale, args.seed)
+    cfg = SamplingConfig(
+        period=args.period,
+        buffer_capacity=args.buffer,
+        fill_jitter=0.0 if args.deterministic else 0.15,
+        seed=args.seed,
+    )
+    col = collect_sampled_trace(events, n_loads, cfg, mode=args.mode)
+    meta = TraceMeta(
+        module=label,
+        kind="sampled",
+        period=cfg.period,
+        buffer_capacity=cfg.buffer_capacity,
+        n_loads_total=n_loads,
+        n_samples=col.n_samples,
+        extra={"fn_names": {str(k): v for k, v in fn_names.items()}, "mode": args.mode},
+    )
+    size = write_trace(args.output, col.events, meta, col.sample_id)
+    frac = len(col.events) / max(1, len(events))
+    print(f"{label}: {n_loads:,} loads, {len(events):,} records")
+    print(
+        f"sampled {len(col.events):,} records in {col.n_samples} samples "
+        f"({frac:.1%} of the observed stream)"
+    )
+    print(f"wrote {args.output} ({size:,} bytes)")
+    return 0
+
+
+def _load(path) -> tuple[CollectionResult, TraceMeta, dict[int, str]]:
+    events, meta, sample_id = read_trace(path)
+    if sample_id is None:
+        sample_id = np.zeros(len(events), dtype=np.int32)
+    col = CollectionResult(
+        events=events,
+        sample_id=sample_id,
+        n_samples=meta.n_samples or (int(sample_id.max()) + 1 if len(sample_id) else 0),
+        n_loads_total=meta.n_loads_total or len(events),
+        config=SamplingConfig(
+            period=max(1, meta.period), buffer_capacity=max(1, meta.buffer_capacity)
+        ),
+    )
+    fn_names = {int(k): v for k, v in meta.extra.get("fn_names", {}).items()}
+    return col, meta, fn_names
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    col, meta, fn_names = _load(args.trace)
+    print(f"module:        {meta.module}")
+    print(f"kind:          {meta.kind}")
+    print(f"period (w+z):  {meta.period:,} loads")
+    print(f"buffer:        {meta.buffer_capacity} records")
+    print(f"samples:       {col.n_samples} (mean w = {col.mean_w:.0f})")
+    print(f"records:       {len(col.events):,}")
+    print(f"loads total:   {col.n_loads_total:,}")
+    print(f"rho:           {sample_ratio_from(col):.1f}")
+    print(f"kappa:         {compression_ratio(col.events):.2f}")
+    print(f"functions:     {', '.join(sorted(fn_names.values())) or '(unnamed)'}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    col, meta, fn_names = _load(args.trace)
+    if len(col.events) == 0:
+        print("trace is empty")
+        return 1
+    rho = sample_ratio_from(col)
+    everything = not (
+        args.functions
+        or args.regions
+        or args.intervals
+        or args.working_set
+        or args.confidence
+        or args.hotspots
+        or args.phases
+    )
+
+    d = compute_diagnostics(col.events, rho=rho)
+    print(f"== {meta.module}: footprint access diagnostics ==")
+    print(f"A (est):   {format_quantity(d.A_est)}    F (est): {format_quantity(d.F_est)}")
+    print(f"dF:        {d.dF:.3f}   F_str%: {d.F_str_pct:.1f}   A_const%: {d.A_const_pct:.1f}")
+
+    if everything or args.hotspots:
+        print("\n== hotspots ==")
+        for h in find_hotspots(col.events, fn_names):
+            print(f"  {h.function:<20} {100 * h.share:5.1f}%  ({format_quantity(h.n_accesses)} sampled loads)")
+
+    if everything or args.functions:
+        print()
+        print(
+            render_function_table(
+                code_windows(col.events, rho=rho, fn_names=fn_names),
+                title="code windows (per-function locality)",
+            )
+        )
+
+    if everything or args.regions:
+        root = location_zoom(
+            col.events,
+            ZoomConfig(hot_threshold=args.hot_threshold),
+            sample_id=col.sample_id,
+            fn_names=fn_names,
+        )
+        leaves = zoom_leaves(root, min_pct=args.min_region_pct)[: args.max_regions]
+        rows = []
+        for leaf in leaves:
+            top_fn = leaf.functions.most_common(1)
+            name = f"{leaf.base:#x} ({top_fn[0][0]})" if top_fn else f"{leaf.base:#x}"
+            rows.append((name, leaf))
+        print()
+        print(render_region_table(rows, title="hot memory regions (location zoom)", show_max_d=True))
+
+    if args.intervals or everything:
+        n = args.intervals or 8
+        rows = access_interval_metrics(
+            col.events, n, rho=rho, reuse_block=64, sample_id=col.sample_id
+        )
+        print()
+        print(render_interval_table(rows, title=f"locality over {n} access intervals"))
+
+    if everything or args.working_set:
+        print("\n== working set (4 KiB pages) ==")
+        for p in working_set_curve(col, n_intervals=args.intervals or 8):
+            print(
+                f"  interval {p.interval}: ~{format_quantity(p.pages_est)} pages "
+                f"({p.mb_est:.1f} MiB est), reuse {100 * p.captured_fraction:.0f}%"
+            )
+
+    if everything or args.phases:
+        from repro.core.phases import detect_phases
+
+        print("\n== execution phases ==")
+        for p in detect_phases(col):
+            print(
+                f"  phase {p.index}: loads [{p.t_start:,}, {p.t_end:,})  "
+                f"{p.label:<9} strided {100 * p.strided_share:.0f}%  "
+                f"dF={p.diagnostics.dF:.3f}  ({p.n_samples} samples)"
+            )
+
+    if everything or args.confidence:
+        print("\n== sampling confidence ==")
+        conf = code_window_confidence(col, fn_names)
+        for name, c in sorted(conf.items(), key=lambda kv: -kv[1].A_est):
+            lo, hi = c.ci95
+            flag = "  UNDERSAMPLED" if c.undersampled else ""
+            print(
+                f"  {name:<20} A~{format_quantity(c.A_est):>8}  "
+                f"CI95 [{format_quantity(lo)}, {format_quantity(hi)}]  "
+                f"{c.n_samples_present}/{c.n_samples_total} samples{flag}"
+            )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.diff import diff_traces
+
+    col_b, meta_b, fn_b = _load(args.before)
+    col_a, meta_a, fn_a = _load(args.after)
+    diff = diff_traces(
+        col_b,
+        col_a,
+        fn_b,
+        fn_a,
+        label_before=meta_b.module,
+        label_after=meta_a.module,
+    )
+    print(diff.render(top=args.top))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.histograms import mape, window_histogram
+
+    events, n_loads, fn_names, label = _run_workload(args.workload, args.scale, args.seed)
+    cfg = SamplingConfig(period=args.period, buffer_capacity=args.buffer, seed=args.seed)
+    col = collect_sampled_trace(events, n_loads, cfg)
+    frac = len(col.events) / max(1, len(events))
+    print(f"{label}: sampled {frac:.1%} of {len(events):,} records "
+          f"({col.n_samples} samples)")
+    sizes = [8, 16, 32, 64, 128, 256]
+    worst = 0.0
+    for metric in ("F", "F_str", "F_irr"):
+        _, sampled = window_histogram(col.events, metric, sizes=sizes, sample_id=col.sample_id)
+        _, full = window_histogram(events, metric, sizes=sizes)
+        err = mape(sampled, full)
+        shown = f"{err:5.1f}%" if np.isfinite(err) else "    -"
+        print(f"  {metric:<6} trace-window MAPE: {shown}")
+        if np.isfinite(err):
+            worst = max(worst, err)
+    verdict = "OK (within the paper's <25% bound)" if worst < 25 else "HIGH"
+    print(f"worst MAPE: {worst:.1f}%  -> {verdict}")
+    return 0 if worst < 25 else 1
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``memgaze`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="memgaze", description="MemGaze: sampled memory trace analysis"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="run a workload and collect a sampled trace")
+    p_trace.add_argument("--workload", required=True, help="family:variant (see module docs)")
+    p_trace.add_argument("--scale", type=int, default=10, help="workload scale (graphs: log2 vertices)")
+    p_trace.add_argument("--period", type=int, default=12_000, help="sample period w+z in loads")
+    p_trace.add_argument("--buffer", type=int, default=1024, help="PT buffer capacity in records")
+    p_trace.add_argument("--mode", choices=["continuous", "sampled_only"], default="continuous")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--deterministic", action="store_true", help="disable buffer fill jitter")
+    p_trace.add_argument("-o", "--output", required=True, help="output .npz trace archive")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_info = sub.add_parser("info", help="show a trace archive's metadata")
+    p_info.add_argument("trace")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_report = sub.add_parser("report", help="analyze a trace archive")
+    p_report.add_argument("trace")
+    p_report.add_argument("--functions", action="store_true", help="code-window table")
+    p_report.add_argument("--regions", action="store_true", help="location-zoom table")
+    p_report.add_argument("--intervals", type=int, default=0, help="locality over N access intervals")
+    p_report.add_argument("--working-set", action="store_true", help="working-set curve")
+    p_report.add_argument("--confidence", action="store_true", help="undersampling report")
+    p_report.add_argument("--hotspots", action="store_true", help="hot-function ranking")
+    p_report.add_argument("--phases", action="store_true", help="phase segmentation")
+    p_report.add_argument("--hot-threshold", type=float, default=0.10)
+    p_report.add_argument("--min-region-pct", type=float, default=2.0)
+    p_report.add_argument("--max-regions", type=int, default=10)
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_diff = sub.add_parser("diff", help="compare two trace archives per function")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.add_argument("--top", type=int, default=12, help="movers to show")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_val = sub.add_parser(
+        "validate", help="Fig.6-style accuracy check: sampled vs full metrics"
+    )
+    p_val.add_argument("--workload", required=True)
+    p_val.add_argument("--scale", type=int, default=10)
+    p_val.add_argument("--period", type=int, default=9_973)
+    p_val.add_argument("--buffer", type=int, default=1024)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

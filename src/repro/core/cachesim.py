@@ -1,0 +1,249 @@
+"""Set-associative LRU cache model over event streams.
+
+The paper's future work: "Using models of different memory systems, we
+can obtain insight into memory system performance ... with respect to
+data location, data movement, and workload accesses." This module is that
+first model — a classic set-associative LRU cache driven by a trace,
+reporting hit ratios overall, per load class, and per address region.
+
+It doubles as an internal validator: reuse distance D predicts cache
+behaviour (an access hits a fully-associative LRU cache of capacity C
+iff D < C blocks), which ``tests/core/test_cachesim.py`` checks against
+the analytical metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.event import EVENT_DTYPE, LoadClass
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "simulate_cache",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "simulate_hierarchy",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry and prefetch policy.
+
+    ``prefetch_next_line`` models the hardware stream prefetcher in its
+    simplest form: every demand miss also installs the next line. This is
+    the mechanism behind the paper's premise that Strided accesses are
+    "prefetchable" while Irregular ones are not.
+    """
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+    prefetch_next_line: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "line_bytes", "ways"):
+            v = getattr(self, name)
+            if v <= 0:
+                raise ValueError(f"{name} must be > 0, got {v}")
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError("size must be a multiple of line_bytes * ways")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStats:
+    """Outcome of one simulation."""
+
+    config: CacheConfig
+    n_accesses: int = 0
+    n_hits: int = 0
+    hits_by_class: dict[LoadClass, int] = field(default_factory=dict)
+    accesses_by_class: dict[LoadClass, int] = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Overall hit ratio."""
+        return self.n_hits / self.n_accesses if self.n_accesses else 0.0
+
+    def class_hit_ratio(self, cls: LoadClass) -> float:
+        """Hit ratio for one load class."""
+        a = self.accesses_by_class.get(cls, 0)
+        return self.hits_by_class.get(cls, 0) / a if a else 0.0
+
+
+def simulate_cache(
+    events: np.ndarray, config: CacheConfig | None = None
+) -> CacheStats:
+    """Drive a set-associative LRU cache with ``events``.
+
+    Constant-class records are simulated too (they hit essentially
+    always, modelling the paper's 'one unit of space' view); suppressed
+    constants carried on proxies are counted as guaranteed hits.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    config = config or CacheConfig()
+    stats = CacheStats(config=config)
+    n_sets = config.n_sets
+
+    lines = events["addr"] // config.line_bytes
+    sets = (lines % n_sets).astype(np.int64)
+    classes = events["cls"]
+    n_const = events["n_const"]
+
+    # per-set LRU as an ordered list of line tags (small ways -> list ops fine)
+    cache: list[list[int]] = [[] for _ in range(n_sets)]
+    ways = config.ways
+
+    prefetch = config.prefetch_next_line
+    for line, s, cls_v, extra in zip(lines, sets, classes, n_const):
+        line = int(line)
+        cls = LoadClass(int(cls_v))
+        set_lines = cache[s]
+        stats.n_accesses += 1
+        stats.accesses_by_class[cls] = stats.accesses_by_class.get(cls, 0) + 1
+        try:
+            set_lines.remove(line)
+            hit = True
+        except ValueError:
+            hit = False
+        set_lines.append(line)
+        if len(set_lines) > ways:
+            set_lines.pop(0)
+        if prefetch:
+            # a streamer follows every access: install the next line so a
+            # unit-stride walk only ever misses its first line
+            nxt = line + 1
+            nset = cache[nxt % n_sets]
+            if nxt not in nset:
+                nset.insert(max(0, len(nset) - 1), nxt)  # below MRU
+                if len(nset) > ways:
+                    nset.pop(0)
+        if hit:
+            stats.n_hits += 1
+            stats.hits_by_class[cls] = stats.hits_by_class.get(cls, 0) + 1
+        if extra:
+            # suppressed Constant loads: frame scalars, always resident
+            k = int(extra)
+            stats.n_accesses += k
+            stats.n_hits += k
+            stats.accesses_by_class[LoadClass.CONSTANT] = (
+                stats.accesses_by_class.get(LoadClass.CONSTANT, 0) + k
+            )
+            stats.hits_by_class[LoadClass.CONSTANT] = (
+                stats.hits_by_class.get(LoadClass.CONSTANT, 0) + k
+            )
+    return stats
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A two-level hierarchy with per-level hit latencies (cycles)."""
+
+    l1: CacheConfig = CacheConfig(size_bytes=4 * 1024, ways=8, prefetch_next_line=True)
+    l2: CacheConfig = CacheConfig(size_bytes=64 * 1024, ways=16, prefetch_next_line=True)
+    lat_l1: float = 4.0
+    lat_l2: float = 14.0
+    lat_mem: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ValueError("levels must share a line size")
+        if not self.lat_l1 < self.lat_l2 < self.lat_mem:
+            raise ValueError("latencies must increase down the hierarchy")
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hits plus the resulting average memory access time."""
+
+    config: HierarchyConfig
+    n_accesses: int
+    l1_hits: int
+    l2_hits: int
+
+    @property
+    def misses(self) -> int:
+        """Accesses served by memory."""
+        return self.n_accesses - self.l1_hits - self.l2_hits
+
+    @property
+    def amat(self) -> float:
+        """Average memory access time in cycles."""
+        if self.n_accesses == 0:
+            return 0.0
+        c = self.config
+        total = (
+            self.l1_hits * c.lat_l1
+            + self.l2_hits * c.lat_l2
+            + self.misses * c.lat_mem
+        )
+        return total / self.n_accesses
+
+
+def simulate_hierarchy(
+    events: np.ndarray, config: HierarchyConfig | None = None
+) -> HierarchyStats:
+    """Drive an inclusive two-level hierarchy with ``events``.
+
+    L2 is probed (and filled) only on L1 misses; both levels install the
+    missing line, so the hierarchy is inclusive by construction. The
+    resulting AMAT is the physically-grounded counterpart of
+    :class:`repro.workloads.cost.MemoryCostModel`'s per-class constants.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    config = config or HierarchyConfig()
+
+    def _mk(c: CacheConfig):
+        return [[] for _ in range(c.n_sets)]
+
+    l1, l2 = _mk(config.l1), _mk(config.l2)
+    line_b = config.l1.line_bytes
+    lines = events["addr"] // line_b
+    n_const = events["n_const"]
+
+    n_acc = l1_hits = l2_hits = 0
+
+    def _probe(cache, c: CacheConfig, line: int, *, fill: bool = True) -> bool:
+        s = cache[line % c.n_sets]
+        try:
+            s.remove(line)
+            hit = True
+        except ValueError:
+            hit = False
+        if hit or fill:
+            s.append(line)
+            if len(s) > c.ways:
+                s.pop(0)
+        if c.prefetch_next_line and not hit and fill:
+            nxt = line + 1
+            ns = cache[nxt % c.n_sets]
+            if nxt not in ns:
+                ns.insert(max(0, len(ns) - 1), nxt)
+                if len(ns) > c.ways:
+                    ns.pop(0)
+        return hit
+
+    for line, extra in zip(lines, n_const):
+        line = int(line)
+        n_acc += 1
+        if _probe(l1, config.l1, line):
+            l1_hits += 1
+        elif _probe(l2, config.l2, line):
+            l2_hits += 1
+        if extra:  # suppressed frame scalars: L1-resident
+            n_acc += int(extra)
+            l1_hits += int(extra)
+    return HierarchyStats(
+        config=config, n_accesses=n_acc, l1_hits=l1_hits, l2_hits=l2_hits
+    )

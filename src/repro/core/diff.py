@@ -1,0 +1,144 @@
+"""Trace differencing: compare two runs' memory behaviour.
+
+The paper's case studies are all *comparisons* — v1 vs v2 vs v3, pr vs
+pr-spmv, AlexNet vs ResNet — done by reading tables side by side. This
+module turns that workflow into a first-class operation: given two
+sampled traces (typically before/after an optimization), produce a
+per-function diff of the diagnostic metrics, ranked by how much each
+function's behaviour moved.
+
+Use through :func:`diff_traces` or ``memgaze diff a.npz b.npz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.tables import format_table
+from repro.core.diagnostics import FootprintDiagnostics
+from repro.core.report import format_quantity
+from repro.core.windows import code_windows
+from repro.trace.collector import CollectionResult
+from repro.trace.compress import sample_ratio_from
+
+__all__ = ["FunctionDelta", "TraceDiff", "diff_traces"]
+
+
+@dataclass(frozen=True)
+class FunctionDelta:
+    """Per-function change between two traces."""
+
+    function: str
+    before: FootprintDiagnostics | None  # None = function only in 'after'
+    after: FootprintDiagnostics | None  # None = function only in 'before'
+
+    @property
+    def accesses_ratio(self) -> float:
+        """after/before estimated accesses (inf for new, 0 for removed)."""
+        if self.before is None or self.before.A_est == 0:
+            return float("inf") if self.after is not None else 1.0
+        if self.after is None:
+            return 0.0
+        return self.after.A_est / self.before.A_est
+
+    @property
+    def dF_delta(self) -> float:
+        """Change in footprint growth (positive = less reuse)."""
+        b = self.before.dF if self.before else 0.0
+        a = self.after.dF if self.after else 0.0
+        return a - b
+
+    @property
+    def strided_delta(self) -> float:
+        """Change in strided footprint share, percentage points."""
+        b = self.before.F_str_pct if self.before else 0.0
+        a = self.after.F_str_pct if self.after else 0.0
+        return a - b
+
+    @property
+    def magnitude(self) -> float:
+        """How much this function moved (for ranking)."""
+        r = self.accesses_ratio
+        ratio_term = abs(np.log2(r)) if 0 < r < float("inf") else 3.0
+        return ratio_term + abs(self.dF_delta) * 4 + abs(self.strided_delta) / 25
+
+
+@dataclass
+class TraceDiff:
+    """Result of comparing two traces."""
+
+    label_before: str
+    label_after: str
+    deltas: list[FunctionDelta]
+    total_before: float  # estimated accesses
+    total_after: float
+
+    @property
+    def total_ratio(self) -> float:
+        """after/before total estimated accesses."""
+        return self.total_after / self.total_before if self.total_before else 1.0
+
+    def render(self, *, top: int = 12) -> str:
+        """Paper-style diff table, biggest movers first."""
+        rows = []
+        for d in self.deltas[:top]:
+            b, a = d.before, d.after
+            rows.append(
+                [
+                    d.function,
+                    format_quantity(b.A_est) if b else "-",
+                    format_quantity(a.A_est) if a else "-",
+                    f"{d.accesses_ratio:.2f}x" if np.isfinite(d.accesses_ratio) else "new",
+                    f"{b.dF:.3f}" if b else "-",
+                    f"{a.dF:.3f}" if a else "-",
+                    f"{d.strided_delta:+.1f}",
+                ]
+            )
+        title = (
+            f"trace diff: {self.label_before} -> {self.label_after} "
+            f"(total accesses {self.total_ratio:.2f}x)"
+        )
+        return format_table(
+            ["Function", "A before", "A after", "ratio", "dF before", "dF after", "dF_str% delta"],
+            rows,
+            title=title,
+        )
+
+
+def diff_traces(
+    before: CollectionResult,
+    after: CollectionResult,
+    fn_names_before: dict[int, str] | None = None,
+    fn_names_after: dict[int, str] | None = None,
+    *,
+    label_before: str = "before",
+    label_after: str = "after",
+    min_accesses: int = 100,
+) -> TraceDiff:
+    """Compare two sampled traces function by function.
+
+    Functions are matched by name; those below ``min_accesses`` observed
+    records in both traces are dropped as noise.
+    """
+    cw_b = code_windows(
+        before.events, rho=sample_ratio_from(before), fn_names=fn_names_before or {}
+    )
+    cw_a = code_windows(
+        after.events, rho=sample_ratio_from(after), fn_names=fn_names_after or {}
+    )
+    deltas = []
+    for fn in sorted(set(cw_b) | set(cw_a)):
+        b, a = cw_b.get(fn), cw_a.get(fn)
+        if (b is None or b.A_obs < min_accesses) and (a is None or a.A_obs < min_accesses):
+            continue
+        deltas.append(FunctionDelta(function=fn, before=b, after=a))
+    deltas.sort(key=lambda d: -d.magnitude)
+    return TraceDiff(
+        label_before=label_before,
+        label_after=label_after,
+        deltas=deltas,
+        total_before=sum(d.A_est for d in cw_b.values()),
+        total_after=sum(d.A_est for d in cw_a.values()),
+    )

@@ -1,0 +1,36 @@
+"""Footprint growth Delta-F (paper SS:V-D, Eq. 4).
+
+Footprint growth is footprint's rate of change — equivalently the average
+*new* data per access, a normalized footprint::
+
+    Delta-F-hat(sigma) = F-hat(sigma) / W(sigma) = F(sigma) / (kappa * A(sigma))
+
+The final form divides the observed footprint by the uncompressed access
+count of the window (``kappa * A = A + A_const``), so it holds for both
+intra- and inter-window interpretations — the rho scaling of numerator
+and denominator cancels (the paper notes the final form "does not depend
+on window classes").
+
+A Delta-F near 1 means almost every access touches new data (streaming,
+no reuse); near 0 means heavy reuse of a small working set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import footprint
+from repro.trace.compress import decompress_counts
+from repro.trace.event import EVENT_DTYPE
+
+__all__ = ["footprint_growth"]
+
+
+def footprint_growth(events: np.ndarray, block: int = 1) -> float:
+    """Delta-F-hat = F / (kappa * A), in blocks per uncompressed access."""
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    window = decompress_counts(events)
+    if window == 0:
+        return 0.0
+    return footprint(events, block) / window

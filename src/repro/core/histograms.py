@@ -1,0 +1,81 @@
+"""Windowed metric histograms and the MAPE used to validate them (Fig. 6).
+
+The paper validates sampled analysis by comparing *metric histograms* —
+the mean of a footprint metric per power-of-2 trace-window size — between
+a sampled trace and a reference ('full') trace, reporting mean absolute
+percentage error per metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.windows import trace_window_metrics
+from repro.trace.event import EVENT_DTYPE
+
+__all__ = ["default_window_sizes", "window_histogram", "mape"]
+
+
+def default_window_sizes(max_window: int, min_window: int = 8) -> list[int]:
+    """Powers of two from ``min_window`` up to ``max_window`` inclusive."""
+    if min_window <= 0 or max_window < min_window:
+        raise ValueError(f"bad window range [{min_window}, {max_window}]")
+    sizes = []
+    w = 1 << (min_window - 1).bit_length()  # round min up to a power of 2
+    while w <= max_window:
+        sizes.append(w)
+        w *= 2
+    return sizes
+
+
+def window_histogram(
+    events: np.ndarray,
+    metric: str = "F",
+    sizes: list[int] | None = None,
+    sample_id: np.ndarray | None = None,
+    block: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(window sizes, mean metric per size) over a trace.
+
+    ``sizes`` defaults to powers of two up to the mean sample size (or
+    the trace length when unsampled). Window sizes with no surviving
+    chunks yield NaN.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if sizes is None:
+        if sample_id is not None and len(sample_id):
+            _, counts = np.unique(sample_id, return_counts=True)
+            limit = int(counts.mean())
+        else:
+            limit = len(events)
+        sizes = default_window_sizes(max(8, limit))
+    means = np.full(len(sizes), np.nan)
+    for i, w in enumerate(sizes):
+        vals = trace_window_metrics(
+            events, w, sample_id=sample_id, metric=metric, block=block
+        )
+        if len(vals):
+            means[i] = vals.mean()
+    return np.asarray(sizes, dtype=np.int64), means
+
+
+def mape(measured: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute percentage error of ``measured`` against ``reference``.
+
+    NaN pairs (window sizes absent from either histogram) are skipped;
+    reference zeros are skipped to avoid division blow-ups. Returns NaN
+    when nothing is comparable.
+    """
+    measured = np.asarray(measured, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if measured.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch {measured.shape} vs {reference.shape}"
+        )
+    ok = ~np.isnan(measured) & ~np.isnan(reference) & (reference != 0)
+    if not ok.any():
+        return float("nan")
+    return float(
+        100.0 * np.mean(np.abs(measured[ok] - reference[ok]) / np.abs(reference[ok]))
+    )

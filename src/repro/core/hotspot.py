@@ -1,0 +1,108 @@
+"""Hotspot analysis: picking the region of interest (paper SS:II).
+
+"To help focus results, one may optionally perform standard hotspot
+analysis based on time or memory loads. This result defines a region of
+interest (set of functions) that are used to limit tracing."
+
+:func:`find_hotspots` ranks functions by sampled load counts (a cheap
+coarse pre-pass — in practice a PEBS/perf profile); the top functions
+whose cumulative share crosses a threshold become the ROI.
+:func:`roi_from_hotspots` converts them into hardware guard ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.event import EVENT_DTYPE
+from repro.trace.guards import RegionOfInterest
+
+__all__ = ["Hotspot", "find_hotspots", "roi_from_hotspots", "function_ranges"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One function's share of the profiled loads."""
+
+    function: str
+    fn_id: int
+    n_accesses: int
+    share: float  # fraction of total profiled accesses
+
+
+def find_hotspots(
+    events: np.ndarray,
+    fn_names: dict[int, str] | None = None,
+    *,
+    coverage: float = 0.90,
+    max_functions: int = 8,
+) -> list[Hotspot]:
+    """Rank functions by access count; keep the head covering ``coverage``.
+
+    ``events`` may be any (even crudely) sampled record stream — the
+    pre-pass does not need load-level fidelity, only relative hotness.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if not 0 < coverage <= 1:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    fn_names = fn_names or {}
+    if len(events) == 0:
+        return []
+    counts = np.bincount(events["fn"])
+    # include suppressed constants in per-function load weight
+    np.add.at(
+        counts, events["fn"], events["n_const"].astype(np.int64)
+    )
+    total = counts.sum()
+    order = np.argsort(counts)[::-1]
+    out: list[Hotspot] = []
+    covered = 0
+    for fid in order:
+        if counts[fid] == 0 or len(out) >= max_functions:
+            break
+        out.append(
+            Hotspot(
+                function=fn_names.get(int(fid), f"fn{int(fid)}"),
+                fn_id=int(fid),
+                n_accesses=int(counts[fid]),
+                share=counts[fid] / total,
+            )
+        )
+        covered += counts[fid]
+        if covered / total >= coverage:
+            break
+    return out
+
+
+def function_ranges(events: np.ndarray) -> dict[int, tuple[int, int]]:
+    """Observed [lo, hi) ip range per function id (from the trace itself)."""
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    out: dict[int, tuple[int, int]] = {}
+    for fid in np.unique(events["fn"]):
+        ips = events["ip"][events["fn"] == fid]
+        out[int(fid)] = (int(ips.min()), int(ips.max()) + 4)
+    return out
+
+
+def roi_from_hotspots(
+    hotspots: list[Hotspot],
+    events: np.ndarray,
+    *,
+    top: int | None = None,
+) -> RegionOfInterest:
+    """Guard ranges covering the chosen hotspots' observed code ranges.
+
+    ``top`` defaults to the hardware's guard-range budget.
+    """
+    from repro.trace.guards import MAX_GUARD_RANGES
+
+    ranges = function_ranges(events)
+    chosen = hotspots[: top if top is not None else MAX_GUARD_RANGES]
+    fn_ranges = {h.function: ranges[h.fn_id] for h in chosen if h.fn_id in ranges}
+    return RegionOfInterest.from_functions(
+        [h.function for h in chosen if h.fn_id in ranges], fn_ranges
+    )

@@ -1,0 +1,135 @@
+"""Phase detection over sampled traces (paper SS:V-E).
+
+"Many applications tend to frequently alternate between regular execution
+phases with structured memory access patterns and irregular phases with
+unpredictable memory behaviors." With sampled traces, each sample gives a
+cheap per-window feature — the strided share of its accesses and its
+footprint growth — and phase boundaries appear where those features jump.
+
+:func:`detect_phases` segments the sample sequence with a simple online
+change-point rule: a new phase starts when a sample's strided share moves
+more than ``threshold`` away from the running phase mean. Each detected
+phase carries its time span, classification, and aggregate diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.diagnostics import FootprintDiagnostics, compute_diagnostics
+from repro.trace.collector import CollectionResult
+from repro.trace.event import LoadClass
+
+__all__ = ["Phase", "detect_phases", "sample_features"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected execution phase."""
+
+    index: int
+    first_sample: int
+    last_sample: int  # inclusive
+    t_start: int
+    t_end: int
+    strided_share: float  # mean over the phase's samples
+    diagnostics: FootprintDiagnostics
+    label: str  # "regular" | "irregular" | "mixed"
+
+    @property
+    def n_samples(self) -> int:
+        """Samples aggregated into this phase."""
+        return self.last_sample - self.first_sample + 1
+
+
+def _label(strided_share: float) -> str:
+    if strided_share >= 0.7:
+        return "regular"
+    if strided_share <= 0.3:
+        return "irregular"
+    return "mixed"
+
+
+def sample_features(collection: CollectionResult) -> np.ndarray:
+    """Per-sample strided share of non-Constant accesses (NaN if none)."""
+    out = []
+    for sample in collection.samples():
+        nc = sample[sample["cls"] != int(LoadClass.CONSTANT)]
+        if len(nc) == 0:
+            out.append(np.nan)
+        else:
+            out.append(float((nc["cls"] == int(LoadClass.STRIDED)).mean()))
+    return np.asarray(out, dtype=np.float64)
+
+
+def detect_phases(
+    collection: CollectionResult,
+    *,
+    threshold: float = 0.25,
+    min_phase_samples: int = 2,
+    block: int = 1,
+) -> list[Phase]:
+    """Segment the sampled trace into phases by access-pattern mix.
+
+    ``threshold`` is the strided-share jump that opens a new phase;
+    candidate phases shorter than ``min_phase_samples`` are merged into
+    their successor (they are usually transition windows).
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0,1), got {threshold}")
+    if min_phase_samples < 1:
+        raise ValueError(f"min_phase_samples must be >= 1, got {min_phase_samples}")
+    samples = [s for s in collection.samples()]
+    if not samples:
+        return []
+    features = sample_features(collection)
+
+    # change-point pass
+    boundaries = [0]
+    mean = features[0]
+    count = 1
+    for i in range(1, len(samples)):
+        f = features[i]
+        if np.isnan(f):
+            continue
+        if np.isnan(mean):
+            mean, count = f, 1
+            continue
+        if abs(f - mean) > threshold:
+            boundaries.append(i)
+            mean, count = f, 1
+        else:
+            mean = (mean * count + f) / (count + 1)
+            count += 1
+    boundaries.append(len(samples))
+
+    # merge too-short phases forward
+    merged: list[tuple[int, int]] = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if merged and (hi - lo) < min_phase_samples:
+            merged[-1] = (merged[-1][0], hi)
+        elif merged and (merged[-1][1] - merged[-1][0]) < min_phase_samples:
+            merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+
+    phases: list[Phase] = []
+    for idx, (lo, hi) in enumerate(merged):
+        events = np.concatenate(samples[lo:hi])
+        share = np.nanmean(features[lo:hi]) if hi > lo else float("nan")
+        share = 0.0 if np.isnan(share) else float(share)
+        phases.append(
+            Phase(
+                index=idx,
+                first_sample=lo,
+                last_sample=hi - 1,
+                t_start=int(samples[lo]["t"][0]),
+                t_end=int(samples[hi - 1]["t"][-1]) + 1,
+                strided_share=share,
+                diagnostics=compute_diagnostics(events, block=block),
+                label=_label(share),
+            )
+        )
+    return phases

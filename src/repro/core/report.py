@@ -1,0 +1,105 @@
+"""Paper-style table rendering for analysis results.
+
+The benchmark harness prints the same rows the paper's tables report;
+these renderers take the analysis layer's structures and format them with
+humanised quantities (2.3G, 291K) so output is directly comparable to the
+published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro._util.tables import format_table
+from repro.core.diagnostics import FootprintDiagnostics
+from repro.core.zoom import ZoomRegion
+
+__all__ = [
+    "format_quantity",
+    "render_function_table",
+    "render_region_table",
+    "render_interval_table",
+]
+
+_UNITS = [(1e9, "G"), (1e6, "M"), (1e3, "K")]
+
+
+def format_quantity(x: float) -> str:
+    """Humanise a count: 2.3e9 -> '2.3G', 291_000 -> '291K'."""
+    ax = abs(x)
+    for scale, suffix in _UNITS:
+        if ax >= scale:
+            v = x / scale
+            return f"{v:.2g}{suffix}" if v < 10 else f"{v:.3g}{suffix}"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:.3g}"
+
+
+def render_function_table(
+    diags: Mapping[str, FootprintDiagnostics],
+    title: str = "Data locality of hot function accesses",
+    order: Sequence[str] | None = None,
+    min_accesses: int = 0,
+) -> str:
+    """Table IV / VI style: Function | F | dF | F_str% | A."""
+    names = list(order) if order else sorted(
+        diags, key=lambda f: -diags[f].A_est
+    )
+    rows = []
+    for name in names:
+        d = diags.get(name)
+        if d is None or d.A_obs < min_accesses:
+            continue
+        rows.append(
+            [
+                name,
+                format_quantity(d.F_est),
+                f"{d.dF:.3f}",
+                f"{d.F_str_pct:.1f}",
+                format_quantity(d.A_est),
+            ]
+        )
+    return format_table(["Function", "F", "dF", "F_str%", "A"], rows, title=title)
+
+
+def render_region_table(
+    regions: Sequence[tuple[str, ZoomRegion]],
+    title: str = "Spatio-temporal reuse of hot memory",
+    show_max_d: bool = False,
+) -> str:
+    """Table V / VII / IX style: Object | D | [maxD] | #blocks | A | A/block."""
+    headers = ["Object", "Reuse (D)"]
+    if show_max_d:
+        headers.append("Max D")
+    headers += ["# blocks", "A", "A/block"]
+    rows = []
+    for name, r in regions:
+        row = [name, f"{r.D_mean:.2f}"]
+        if show_max_d:
+            row.append(str(r.D_max))
+        row += [
+            format_quantity(r.n_blocks),
+            format_quantity(r.n_accesses),
+            f"{r.accesses_per_block:.2f}",
+        ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_interval_table(
+    rows: Sequence[dict],
+    title: str = "Data locality over time of hot access intervals",
+) -> str:
+    """Table VIII style: Interval | F | dF | D | A."""
+    table = [
+        [
+            r["interval"],
+            format_quantity(r["F"]),
+            f"{r['dF']:.3f}",
+            f"{r['D']:.2f}",
+            format_quantity(r["A"]),
+        ]
+        for r in rows
+    ]
+    return format_table(["Interval", "F", "dF", "D", "A"], table, title=title)

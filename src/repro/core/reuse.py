@@ -1,0 +1,221 @@
+"""Reuse intervals and spatio-temporal reuse distance (paper SS:IV-A, SS:V-B).
+
+Definitions (cf. the paper's distinction):
+
+* the **reuse interval** of an access is the number of accesses since the
+  previous access to the same block — cheap to compute, but only an
+  estimate of unique blocks;
+* the **reuse distance** (stack distance) is the number of *unique*
+  blocks accessed in that interval — the quantity that predicts cache
+  behaviour. Computed here with the classic Fenwick-tree algorithm
+  (O(n log n)): one marker bit per position holds "this position is the
+  most recent access to its block"; the distance of an access is the
+  marker count strictly between the previous access to its block and now.
+
+Both computations respect sample boundaries when ``sample_id`` is given:
+tracking state resets at each boundary, so distances are *intra-sample*
+(the paper's preference for cache-scale analysis — inter-sample reuse is
+estimated through footprint growth instead).
+
+Cold accesses (first touch of a block in a window) get ``-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.fenwick import FenwickTree
+from repro.core.metrics import block_ids, nonconstant
+from repro.trace.event import EVENT_DTYPE
+
+__all__ = [
+    "reuse_intervals",
+    "reuse_distances",
+    "mean_reuse_distance",
+    "max_reuse_distance",
+    "inter_sample_distance",
+    "region_reuse",
+]
+
+
+def _check(events: np.ndarray) -> None:
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+
+
+def _boundaries(n: int, sample_id: np.ndarray | None) -> np.ndarray:
+    """Start index of each window (always includes 0)."""
+    if sample_id is None or n == 0:
+        return np.array([0], dtype=np.int64)
+    if len(sample_id) != n:
+        raise ValueError("sample_id length must match events")
+    return np.concatenate(
+        [[0], np.flatnonzero(np.diff(sample_id)) + 1]
+    ).astype(np.int64)
+
+
+def reuse_intervals(
+    events: np.ndarray, block: int = 1, sample_id: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-access reuse interval in accesses; -1 for first touches.
+
+    Fully vectorised: a stable sort groups each (window, block) pair's
+    positions together, so the interval is a first difference.
+    """
+    _check(events)
+    n = len(events)
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    ids = block_ids(events, block).astype(np.int64)
+    if sample_id is None:
+        windows = np.zeros(n, dtype=np.int64)
+    else:
+        if len(sample_id) != n:
+            raise ValueError("sample_id length must match events")
+        windows = np.asarray(sample_id, dtype=np.int64)
+    pos = np.arange(n, dtype=np.int64)
+    order = np.lexsort((pos, ids, windows))
+    same = (ids[order][1:] == ids[order][:-1]) & (
+        windows[order][1:] == windows[order][:-1]
+    )
+    gaps = pos[order][1:] - pos[order][:-1]
+    out[order[1:][same]] = gaps[same]
+    return out
+
+
+def reuse_distances(
+    events: np.ndarray, block: int = 1, sample_id: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-access spatio-temporal reuse distance D; -1 for first touches.
+
+    D counts unique blocks *strictly between* consecutive accesses to the
+    same block, so an immediate re-access has D = 0.
+    """
+    _check(events)
+    n = len(events)
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    ids = block_ids(events, block)
+    starts = _boundaries(n, sample_id)
+    ends = np.append(starts[1:], n)
+    for lo, hi in zip(starts, ends):
+        window = ids[lo:hi]
+        m = len(window)
+        tree = FenwickTree(m)
+        last: dict[int, int] = {}
+        for i, b in enumerate(window):
+            b = int(b)
+            prev = last.get(b)
+            if prev is not None:
+                # unique blocks since prev = markers in (prev, i)
+                out[lo + i] = tree.range_sum(prev + 1, i - 1)
+                tree.add(prev, -1)
+            tree.add(i, 1)
+            last[b] = i
+    return out
+
+
+def mean_reuse_distance(
+    events: np.ndarray, block: int = 64, sample_id: np.ndarray | None = None
+) -> float:
+    """Average D over accesses with reuse; 0.0 when no access reuses.
+
+    Note the paper's convention in its tables: accesses without reuse are
+    not averaged in, so streaming traffic shows up as *few* reusing
+    accesses rather than as a huge D.
+    """
+    d = reuse_distances(events, block, sample_id)
+    hits = d[d >= 0]
+    return float(hits.mean()) if len(hits) else 0.0
+
+
+def max_reuse_distance(
+    events: np.ndarray, block: int = 64, sample_id: np.ndarray | None = None
+) -> int:
+    """Maximum D over accesses with reuse; 0 when none."""
+    d = reuse_distances(events, block, sample_id)
+    return int(d.max()) if len(d) and d.max() >= 0 else 0
+
+
+def inter_sample_distance(
+    collection,
+    block: int = 4096,
+    *,
+    max_pairs: int = 200_000,
+) -> tuple[float, int]:
+    """Estimated inter-sample reuse distance (paper SS:V-B).
+
+    Intra-sample windows cannot see reuse whose interval exceeds ``w``;
+    for working-set-scale analysis the paper instead "calculates the
+    average unique blocks accessed between samples based on footprint
+    growth": when a block reappears in a later sample after a gap of
+    ``g`` loads, the unique blocks touched in between are estimated as
+    ``dF-hat * g``, capped by the estimated total footprint.
+
+    Returns ``(mean estimated D, number of cross-sample reuse pairs)``.
+    ``collection`` is a :class:`~repro.trace.collector.CollectionResult`.
+    """
+    from repro.core.growth import footprint_growth
+    from repro.core.metrics import block_ids, footprint, nonconstant
+    from repro.trace.compress import sample_ratio_from
+
+    events = collection.events
+    if len(events) == 0:
+        return 0.0, 0
+    rho = sample_ratio_from(collection)
+    growth = footprint_growth(events, block)
+    total_f = rho * footprint(events, block)
+
+    nc = nonconstant(events)
+    sid = collection.sample_id[events["cls"] != 0]
+    ids = block_ids(nc, block)
+    t = nc["t"].astype(np.int64)
+
+    # last (t, sample) per block, streamed in order
+    last_t: dict[int, int] = {}
+    last_s: dict[int, int] = {}
+    total = 0.0
+    n_pairs = 0
+    for b, ti, si in zip(ids, t, sid):
+        b = int(b)
+        prev_t = last_t.get(b)
+        if prev_t is not None and last_s[b] != int(si):
+            gap = ti - prev_t
+            total += min(total_f, growth * gap)
+            n_pairs += 1
+            if n_pairs >= max_pairs:
+                break
+        last_t[b] = int(ti)
+        last_s[b] = int(si)
+    return (total / n_pairs if n_pairs else 0.0), n_pairs
+
+
+def region_reuse(
+    events: np.ndarray,
+    base: int,
+    size: int,
+    block: int = 64,
+    sample_id: np.ndarray | None = None,
+) -> tuple[float, int, int]:
+    """(mean D, max D, accesses) for accesses falling in ``[base, base+size)``.
+
+    D is computed over the *whole* access stream (a reuse of a region
+    block may span accesses to other regions — that interleaving is
+    exactly what spatio-temporal distance measures), then restricted to
+    the region's accesses. Constant-class records are excluded up front,
+    matching the paper's focus on data that must move.
+    """
+    _check(events)
+    nc = nonconstant(events)
+    if sample_id is not None:
+        sample_id = sample_id[events["cls"] != 0]
+    d = reuse_distances(nc, block, sample_id)
+    addr = nc["addr"]
+    in_region = (addr >= base) & (addr < base + size)
+    d_region = d[in_region]
+    hits = d_region[d_region >= 0]
+    mean_d = float(hits.mean()) if len(hits) else 0.0
+    max_d = int(d_region.max()) if len(d_region) and d_region.max() >= 0 else 0
+    return mean_d, max_d, int(in_region.sum())

@@ -1,0 +1,207 @@
+"""Location zoom tree: finding hot memory regions (paper SS:IV-C2, Fig. 5).
+
+The zoom proceeds top-down from one region covering all accessed memory.
+At each level the region is divided into fixed-size pages; a *hot
+subregion* is a maximal run of **contiguous** pages, each with at least
+one access, whose total is at least ``hot_threshold`` of the region's
+accesses. Hot subregions recurse with a smaller page size until they
+reach the minimum-size stopping threshold.
+
+Contiguity is load-bearing (the paper calls it out): cold gaps inside a
+hot run are kept so a leaf captures a whole object, and its
+spatio-temporal reuse distance D reflects the locality of the *entire*
+object — filtering to hot blocks only would make locality look
+artificially good. The hot-blocks-only alternative is measured in
+``benchmarks/test_ablation_zoom_contiguity.py``.
+
+Per final region the analysis reports hotness (% of total accesses),
+mean/max D for the region's accesses (64 B blocks by default), size in
+blocks, accesses per block, and the code (functions) performing the
+accesses — the columns of Tables V / VII / IX.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import nonconstant
+from repro.core.reuse import reuse_distances
+from repro.trace.event import EVENT_DTYPE, LoadClass
+
+__all__ = ["ZoomConfig", "ZoomRegion", "location_zoom", "zoom_leaves"]
+
+
+@dataclass(frozen=True)
+class ZoomConfig:
+    """Zoom-tree parameters."""
+
+    page_size: int = 4096  # initial page size b_p
+    access_block: int = 64  # block size b_a for reuse distance D
+    hot_threshold: float = 0.10  # t: min fraction of region accesses
+    min_region_bytes: int = 4096  # stopping threshold
+    shrink: int = 4  # page-size divisor per level
+    max_depth: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("page_size", "access_block", "min_region_bytes"):
+            v = getattr(self, name)
+            if v <= 0 or (v & (v - 1)) != 0:
+                raise ValueError(f"{name} must be a positive power of two, got {v}")
+        if not 0.0 < self.hot_threshold <= 1.0:
+            raise ValueError(f"hot_threshold must be in (0,1], got {self.hot_threshold}")
+        if self.shrink < 2:
+            raise ValueError(f"shrink must be >= 2, got {self.shrink}")
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+
+
+@dataclass
+class ZoomRegion:
+    """A node of the zoom tree; leaves carry the reuse statistics."""
+
+    base: int
+    size: int
+    depth: int
+    n_accesses: int
+    pct_of_total: float
+    children: list["ZoomRegion"] = field(default_factory=list)
+    D_mean: float = 0.0
+    D_max: int = 0
+    n_blocks: int = 0
+    accesses_per_block: float = 0.0
+    functions: Counter = field(default_factory=Counter)
+
+    @property
+    def end(self) -> int:
+        """One past the region's last byte."""
+        return self.base + self.size
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the zoom stopped here."""
+        return not self.children
+
+
+def _hot_runs(
+    page_counts: np.ndarray, total: int, threshold: float
+) -> list[tuple[int, int]]:
+    """Maximal contiguous nonzero-page runs with enough accesses.
+
+    Returns (start_page, end_page_exclusive) pairs.
+    """
+    nonzero = page_counts > 0
+    if not nonzero.any():
+        return []
+    edges = np.diff(nonzero.astype(np.int8))
+    starts = list(np.flatnonzero(edges == 1) + 1)
+    ends = list(np.flatnonzero(edges == -1) + 1)
+    if nonzero[0]:
+        starts.insert(0, 0)
+    if nonzero[-1]:
+        ends.append(len(page_counts))
+    runs = []
+    for lo, hi in zip(starts, ends):
+        if page_counts[lo:hi].sum() >= threshold * total:
+            runs.append((int(lo), int(hi)))
+    return runs
+
+
+def location_zoom(
+    events: np.ndarray,
+    config: ZoomConfig | None = None,
+    sample_id: np.ndarray | None = None,
+    fn_names: dict[int, str] | None = None,
+) -> ZoomRegion:
+    """Build the zoom tree over the non-Constant accesses of ``events``.
+
+    Reuse distances are computed once over the full (non-Constant) stream
+    — intra-sample when ``sample_id`` is given — and leaves restrict to
+    their address range, so interleaving with other regions is reflected
+    in D exactly as the paper's spatio-temporal definition requires.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    config = config or ZoomConfig()
+    fn_names = fn_names or {}
+
+    mask = events["cls"] != int(LoadClass.CONSTANT)
+    nc = events[mask]
+    sid = sample_id[mask] if sample_id is not None else None
+    if len(nc) == 0:
+        return ZoomRegion(base=0, size=config.min_region_bytes, depth=0, n_accesses=0, pct_of_total=0.0)
+
+    addrs = nc["addr"].astype(np.int64)
+    d = reuse_distances(nc, config.access_block, sid)
+    fns = nc["fn"]
+    total = len(nc)
+
+    p0 = config.page_size
+    lo = (int(addrs.min()) // p0) * p0
+    hi = ((int(addrs.max()) // p0) + 1) * p0
+
+    def build(base: int, size: int, page: int, depth: int, idx: np.ndarray) -> ZoomRegion:
+        region = ZoomRegion(
+            base=base,
+            size=size,
+            depth=depth,
+            n_accesses=len(idx),
+            pct_of_total=100.0 * len(idx) / total,
+        )
+        stop = (
+            depth >= config.max_depth
+            or size <= config.min_region_bytes
+            or page < config.access_block
+            or len(idx) == 0
+        )
+        if not stop:
+            rel = (addrs[idx] - base) // page
+            n_pages = size // page
+            counts = np.bincount(rel, minlength=n_pages)
+            runs = _hot_runs(counts, len(idx), config.hot_threshold)
+            # a single run covering the whole populated span cannot shrink
+            # the region; descend by page size instead of recursing in place
+            for plo, phi in runs:
+                sub_base = base + plo * page
+                sub_size = (phi - plo) * page
+                sel = idx[(addrs[idx] >= sub_base) & (addrs[idx] < sub_base + sub_size)]
+                next_page = max(config.access_block, page // config.shrink)
+                if sub_size == size and next_page == page:
+                    continue  # no progress possible
+                region.children.append(
+                    build(sub_base, sub_size, next_page, depth + 1, sel)
+                )
+        if region.is_leaf:
+            _finalize_leaf(region, idx)
+        return region
+
+    def _finalize_leaf(region: ZoomRegion, idx: np.ndarray) -> None:
+        region.n_blocks = max(1, region.size // config.access_block)
+        region.accesses_per_block = region.n_accesses / region.n_blocks
+        if len(idx):
+            dr = d[idx]
+            hits = dr[dr >= 0]
+            region.D_mean = float(hits.mean()) if len(hits) else 0.0
+            region.D_max = int(dr.max()) if dr.max() >= 0 else 0
+            for fid, c in zip(*np.unique(fns[idx], return_counts=True)):
+                region.functions[fn_names.get(int(fid), f"fn{int(fid)}")] += int(c)
+
+    all_idx = np.arange(len(nc), dtype=np.int64)
+    return build(lo, hi - lo, p0, 0, all_idx)
+
+
+def zoom_leaves(root: ZoomRegion, min_pct: float = 0.0) -> list[ZoomRegion]:
+    """Final (leaf) regions, hottest first, filtered by hotness percent."""
+    out: list[ZoomRegion] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            if node.pct_of_total >= min_pct:
+                out.append(node)
+        else:
+            stack.extend(node.children)
+    out.sort(key=lambda r: -r.n_accesses)
+    return out

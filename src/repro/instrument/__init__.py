@@ -1,0 +1,40 @@
+"""Static analysis and binary instrumentation (paper SS:III).
+
+Mirrors MemGaze's DynInst-based instrumentor:
+
+* :mod:`repro.instrument.classify` — classify every load as Constant,
+  Strided, or Irregular from addressing modes and loop dataflow (SS:III-B);
+* :mod:`repro.instrument.instrumenter` — rewrite a module, inserting one
+  ``ptwrite`` per dynamic address register of each selected load and
+  electing a per-block *proxy* that carries the count of suppressed
+  Constant loads (Fig. 2);
+* :mod:`repro.instrument.annotations` — the auxiliary annotation file
+  (literals, classes, proxy counts, source map) with JSON round-trip;
+* :mod:`repro.instrument.attribution` — instrumented-code to source-line
+  mapping (SS:III-D);
+* :mod:`repro.instrument.rebuild` — 'Analysis/1': join raw ptwrite packets
+  with annotations to reconstruct the load-level event trace.
+"""
+
+from repro.instrument.classify import LoadInfo, classify_loads, classify_module
+from repro.instrument.annotations import (
+    AnnotationFile,
+    LoadAnnotation,
+    PtwAnnotation,
+)
+from repro.instrument.instrumenter import InstrumentResult, instrument_module
+from repro.instrument.attribution import SourceMap
+from repro.instrument.rebuild import rebuild_trace
+
+__all__ = [
+    "LoadInfo",
+    "classify_loads",
+    "classify_module",
+    "AnnotationFile",
+    "LoadAnnotation",
+    "PtwAnnotation",
+    "InstrumentResult",
+    "instrument_module",
+    "SourceMap",
+    "rebuild_trace",
+]

@@ -1,0 +1,130 @@
+"""Auxiliary annotation file emitted by the instrumenter (paper SS:III-A/B).
+
+The paper's instrumentor stores *static* facts out of band so that the
+runtime cost of instrumentation stays a single side-effect-free
+instruction per address register: addressing-mode literals (scale,
+offset), the load class, and — for per-block proxies — the number of
+suppressed Constant loads the proxy stands for. This module is that file:
+a JSON-serialisable container joining raw ptwrite packets back to
+load-level records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.trace.event import LoadClass
+
+__all__ = ["PtwAnnotation", "LoadAnnotation", "AnnotationFile"]
+
+
+@dataclass(frozen=True)
+class PtwAnnotation:
+    """Facts about one inserted ``ptwrite`` instruction.
+
+    ``starts_record`` marks the first packet of a load's packet group;
+    ``multiplier`` is what the payload is scaled by when reconstructing
+    the effective address (1 for a base register, the addressing-mode
+    scale for an index register).
+    """
+
+    ptw_ip: int
+    load_ip: int
+    starts_record: bool
+    multiplier: int
+    offset: int  # addressing-mode literal added once per record
+
+
+@dataclass(frozen=True)
+class LoadAnnotation:
+    """Facts about one instrumented load."""
+
+    load_ip: int
+    cls: LoadClass
+    stride: int | None
+    n_const: int  # suppressed Constant loads this record is a proxy for
+    fn: int  # function id (layout order)
+    proc: str
+    line: int
+
+
+@dataclass
+class AnnotationFile:
+    """The instrumenter's auxiliary output."""
+
+    module: str
+    loads: dict[int, LoadAnnotation] = field(default_factory=dict)
+    ptwrites: dict[int, PtwAnnotation] = field(default_factory=dict)
+    source_map: dict[int, tuple[str, str, int]] = field(default_factory=dict)
+    n_static_loads: int = 0
+    n_static_instrumented: int = 0
+    n_static_suppressed: int = 0
+
+    @property
+    def instrumented_fraction(self) -> float:
+        """Fraction of static loads that carry their own ptwrite(s)."""
+        if self.n_static_loads == 0:
+            return 0.0
+        return self.n_static_instrumented / self.n_static_loads
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(
+            {
+                "module": self.module,
+                "loads": {str(k): _load_dict(v) for k, v in self.loads.items()},
+                "ptwrites": {str(k): asdict(v) for k, v in self.ptwrites.items()},
+                "source_map": {str(k): list(v) for k, v in self.source_map.items()},
+                "n_static_loads": self.n_static_loads,
+                "n_static_instrumented": self.n_static_instrumented,
+                "n_static_suppressed": self.n_static_suppressed,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnnotationFile":
+        """Parse a JSON string produced by :meth:`to_json`."""
+        raw = json.loads(text)
+        loads = {
+            int(k): LoadAnnotation(
+                load_ip=v["load_ip"],
+                cls=LoadClass(v["cls"]),
+                stride=v["stride"],
+                n_const=v["n_const"],
+                fn=v["fn"],
+                proc=v["proc"],
+                line=v["line"],
+            )
+            for k, v in raw["loads"].items()
+        }
+        ptws = {int(k): PtwAnnotation(**v) for k, v in raw["ptwrites"].items()}
+        source = {int(k): (v[0], v[1], int(v[2])) for k, v in raw["source_map"].items()}
+        return cls(
+            module=raw["module"],
+            loads=loads,
+            ptwrites=ptws,
+            source_map=source,
+            n_static_loads=raw["n_static_loads"],
+            n_static_instrumented=raw["n_static_instrumented"],
+            n_static_suppressed=raw["n_static_suppressed"],
+        )
+
+    def save(self, path) -> None:
+        """Write the annotation file to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "AnnotationFile":
+        """Read an annotation file from ``path``."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+def _load_dict(ann: LoadAnnotation) -> dict:
+    d = asdict(ann)
+    d["cls"] = int(ann.cls)
+    return d

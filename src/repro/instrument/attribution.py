@@ -1,0 +1,71 @@
+"""Source-code attribution for instrumented code (paper SS:III-D).
+
+Instrumentation re-lays-out the instruction stream, so the original
+binary's line table no longer applies; the paper extends DynInst to
+record the new object-code -> source mapping. Here the instrumenter's
+annotation file carries that mapping; :class:`SourceMap` wraps it with
+lookup and aggregation helpers so analysis results can be reported as
+(function, file, line) rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.instrument.annotations import AnnotationFile
+from repro.isa.program import Module
+
+__all__ = ["SourceMap"]
+
+
+class SourceMap:
+    """Instruction-pointer to source-position mapping."""
+
+    def __init__(self, mapping: dict[int, tuple[str, str, int]]) -> None:
+        self._map = dict(mapping)
+
+    @classmethod
+    def from_module(cls, module: Module) -> "SourceMap":
+        """Build from a laid-out module's line table."""
+        return cls(module.source_lines())
+
+    @classmethod
+    def from_annotations(cls, ann: AnnotationFile) -> "SourceMap":
+        """Build from an instrumenter annotation file."""
+        return cls(ann.source_map)
+
+    @classmethod
+    def from_recorder_sites(cls, mapping: dict[int, tuple[str, str, int]]) -> "SourceMap":
+        """Build from :meth:`repro.simmem.AccessRecorder.source_map`."""
+        return cls(mapping)
+
+    def lookup(self, ip: int) -> tuple[str, str, int] | None:
+        """(function, file, line) for ``ip``, or ``None``."""
+        return self._map.get(int(ip))
+
+    def function_of(self, ip: int) -> str:
+        """Function name for ``ip`` ('?' when unknown)."""
+        hit = self._map.get(int(ip))
+        return hit[0] if hit else "?"
+
+    def attribute_events(self, events: np.ndarray) -> Counter:
+        """Access counts per (function, file, line) over an event array."""
+        counts: Counter = Counter()
+        ips, n = np.unique(events["ip"], return_counts=True)
+        for ip, c in zip(ips, n):
+            key = self._map.get(int(ip), ("?", "?", 0))
+            counts[key] += int(c)
+        return counts
+
+    def attribute_functions(self, events: np.ndarray) -> Counter:
+        """Access counts per function name over an event array."""
+        counts: Counter = Counter()
+        ips, n = np.unique(events["ip"], return_counts=True)
+        for ip, c in zip(ips, n):
+            counts[self.function_of(int(ip))] += int(c)
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._map)

@@ -1,0 +1,122 @@
+"""Load classification: Constant / Strided / Irregular (paper SS:III-B).
+
+The classifier reproduces the paper's rules:
+
+* **Constant** — scalar loads relative to the frame pointer or a global
+  section (offset-only addressing, no index register). These access
+  constant pools and stack scalars; all are viewed as touching one unit
+  of space.
+* **Strided** — loads whose dynamic address registers are, with respect
+  to some enclosing natural loop, each either a (basic or derived)
+  induction variable with constant stride or loop-invariant, with at
+  least one IV present. The check walks loops innermost to outermost so
+  an outer-loop IV still yields Strided for loads hoisted past inner
+  loops.
+* **Irregular** — everything else; in particular any load whose address
+  register is defined by another load (pointer chasing, data-dependent
+  indexing), following the paper's default rule "all other loads are
+  classified as irregular".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.cfg import Loop, build_cfg, natural_loops
+from repro.isa.dataflow import InductionInfo, analyze_induction
+from repro.isa.program import Instruction, Module, Opcode, Procedure
+from repro.trace.event import LoadClass
+
+__all__ = ["LoadInfo", "classify_loads", "classify_module"]
+
+
+@dataclass(frozen=True)
+class LoadInfo:
+    """Classification result for one static load."""
+
+    cls: LoadClass
+    stride: int | None = None  # bytes per iteration for Strided; None if unknown/NA
+    proc: str = ""
+    block: str = ""
+
+
+def _loops_containing(label: str, loops: list[Loop]) -> list[Loop]:
+    """Loops containing ``label``, innermost first."""
+    return sorted((l for l in loops if l.contains(label)), key=lambda l: -l.depth)
+
+
+def _effective_stride(
+    instr: Instruction, info: InductionInfo
+) -> int | None:
+    """Byte stride of the load address per loop iteration, if statically known."""
+    mem = instr.mem
+    assert mem is not None
+    total: int | None = 0
+    for reg, mult in ((mem.base, 1), (mem.index, mem.scale)):
+        if reg is None or info.is_invariant(reg):
+            continue
+        stride = info.ivs.get(reg)
+        if stride is None:
+            return None  # IV with statically-unknown (but constant) stride
+        if total is not None:
+            total += stride * mult
+    return total
+
+
+def classify_loads(proc: Procedure) -> dict[int, LoadInfo]:
+    """Classify every load of ``proc``; keys are instruction addresses.
+
+    Requires the owning module to be laid out.
+    """
+    cfg = build_cfg(proc)
+    loops = natural_loops(proc, cfg)
+    infos = analyze_induction(proc)
+    out: dict[int, LoadInfo] = {}
+    reachable = cfg.reachable()
+    for label, block in proc.blocks.items():
+        if label not in reachable:
+            continue
+        enclosing = _loops_containing(label, loops)
+        for instr in block.loads():
+            if instr.addr < 0:
+                raise RuntimeError("module.layout() has not been called")
+            out[instr.addr] = _classify_one(instr, enclosing, infos, proc.name, label)
+    return out
+
+
+def _classify_one(
+    instr: Instruction,
+    enclosing: list[Loop],
+    infos: dict[str, InductionInfo],
+    proc_name: str,
+    label: str,
+) -> LoadInfo:
+    mem = instr.mem
+    assert mem is not None
+    # Constant: fp/gp-relative scalar (no index register)
+    if mem.base in ("fp", "gp") and mem.index is None:
+        return LoadInfo(LoadClass.CONSTANT, stride=0, proc=proc_name, block=label)
+    regs = mem.registers()
+    for loop in enclosing:  # innermost -> outermost
+        info = infos[loop.header]
+        if any(r in info.load_defined for r in regs):
+            return LoadInfo(LoadClass.IRREGULAR, proc=proc_name, block=label)
+        if all(info.is_iv(r) or info.is_invariant(r) for r in regs):
+            if any(info.is_iv(r) for r in regs):
+                return LoadInfo(
+                    LoadClass.STRIDED,
+                    stride=_effective_stride(instr, info),
+                    proc=proc_name,
+                    block=label,
+                )
+            continue  # invariant at this depth; an outer loop's IV may drive it
+        return LoadInfo(LoadClass.IRREGULAR, proc=proc_name, block=label)
+    return LoadInfo(LoadClass.IRREGULAR, proc=proc_name, block=label)
+
+
+def classify_module(module: Module) -> dict[int, LoadInfo]:
+    """Classify every load in every procedure of ``module``."""
+    out: dict[int, LoadInfo] = {}
+    for proc in module.procedures.values():
+        out.update(classify_loads(proc))
+    return out

@@ -1,0 +1,193 @@
+"""Binary instrumentation: ptwrite insertion and proxy selection (SS:III, Fig. 2).
+
+Given a laid-out module and a load classification, produce a *new* module
+in which:
+
+* every Strided/Irregular load is preceded by one ``ptwrite`` per dynamic
+  address register (base first, then index), so its effective address can
+  be reconstructed from packet payloads plus the annotation literals;
+* Constant loads are *suppressed* — not individually instrumented.
+  Per basic block a proxy is elected: the first Strided/Irregular load if
+  one exists, otherwise the first Constant load (which is then itself
+  instrumented); the proxy's annotation carries the count of suppressed
+  Constant loads in the block, which is enough to recover ``A_const``
+  because a basic block's instructions execute all-or-nothing.
+
+The instrumented module is re-laid-out, so instruction addresses change —
+the annotation file records the new-code source map (SS:III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.annotations import (
+    AnnotationFile,
+    LoadAnnotation,
+    PtwAnnotation,
+)
+from repro.instrument.classify import LoadInfo, classify_module
+from repro.isa.program import (
+    BasicBlock,
+    Instruction,
+    Module,
+    Opcode,
+    Procedure,
+)
+from repro.trace.event import LoadClass
+
+__all__ = ["InstrumentResult", "instrument_module"]
+
+
+@dataclass
+class InstrumentResult:
+    """An instrumented module plus its auxiliary annotation file."""
+
+    module: Module
+    annotations: AnnotationFile
+    classes: dict[int, LoadInfo]  # keyed by ORIGINAL instruction address
+
+
+def _copy_instruction(instr: Instruction) -> Instruction:
+    return Instruction(
+        op=instr.op,
+        dest=instr.dest,
+        srcs=instr.srcs,
+        mem=instr.mem,
+        cond=instr.cond,
+        targets=instr.targets,
+        callee=instr.callee,
+        line=instr.line,
+        addr=-1,
+    )
+
+
+def instrument_module(
+    module: Module,
+    classes: dict[int, LoadInfo] | None = None,
+    only_procs: set[str] | None = None,
+) -> InstrumentResult:
+    """Instrument ``module``; returns the new module and annotations.
+
+    ``classes`` defaults to running the classifier
+    (:func:`repro.instrument.classify.classify_module`).
+
+    ``only_procs`` is the paper's *selective instrumentation* (SS:II,
+    Step 1): only the named procedures receive ptwrites — the alternative
+    to hardware guards for limiting tracing to a region of interest.
+    Procedures outside the set are copied verbatim (their loads still
+    execute and advance the load counter; they just emit nothing).
+    """
+    if classes is None:
+        classes = classify_module(module)
+    if only_procs is not None:
+        unknown = only_procs - set(module.procedures)
+        if unknown:
+            raise KeyError(f"unknown procedures in only_procs: {sorted(unknown)}")
+
+    new_module = Module(module.name + "+memgaze")
+    # deferred annotation records, resolved after the new layout is assigned:
+    #   (ptw_instr, load_instr, starts_record, multiplier, offset)
+    ptw_pending: list[tuple[Instruction, Instruction, bool, int, int]] = []
+    #   (load_instr, LoadInfo, n_const, proc_name)
+    load_pending: list[tuple[Instruction, LoadInfo, int, str]] = []
+
+    n_loads = n_instrumented = n_suppressed = 0
+
+    for proc in module.procedures.values():
+        new_proc = Procedure(
+            name=proc.name,
+            entry=proc.entry,
+            params=proc.params,
+            frame_size=proc.frame_size,
+            source_file=proc.source_file,
+        )
+        selected = only_procs is None or proc.name in only_procs
+        if not selected:
+            for label, block in proc.blocks.items():
+                new_block = BasicBlock(label)
+                for instr in block.instrs:
+                    if instr.op is Opcode.LOAD:
+                        n_loads += 1
+                        n_suppressed += 1
+                    new_block.instrs.append(_copy_instruction(instr))
+                new_proc.blocks[label] = new_block
+            new_module.add(new_proc)
+            continue
+        for label, block in proc.blocks.items():
+            new_block = BasicBlock(label)
+            loads = block.loads()
+            const_loads = [
+                l for l in loads if classes[l.addr].cls is LoadClass.CONSTANT
+            ]
+            nonconst = [
+                l for l in loads if classes[l.addr].cls is not LoadClass.CONSTANT
+            ]
+            if nonconst:
+                proxy = nonconst[0]
+                proxy_n_const = len(const_loads)
+            elif const_loads:
+                proxy = const_loads[0]
+                proxy_n_const = len(const_loads) - 1
+            else:
+                proxy = None
+                proxy_n_const = 0
+
+            for instr in block.instrs:
+                if instr.op is not Opcode.LOAD:
+                    new_block.instrs.append(_copy_instruction(instr))
+                    continue
+                n_loads += 1
+                info = classes[instr.addr]
+                is_proxy = instr is proxy
+                instrumented = info.cls is not LoadClass.CONSTANT or is_proxy
+                new_load = _copy_instruction(instr)
+                if instrumented:
+                    n_instrumented += 1
+                    mem = instr.mem
+                    first = True
+                    for reg, mult in ((mem.base, 1), (mem.index, mem.scale)):
+                        if reg is None:
+                            continue
+                        ptw = Instruction(Opcode.PTWRITE, srcs=(reg,), line=instr.line)
+                        new_block.instrs.append(ptw)
+                        ptw_pending.append((ptw, new_load, first, mult, mem.offset))
+                        first = False
+                    load_pending.append(
+                        (new_load, info, proxy_n_const if is_proxy else 0, proc.name)
+                    )
+                else:
+                    n_suppressed += 1
+                new_block.instrs.append(new_load)
+            new_proc.blocks[label] = new_block
+        new_module.add(new_proc)
+
+    new_module.layout()
+    proc_ids = new_module.proc_ids()
+
+    ann = AnnotationFile(
+        module=new_module.name,
+        source_map=new_module.source_lines(),
+        n_static_loads=n_loads,
+        n_static_instrumented=n_instrumented,
+        n_static_suppressed=n_suppressed,
+    )
+    for load_instr, info, n_const, proc_name in load_pending:
+        ann.loads[load_instr.addr] = LoadAnnotation(
+            load_ip=load_instr.addr,
+            cls=info.cls,
+            stride=info.stride,
+            n_const=n_const,
+            fn=proc_ids[proc_name],
+            proc=proc_name,
+            line=load_instr.line,
+        )
+    for ptw, load_instr, starts, mult, offset in ptw_pending:
+        ann.ptwrites[ptw.addr] = PtwAnnotation(
+            ptw_ip=ptw.addr,
+            load_ip=load_instr.addr,
+            starts_record=starts,
+            multiplier=mult,
+            offset=offset,
+        )
+    return InstrumentResult(module=new_module, annotations=ann, classes=classes)

@@ -1,0 +1,50 @@
+"""Synthetic binary substrate (stands in for x64 binaries + DynInst).
+
+The paper's instrumenter consumes facts a binary analyser extracts from
+x64 object code: addressing modes, frame/global relativity, control flow,
+and data dependences on loop induction variables. This package provides a
+small ISA with exactly those properties:
+
+* :mod:`repro.isa.program` — modules, procedures, basic blocks, and
+  instructions with x64-like ``base + index*scale + offset`` addressing;
+* :mod:`repro.isa.builder` — a structured-programming DSL that lowers
+  loops and conditionals to labelled blocks;
+* :mod:`repro.isa.cfg` — control-flow graphs, dominators, natural loops;
+* :mod:`repro.isa.dataflow` — loop-invariance and induction-variable
+  detection (basic and derived IVs);
+* :mod:`repro.isa.interp` — an interpreter that executes a module against
+  a simulated address space and emits the load stream (oracle mode) or
+  the raw ``ptwrite`` packet stream (instrumented mode).
+"""
+
+from repro.isa.program import (
+    BasicBlock,
+    Instruction,
+    MemRef,
+    Module,
+    Opcode,
+    Procedure,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.cfg import CFG, Loop, build_cfg, natural_loops
+from repro.isa.dataflow import InductionInfo, analyze_induction
+from repro.isa.interp import ExecResult, Interpreter, PTW_DTYPE
+
+__all__ = [
+    "BasicBlock",
+    "Instruction",
+    "MemRef",
+    "Module",
+    "Opcode",
+    "Procedure",
+    "ProgramBuilder",
+    "CFG",
+    "Loop",
+    "build_cfg",
+    "natural_loops",
+    "InductionInfo",
+    "analyze_induction",
+    "ExecResult",
+    "Interpreter",
+    "PTW_DTYPE",
+]

@@ -1,0 +1,266 @@
+"""Structured-programming DSL that lowers to basic blocks.
+
+The microbenchmarks and ISA-path kernels are written against this builder;
+it produces the labelled-block form the CFG/dataflow analyses and the
+instrumenter consume. Loops lower to the canonical
+preheader / header / body / latch / exit shape so the induction-variable
+detector sees the same structure a compiler would emit.
+
+Example::
+
+    b = ProgramBuilder("ubench")
+    with b.proc("kernel", params=("a0", "a1")) as p:
+        with p.loop("i", 0, "a1") as i:
+            p.load("v", base="a0", index=i, scale=8)   # strided
+            p.load("w", base="v")                      # irregular (chase)
+            p.load_local("c", offset=16)               # constant
+        p.ret(0)
+    module = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.isa.program import (
+    BasicBlock,
+    Instruction,
+    MemRef,
+    Module,
+    Opcode,
+    Procedure,
+)
+
+__all__ = ["ProgramBuilder", "ProcBuilder"]
+
+
+class ProcBuilder:
+    """Builds one procedure; obtained from :meth:`ProgramBuilder.proc`."""
+
+    def __init__(self, name: str, params: tuple[str, ...], frame_size: int, source_file: str) -> None:
+        self.proc = Procedure(
+            name=name, entry="entry", params=params, frame_size=frame_size, source_file=source_file
+        )
+        self._current = BasicBlock("entry")
+        self.proc.blocks["entry"] = self._current
+        self._label_counter = 0
+        self._line = 0
+
+    # -- low-level emission ---------------------------------------------------
+
+    def _next_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}{self._label_counter}"
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if self._current is None:
+            raise RuntimeError("no open block (code after terminator?)")
+        self._line += 1
+        instr.line = self._line
+        self._current.instrs.append(instr)
+        if instr.is_terminator:
+            self._current = None
+        return instr
+
+    def _start_block(self, label: str) -> BasicBlock:
+        if label in self.proc.blocks:
+            raise ValueError(f"duplicate label {label!r}")
+        block = BasicBlock(label)
+        self.proc.blocks[label] = block
+        self._current = block
+        return block
+
+    def _close_into(self, label: str) -> None:
+        """Terminate the open block (if any) with a jump to ``label``."""
+        if self._current is not None:
+            self._emit(Instruction(Opcode.JMP, targets=(label,)))
+
+    # -- straight-line instructions --------------------------------------------
+
+    def mov(self, dest: str, src) -> None:
+        """``dest = src``."""
+        self._emit(Instruction(Opcode.MOV, dest=dest, srcs=(src,)))
+
+    def add(self, dest: str, a, b) -> None:
+        """``dest = a + b``."""
+        self._emit(Instruction(Opcode.ADD, dest=dest, srcs=(a, b)))
+
+    def sub(self, dest: str, a, b) -> None:
+        """``dest = a - b``."""
+        self._emit(Instruction(Opcode.SUB, dest=dest, srcs=(a, b)))
+
+    def mul(self, dest: str, a, b) -> None:
+        """``dest = a * b``."""
+        self._emit(Instruction(Opcode.MUL, dest=dest, srcs=(a, b)))
+
+    def and_(self, dest: str, a, b) -> None:
+        """``dest = a & b``."""
+        self._emit(Instruction(Opcode.AND, dest=dest, srcs=(a, b)))
+
+    def shr(self, dest: str, a, b) -> None:
+        """``dest = a >> b``."""
+        self._emit(Instruction(Opcode.SHR, dest=dest, srcs=(a, b)))
+
+    def load(
+        self,
+        dest: str,
+        base: str | None = None,
+        index: str | None = None,
+        scale: int = 1,
+        offset: int = 0,
+    ) -> str:
+        """``dest = [base + index*scale + offset]``; returns ``dest``."""
+        self._emit(
+            Instruction(Opcode.LOAD, dest=dest, mem=MemRef(base, index, scale, offset))
+        )
+        return dest
+
+    def load_local(self, dest: str, offset: int = 0) -> str:
+        """Load a scalar local: ``dest = [fp + offset]`` (a Constant load)."""
+        return self.load(dest, base="fp", offset=offset)
+
+    def load_global(self, dest: str, offset: int = 0) -> str:
+        """Load scalar global data: ``dest = [gp + offset]`` (Constant)."""
+        return self.load(dest, base="gp", offset=offset)
+
+    def store(
+        self,
+        src,
+        base: str | None = None,
+        index: str | None = None,
+        scale: int = 1,
+        offset: int = 0,
+    ) -> None:
+        """``[base + index*scale + offset] = src``."""
+        self._emit(
+            Instruction(Opcode.STORE, srcs=(src,), mem=MemRef(base, index, scale, offset))
+        )
+
+    def store_local(self, src, offset: int = 0) -> None:
+        """Store to a scalar local: ``[fp + offset] = src``."""
+        self.store(src, base="fp", offset=offset)
+
+    def call(self, dest: str | None, callee: str, *args) -> None:
+        """``dest = callee(*args)``."""
+        self._emit(Instruction(Opcode.CALL, dest=dest, srcs=tuple(args), callee=callee))
+
+    def ret(self, value=0) -> None:
+        """Return ``value`` from the procedure."""
+        self._emit(Instruction(Opcode.RET, srcs=(value,)))
+
+    # -- structured control flow ------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop(self, var: str, start, stop, step: int = 1) -> Iterator[str]:
+        """Counted loop ``for var in range(start, stop, step)``.
+
+        Lowers to preheader/header/body/latch/exit; the latch's single
+        ``add var, var, step`` makes ``var`` a basic induction variable.
+        """
+        if step == 0:
+            raise ValueError("loop step must be nonzero")
+        head = self._next_label("Lhead")
+        body = self._next_label("Lbody")
+        latch = self._next_label("Llatch")
+        exit_ = self._next_label("Lexit")
+        # preheader (current block): init + jump to header
+        self.mov(var, start)
+        self._close_into(head)
+        # header: test
+        self._start_block(head)
+        cond = "lt" if step > 0 else "gt"
+        self._emit(
+            Instruction(Opcode.BR, cond=cond, srcs=(var, stop), targets=(body, exit_))
+        )
+        # body
+        self._start_block(body)
+        try:
+            yield var
+        finally:
+            self._close_into(latch)
+            self._start_block(latch)
+            self.add(var, var, step)
+            self._close_into(head)
+            self._start_block(exit_)
+
+    @contextlib.contextmanager
+    def if_(self, cond: str, a, b) -> Iterator[None]:
+        """``if a <cond> b: <body>`` (no else)."""
+        then = self._next_label("Lthen")
+        done = self._next_label("Ldone")
+        self._emit(Instruction(Opcode.BR, cond=cond, srcs=(a, b), targets=(then, done)))
+        self._start_block(then)
+        try:
+            yield
+        finally:
+            self._close_into(done)
+            self._start_block(done)
+
+    @contextlib.contextmanager
+    def if_else(self, cond: str, a, b) -> Iterator[tuple]:
+        """``if a <cond> b: <then> else: <else>``.
+
+        Yields a callable that switches emission to the else branch::
+
+            with p.if_else("lt", "x", 10) as otherwise:
+                ...then code...
+                otherwise()
+                ...else code...
+        """
+        then = self._next_label("Lthen")
+        els = self._next_label("Lelse")
+        done = self._next_label("Ldone")
+        self._emit(Instruction(Opcode.BR, cond=cond, srcs=(a, b), targets=(then, els)))
+        self._start_block(then)
+        state = {"switched": False}
+
+        def otherwise() -> None:
+            if state["switched"]:
+                raise RuntimeError("otherwise() called twice")
+            state["switched"] = True
+            self._close_into(done)
+            self._start_block(els)
+
+        try:
+            yield otherwise
+        finally:
+            if not state["switched"]:
+                raise RuntimeError("if_else body never called otherwise()")
+            self._close_into(done)
+            self._start_block(done)
+
+    def finish(self) -> Procedure:
+        """Validate and return the completed procedure."""
+        if self._current is not None:
+            # implicit return for convenience
+            self.ret(0)
+        self.proc.validate()
+        return self.proc
+
+
+class ProgramBuilder:
+    """Builds a :class:`Module` from procedure builders."""
+
+    def __init__(self, name: str = "module", source_file: str | None = None) -> None:
+        self.module = Module(name)
+        self._source_file = source_file or f"{name}.c"
+
+    @contextlib.contextmanager
+    def proc(
+        self,
+        name: str,
+        params: tuple[str, ...] = (),
+        frame_size: int = 64,
+    ) -> Iterator[ProcBuilder]:
+        """Open a procedure builder; the procedure is added on exit."""
+        pb = ProcBuilder(name, tuple(params), frame_size, self._source_file)
+        yield pb
+        self.module.add(pb.finish())
+
+    def build(self) -> Module:
+        """Lay out addresses and return the module."""
+        if not self.module.procedures:
+            raise ValueError("module has no procedures")
+        self.module.layout()
+        return self.module

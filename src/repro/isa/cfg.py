@@ -1,0 +1,152 @@
+"""Control-flow graphs, dominators, and natural-loop detection.
+
+The load classifier needs to know, for every basic block, the innermost
+natural loop containing it; induction-variable analysis needs each loop's
+body and latches. Both are computed here with the textbook algorithms
+(iterative dominators over a reverse-postorder, back-edge natural loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Procedure
+
+__all__ = ["CFG", "Loop", "build_cfg", "natural_loops"]
+
+
+@dataclass
+class CFG:
+    """Successor/predecessor maps plus a reverse postorder for a procedure."""
+
+    entry: str
+    succs: dict[str, tuple[str, ...]]
+    preds: dict[str, tuple[str, ...]]
+    rpo: list[str]  # reverse postorder over reachable blocks
+
+    def reachable(self) -> set[str]:
+        """Labels reachable from the entry."""
+        return set(self.rpo)
+
+
+@dataclass
+class Loop:
+    """A natural loop: header, body labels (header included), and latches."""
+
+    header: str
+    body: frozenset[str]
+    latches: frozenset[str]
+    depth: int = 1  # nesting depth; 1 = outermost
+    parent: "Loop | None" = field(default=None, repr=False)
+
+    def contains(self, label: str) -> bool:
+        """Whether ``label`` is inside this loop."""
+        return label in self.body
+
+
+def build_cfg(proc: Procedure) -> CFG:
+    """Build the CFG of ``proc`` (unreachable blocks are excluded from rpo)."""
+    succs = {label: block.successors() for label, block in proc.blocks.items()}
+    preds: dict[str, list[str]] = {label: [] for label in proc.blocks}
+    for label, out in succs.items():
+        for target in out:
+            preds[target].append(label)
+    # iterative DFS postorder from entry
+    post: list[str] = []
+    seen: set[str] = set()
+    stack: list[tuple[str, int]] = [(proc.entry, 0)]
+    seen.add(proc.entry)
+    while stack:
+        label, i = stack.pop()
+        children = succs[label]
+        if i < len(children):
+            stack.append((label, i + 1))
+            child = children[i]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            post.append(label)
+    rpo = post[::-1]
+    return CFG(
+        entry=proc.entry,
+        succs=succs,
+        preds={k: tuple(v) for k, v in preds.items()},
+        rpo=rpo,
+    )
+
+
+def dominators(cfg: CFG) -> dict[str, set[str]]:
+    """Dominator sets per reachable block (iterative dataflow)."""
+    reachable = cfg.reachable()
+    all_blocks = set(reachable)
+    dom: dict[str, set[str]] = {label: set(all_blocks) for label in reachable}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in cfg.rpo:
+            if label == cfg.entry:
+                continue
+            preds = [p for p in cfg.preds[label] if p in reachable]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:  # unreachable-through-preds corner; keep conservative
+                new = set(all_blocks)
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def natural_loops(proc: Procedure, cfg: CFG | None = None) -> list[Loop]:
+    """Natural loops of ``proc``, innermost-last, with nesting depth filled in.
+
+    Loops sharing a header are merged (standard practice).
+    """
+    cfg = cfg or build_cfg(proc)
+    dom = dominators(cfg)
+    reachable = cfg.reachable()
+    # collect back edges n -> h where h dominates n
+    bodies: dict[str, set[str]] = {}
+    latches: dict[str, set[str]] = {}
+    for n in reachable:
+        for h in cfg.succs[n]:
+            if h in reachable and h in dom[n]:
+                body = bodies.setdefault(h, {h})
+                latches.setdefault(h, set()).add(n)
+                # walk predecessors from the latch up to the header
+                stack = [n]
+                while stack:
+                    m = stack.pop()
+                    if m in body:
+                        continue
+                    body.add(m)
+                    stack.extend(p for p in cfg.preds[m] if p in reachable)
+    loops = [
+        Loop(header=h, body=frozenset(body), latches=frozenset(latches[h]))
+        for h, body in bodies.items()
+    ]
+    # nesting: loop A is inside loop B iff A.body < B.body
+    loops.sort(key=lambda l: len(l.body), reverse=True)
+    for i, inner in enumerate(loops):
+        for outer in loops[:i]:
+            if inner.body < outer.body:
+                inner.parent = outer  # loops sorted big->small; last match = innermost parent
+    for loop in loops:
+        depth, p = 1, loop.parent
+        while p is not None:
+            depth += 1
+            p = p.parent
+        loop.depth = depth
+    return loops
+
+
+def innermost_loop_of(label: str, loops: list[Loop]) -> Loop | None:
+    """The innermost loop containing ``label``, or ``None``."""
+    best: Loop | None = None
+    for loop in loops:
+        if loop.contains(label) and (best is None or loop.depth > best.depth):
+            best = loop
+    return best

@@ -1,0 +1,159 @@
+"""Loop dataflow: invariance, induction variables, memory-dependent registers.
+
+The load classifier (paper SS:III-B) distinguishes *Strided* loads — whose
+address registers are affine in a loop induction variable with constant
+stride — from *Irregular* loads, typically indirect loads whose address
+registers are defined by other loads. This module computes, per natural
+loop:
+
+* **basic induction variables**: registers whose only in-loop definition
+  is ``r = r +/- c`` with a constant ``c``;
+* **derived induction variables** (to a fixpoint): single-def registers
+  computed by mov/add/sub/mul from one IV and otherwise loop-invariant
+  operands; a multiply by a loop-invariant register keeps the stride
+  *constant at run time* even though its value is unknown statically, so
+  such IVs carry ``stride=None``;
+* **loop-invariant registers**: no definition inside the loop body;
+* **memory-defined registers**: any in-loop definition is a load — the
+  signature of pointer chasing and data-dependent indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.cfg import Loop, build_cfg, natural_loops
+from repro.isa.program import Instruction, Opcode, Procedure
+
+__all__ = ["InductionInfo", "analyze_induction"]
+
+
+@dataclass
+class InductionInfo:
+    """Per-loop register facts. ``ivs`` maps register -> stride (None = constant but statically unknown)."""
+
+    loop: Loop
+    ivs: dict[str, int | None] = field(default_factory=dict)
+    invariants: frozenset[str] = frozenset()
+    load_defined: frozenset[str] = frozenset()
+
+    def is_iv(self, reg: str) -> bool:
+        """Whether ``reg`` is a (basic or derived) induction variable."""
+        return reg in self.ivs
+
+    def is_invariant(self, reg: str) -> bool:
+        """Whether ``reg`` is loop-invariant."""
+        return reg in self.invariants
+
+
+def _loop_defs(proc: Procedure, loop: Loop) -> dict[str, list[Instruction]]:
+    defs: dict[str, list[Instruction]] = {}
+    for label in loop.body:
+        for instr in proc.blocks[label].instrs:
+            reg = instr.defined_register()
+            if reg is not None:
+                defs.setdefault(reg, []).append(instr)
+    return defs
+
+
+def _used_registers(proc: Procedure, loop: Loop) -> set[str]:
+    used: set[str] = set()
+    for label in loop.body:
+        for instr in proc.blocks[label].instrs:
+            for src in instr.srcs:
+                if isinstance(src, str):
+                    used.add(src)
+            if instr.mem is not None:
+                used.update(instr.mem.registers())
+            reg = instr.defined_register()
+            if reg is not None:
+                used.add(reg)
+    return used
+
+
+def _analyze_one(proc: Procedure, loop: Loop) -> InductionInfo:
+    defs = _loop_defs(proc, loop)
+    used = _used_registers(proc, loop)
+    invariants = frozenset(r for r in used if r not in defs) | {"fp", "gp"}
+    load_defined = frozenset(
+        reg
+        for reg, instrs in defs.items()
+        if any(i.op in (Opcode.LOAD, Opcode.CALL) for i in instrs)
+    )
+
+    ivs: dict[str, int | None] = {}
+    # basic IVs: single def `r = r +/- imm`
+    for reg, instrs in defs.items():
+        if len(instrs) != 1:
+            continue
+        instr = instrs[0]
+        if instr.op not in (Opcode.ADD, Opcode.SUB):
+            continue
+        a, b = instr.srcs
+        if instr.op is Opcode.ADD:
+            if a == reg and isinstance(b, int):
+                ivs[reg] = b
+            elif b == reg and isinstance(a, int):
+                ivs[reg] = a
+        else:  # SUB
+            if a == reg and isinstance(b, int):
+                ivs[reg] = -b
+
+    invariants = set(invariants)
+
+    def _operand_ok(x) -> bool:
+        return isinstance(x, int) or (isinstance(x, str) and x in invariants)
+
+    _PURE = (Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.SHR)
+
+    # joint fixpoint: derived IVs and *derived invariants* — a register
+    # computed purely from loop-invariant operands is itself invariant
+    # (e.g. a row base hoisted... or not hoisted: `crow = i*8n` inside an
+    # inner loop where `i` belongs to an outer loop)
+    changed = True
+    while changed:
+        changed = False
+        for reg, instrs in defs.items():
+            if reg in ivs or reg in invariants or len(instrs) != 1:
+                continue
+            instr = instrs[0]
+            if instr.op in _PURE and all(_operand_ok(s) for s in instr.srcs):
+                invariants.add(reg)
+                changed = True
+                continue
+            stride: int | None = None
+            found = False
+            if instr.op is Opcode.MOV:
+                (src,) = instr.srcs
+                if isinstance(src, str) and src in ivs:
+                    stride, found = ivs[src], True
+            elif instr.op in (Opcode.ADD, Opcode.SUB):
+                a, b = instr.srcs
+                for iv, other, negate in ((a, b, False), (b, a, instr.op is Opcode.SUB)):
+                    if isinstance(iv, str) and iv in ivs and _operand_ok(other) and not negate:
+                        stride, found = ivs[iv], True
+                        break
+            elif instr.op is Opcode.MUL:
+                a, b = instr.srcs
+                for iv, other in ((a, b), (b, a)):
+                    if isinstance(iv, str) and iv in ivs and _operand_ok(other):
+                        base = ivs[iv]
+                        if isinstance(other, int) and base is not None:
+                            stride = base * other
+                        else:
+                            stride = None  # constant at run time, unknown statically
+                        found = True
+                        break
+            if found:
+                ivs[reg] = stride
+                changed = True
+
+    return InductionInfo(
+        loop=loop, ivs=ivs, invariants=frozenset(invariants), load_defined=load_defined
+    )
+
+
+def analyze_induction(proc: Procedure) -> dict[str, InductionInfo]:
+    """Induction info for every natural loop of ``proc``, keyed by header label."""
+    cfg = build_cfg(proc)
+    return {loop.header: _analyze_one(proc, loop) for loop in natural_loops(proc, cfg)}

@@ -1,0 +1,244 @@
+"""Interpreter for the synthetic ISA.
+
+Executes a laid-out :class:`~repro.isa.program.Module` against a simulated
+:class:`~repro.simmem.AddressSpace` and produces the measurement layer's
+inputs:
+
+* **oracle mode** — one :data:`~repro.trace.event.EVENT_DTYPE` record per
+  retired load (the ground-truth full trace, 'All+' in paper Table III);
+* **instrumented mode** — one raw packet per executed ``ptwrite``
+  (:data:`PTW_DTYPE`), exactly what the PT decoder sees; the trace builder
+  in :mod:`repro.instrument.rebuild` joins packets with the annotation
+  file to reconstruct load-level events.
+
+Execution also counts retired instructions, loads, and ptwrites, which
+feed the time-overhead model (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.program import CODE_BASE, Module, Opcode, PROC_STRIDE, Procedure
+from repro.simmem.address_space import AddressSpace
+from repro.trace.event import LoadClass, empty_events
+
+__all__ = ["PTW_DTYPE", "ExecResult", "Interpreter"]
+
+#: Raw Processor-Trace write packet: the ptwrite instruction's address, the
+#: 64-bit register payload, and the retired-load count at emission time.
+PTW_DTYPE = np.dtype([("ip", np.uint64), ("payload", np.uint64), ("t", np.uint64)])
+
+_COND_FNS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ge": lambda a, b: a >= b,
+    "gt": lambda a, b: a > b,
+}
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one execution."""
+
+    events: np.ndarray | None  # oracle mode: EVENT_DTYPE per load
+    packets: np.ndarray | None  # instrumented mode: PTW_DTYPE per ptwrite
+    n_loads: int
+    n_stores: int
+    n_instrs: int
+    n_ptwrites: int
+    rv: int
+
+
+class Interpreter:
+    """Executes modules. One interpreter may run many times over one space.
+
+    Parameters
+    ----------
+    module:
+        A module whose :meth:`~repro.isa.program.Module.layout` has run.
+    space:
+        Simulated address space holding the program's data (defaults to a
+        fresh one). The interpreter allocates a small global section for
+        ``gp`` and pushes one stack frame per activation for ``fp``.
+    classes:
+        Optional map from load instruction address to
+        :class:`~repro.trace.event.LoadClass`, used to tag oracle events.
+        Unmapped loads are tagged ``IRREGULAR``.
+    max_instrs:
+        Safety cap on retired instructions.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        space: AddressSpace | None = None,
+        classes: dict[int, LoadClass] | None = None,
+        max_instrs: int = 200_000_000,
+    ) -> None:
+        self.module = module
+        self.space = space if space is not None else AddressSpace()
+        self.classes = classes or {}
+        self.max_instrs = max_instrs
+        self._globals = self.space.alloc_global(4096, "interp-globals")
+        self._proc_ids = module.proc_ids()
+
+    def set_classes(self, classes: dict[int, LoadClass]) -> None:
+        """Replace the load-class map used for oracle event tagging."""
+        self.classes = classes
+
+    def run(self, entry: str, *args: int, mode: str = "oracle") -> ExecResult:
+        """Execute ``entry(*args)`` and return the collected stream.
+
+        ``mode`` is ``"oracle"`` (emit every load) or ``"instrumented"``
+        (emit only ptwrite packets).
+        """
+        if mode not in ("oracle", "instrumented"):
+            raise ValueError(f"mode must be 'oracle' or 'instrumented', got {mode!r}")
+        oracle = mode == "oracle"
+        module, space = self.module, self.space
+        classes = self.classes
+        gp_base = self._globals.base
+
+        # oracle event buffers
+        ev_ip: list[int] = []
+        ev_addr: list[int] = []
+        ev_cls: list[int] = []
+        # ptwrite packet buffers
+        pk_ip: list[int] = []
+        pk_payload: list[int] = []
+        pk_t: list[int] = []
+
+        n_loads = 0
+        n_stores = 0
+        n_instrs = 0
+        n_ptwrites = 0
+
+        def activate(proc: Procedure, call_args: tuple) -> dict:
+            frame = space.push_frame(proc.frame_size, f"{proc.name}-frame")
+            regs = {"fp": frame.base, "gp": gp_base}
+            for pname, aval in zip(proc.params, call_args):
+                regs[pname] = aval
+            if len(call_args) > len(proc.params):
+                raise TypeError(
+                    f"{proc.name} takes {len(proc.params)} args, got {len(call_args)}"
+                )
+            return regs
+
+        proc = module.procedures[entry]
+        regs = activate(proc, args)
+        block = proc.blocks[proc.entry]
+        idx = 0
+        # call stack entries: (proc, block, idx, regs, dest_reg)
+        stack: list[tuple] = []
+        rv = 0
+        max_instrs = self.max_instrs
+
+        def val(x):
+            return regs[x] if isinstance(x, str) else x
+
+        while True:
+            if idx >= len(block.instrs):  # pragma: no cover - validate() prevents
+                raise RuntimeError(f"fell off block {block.label}")
+            instr = block.instrs[idx]
+            idx += 1
+            n_instrs += 1
+            if n_instrs > max_instrs:
+                raise RuntimeError(f"instruction cap {max_instrs} exceeded")
+            op = instr.op
+
+            if op is Opcode.LOAD:
+                mem = instr.mem
+                addr = mem.offset
+                if mem.base is not None:
+                    addr += regs[mem.base]
+                if mem.index is not None:
+                    addr += regs[mem.index] * mem.scale
+                regs[instr.dest] = space.load_value(addr)
+                if oracle:
+                    ev_ip.append(instr.addr)
+                    ev_addr.append(addr)
+                    ev_cls.append(int(classes.get(instr.addr, LoadClass.IRREGULAR)))
+                n_loads += 1
+            elif op is Opcode.STORE:
+                mem = instr.mem
+                addr = mem.offset
+                if mem.base is not None:
+                    addr += regs[mem.base]
+                if mem.index is not None:
+                    addr += regs[mem.index] * mem.scale
+                space.store_value(addr, val(instr.srcs[0]))
+                n_stores += 1
+            elif op is Opcode.MOV:
+                regs[instr.dest] = val(instr.srcs[0])
+            elif op is Opcode.ADD:
+                regs[instr.dest] = val(instr.srcs[0]) + val(instr.srcs[1])
+            elif op is Opcode.SUB:
+                regs[instr.dest] = val(instr.srcs[0]) - val(instr.srcs[1])
+            elif op is Opcode.MUL:
+                regs[instr.dest] = val(instr.srcs[0]) * val(instr.srcs[1])
+            elif op is Opcode.AND:
+                regs[instr.dest] = val(instr.srcs[0]) & val(instr.srcs[1])
+            elif op is Opcode.SHR:
+                regs[instr.dest] = val(instr.srcs[0]) >> val(instr.srcs[1])
+            elif op is Opcode.PTWRITE:
+                n_ptwrites += 1
+                if not oracle:
+                    pk_ip.append(instr.addr)
+                    pk_payload.append(val(instr.srcs[0]))
+                    pk_t.append(n_loads)
+            elif op is Opcode.BR:
+                taken = _COND_FNS[instr.cond](val(instr.srcs[0]), val(instr.srcs[1]))
+                block = proc.blocks[instr.targets[0] if taken else instr.targets[1]]
+                idx = 0
+            elif op is Opcode.JMP:
+                block = proc.blocks[instr.targets[0]]
+                idx = 0
+            elif op is Opcode.CALL:
+                callee = module.procedures[instr.callee]
+                call_args = tuple(val(s) for s in instr.srcs)
+                stack.append((proc, block, idx, regs, instr.dest))
+                proc = callee
+                regs = activate(callee, call_args)
+                block = proc.blocks[proc.entry]
+                idx = 0
+            elif op is Opcode.RET:
+                rv = val(instr.srcs[0]) if instr.srcs else 0
+                if not stack:
+                    break
+                proc, block, idx, regs, dest = stack.pop()
+                if dest is not None:
+                    regs[dest] = rv
+            elif op is Opcode.NOP:
+                pass
+            else:  # pragma: no cover
+                raise RuntimeError(f"unhandled opcode {op}")
+
+        events = None
+        packets = None
+        if oracle:
+            events = empty_events(len(ev_ip))
+            events["ip"] = ev_ip
+            events["addr"] = ev_addr
+            events["t"] = np.arange(len(ev_ip), dtype=np.uint64)
+            events["cls"] = ev_cls
+            ips = np.asarray(ev_ip, dtype=np.int64)
+            events["fn"] = ((ips - CODE_BASE) // PROC_STRIDE).astype(np.uint32)
+        else:
+            packets = np.zeros(len(pk_ip), dtype=PTW_DTYPE)
+            packets["ip"] = pk_ip
+            packets["payload"] = pk_payload
+            packets["t"] = pk_t
+        return ExecResult(
+            events=events,
+            packets=packets,
+            n_loads=n_loads,
+            n_stores=n_stores,
+            n_instrs=n_instrs,
+            n_ptwrites=n_ptwrites,
+            rv=rv,
+        )

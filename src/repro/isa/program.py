@@ -1,0 +1,272 @@
+"""Program representation for the synthetic ISA.
+
+A :class:`Module` owns :class:`Procedure` objects; each procedure is a set
+of labelled :class:`BasicBlock` objects whose last instruction is a
+terminator (branch, jump, or return). Instructions use x64-style memory
+operands ``[base + index*scale + offset]`` so the instrumenter sees the
+same addressing facts DynInst extracts from real object code.
+
+Operands are plain Python values: a ``str`` names a virtual register, an
+``int`` is an immediate. The registers ``fp`` (frame pointer) and ``gp``
+(global pointer) are architectural: the interpreter sets them on entry and
+the load classifier treats offset-only loads through them as *Constant*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Opcode", "MemRef", "Instruction", "BasicBlock", "Procedure", "Module"]
+
+Operand = "str | int"
+
+FP = "fp"
+GP = "gp"
+
+#: Base address of the first procedure's code in the synthetic layout.
+CODE_BASE = 0x0040_0000
+#: Address stride between consecutive procedures.
+PROC_STRIDE = 0x1_0000
+#: Fixed instruction encoding size.
+INSTR_SIZE = 4
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    SHR = "shr"
+    LOAD = "load"
+    STORE = "store"
+    BR = "br"  # conditional branch: cond, a, b, then_label, else_label
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    PTWRITE = "ptwrite"  # inserted by the instrumenter
+    NOP = "nop"
+
+
+_TERMINATORS = {Opcode.BR, Opcode.JMP, Opcode.RET}
+
+_CONDS = {"lt", "le", "eq", "ne", "ge", "gt"}
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """An x64-style memory operand ``[base + index*scale + offset]``."""
+
+    base: str | None = None
+    index: str | None = None
+    scale: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base is None and self.index is None:
+            raise ValueError("memory operand needs a base or index register")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"scale must be 1/2/4/8, got {self.scale}")
+
+    def registers(self) -> tuple[str, ...]:
+        """Dynamic (register) components of the address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base:
+            parts.append(self.base)
+        if self.index:
+            parts.append(f"{self.index}*{self.scale}")
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return "[" + " + ".join(parts) + "]"
+
+
+@dataclass
+class Instruction:
+    """One instruction. ``addr`` is assigned by :meth:`Module.layout`."""
+
+    op: Opcode
+    dest: str | None = None
+    srcs: tuple = ()
+    mem: MemRef | None = None
+    cond: str | None = None
+    targets: tuple[str, ...] = ()
+    callee: str | None = None
+    line: int = 0
+    addr: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op is Opcode.BR:
+            if self.cond not in _CONDS:
+                raise ValueError(f"bad branch condition {self.cond!r}")
+            if len(self.targets) != 2:
+                raise ValueError("br needs (then, else) targets")
+        elif self.op is Opcode.JMP and len(self.targets) != 1:
+            raise ValueError("jmp needs exactly one target")
+        elif self.op in (Opcode.LOAD, Opcode.STORE) and self.mem is None:
+            raise ValueError(f"{self.op.value} needs a memory operand")
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether this instruction ends a basic block."""
+        return self.op in _TERMINATORS
+
+    def defined_register(self) -> str | None:
+        """Register written by this instruction, if any."""
+        if self.op in (Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.SHR, Opcode.LOAD, Opcode.CALL):
+            return self.dest
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [self.op.value]
+        if self.dest:
+            bits.append(self.dest)
+        if self.cond:
+            bits.append(self.cond)
+        bits.extend(str(s) for s in self.srcs)
+        if self.mem:
+            bits.append(str(self.mem))
+        if self.callee:
+            bits.append(self.callee)
+        bits.extend(self.targets)
+        return " ".join(bits)
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line instruction sequence ending in a terminator."""
+
+    label: str
+    instrs: list[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's terminator (raises if the block is open)."""
+        if not self.instrs or not self.instrs[-1].is_terminator:
+            raise ValueError(f"block {self.label!r} has no terminator")
+        return self.instrs[-1]
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of successor blocks."""
+        term = self.terminator
+        if term.op is Opcode.RET:
+            return ()
+        return term.targets
+
+    def loads(self) -> list[Instruction]:
+        """Load instructions in this block, in order."""
+        return [i for i in self.instrs if i.op is Opcode.LOAD]
+
+
+@dataclass
+class Procedure:
+    """A procedure: entry block, block map, parameters, frame size."""
+
+    name: str
+    entry: str
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    params: tuple[str, ...] = ()
+    frame_size: int = 64
+    source_file: str = "?"
+
+    def block_order(self) -> list[BasicBlock]:
+        """Blocks in a stable layout order (entry first, then insertion)."""
+        ordered = [self.blocks[self.entry]]
+        ordered.extend(b for label, b in self.blocks.items() if label != self.entry)
+        return ordered
+
+    def instructions(self) -> list[Instruction]:
+        """All instructions in layout order."""
+        out: list[Instruction] = []
+        for block in self.block_order():
+            out.extend(block.instrs)
+        return out
+
+    def loads(self) -> list[Instruction]:
+        """All load instructions in layout order."""
+        return [i for i in self.instructions() if i.op is Opcode.LOAD]
+
+    def validate(self) -> None:
+        """Check structural invariants (terminators, branch targets)."""
+        if self.entry not in self.blocks:
+            raise ValueError(f"{self.name}: entry block {self.entry!r} missing")
+        for block in self.blocks.values():
+            term = block.terminator  # raises when open
+            for instr in block.instrs[:-1]:
+                if instr.is_terminator:
+                    raise ValueError(
+                        f"{self.name}/{block.label}: terminator {instr} mid-block"
+                    )
+            for target in term.targets:
+                if target not in self.blocks:
+                    raise ValueError(
+                        f"{self.name}/{block.label}: unknown target {target!r}"
+                    )
+
+
+@dataclass
+class Module:
+    """A load module: named procedures plus a layout of synthetic addresses."""
+
+    name: str
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+
+    def add(self, proc: Procedure) -> Procedure:
+        """Add a procedure (name must be unique)."""
+        if proc.name in self.procedures:
+            raise ValueError(f"duplicate procedure {proc.name!r}")
+        self.procedures[proc.name] = proc
+        return proc
+
+    def layout(self) -> None:
+        """Assign instruction addresses: proc ``i`` at CODE_BASE + i*PROC_STRIDE."""
+        for pidx, proc in enumerate(self.procedures.values()):
+            proc.validate()
+            base = CODE_BASE + pidx * PROC_STRIDE
+            pos = 0
+            for block in proc.block_order():
+                for instr in block.instrs:
+                    instr.addr = base + pos * INSTR_SIZE
+                    pos += 1
+
+    def proc_ids(self) -> dict[str, int]:
+        """Procedure name -> function id (layout order)."""
+        return {name: i for i, name in enumerate(self.procedures)}
+
+    def proc_of_addr(self, addr: int) -> str | None:
+        """Procedure containing instruction address ``addr``."""
+        idx = (addr - CODE_BASE) // PROC_STRIDE
+        names = list(self.procedures)
+        if 0 <= idx < len(names):
+            return names[idx]
+        return None
+
+    def source_lines(self) -> dict[int, tuple[str, str, int]]:
+        """Instruction address -> (procedure, file, line)."""
+        self._require_layout()
+        out: dict[int, tuple[str, str, int]] = {}
+        for proc in self.procedures.values():
+            for instr in proc.instructions():
+                out[instr.addr] = (proc.name, proc.source_file, instr.line)
+        return out
+
+    def n_instructions(self) -> int:
+        """Total instruction count across procedures."""
+        return sum(len(p.instructions()) for p in self.procedures.values())
+
+    def _require_layout(self) -> None:
+        for proc in self.procedures.values():
+            for instr in proc.instructions():
+                if instr.addr < 0:
+                    raise RuntimeError("module.layout() has not been called")
+                return

@@ -1,0 +1,175 @@
+"""A simulated process address space with a labelled bump allocator.
+
+Layout mirrors a conventional process image so that location-based
+analysis (zoom trees, heatmaps) sees realistic region structure:
+
+* globals at ``GLOBAL_BASE``,
+* stack frames growing down from ``STACK_BASE``,
+* heap allocations growing up from ``HEAP_BASE``, each padded to an
+  alignment boundary and separated by a guard gap (so distinct objects
+  never share an analysis block by accident unless requested).
+
+Values are optionally stored in a sparse dict backing store — the ISA
+interpreter uses that; library-path data structures keep their payloads
+in Python/numpy and only consume addresses.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+__all__ = ["Region", "AddressSpace", "GLOBAL_BASE", "HEAP_BASE", "STACK_BASE"]
+
+GLOBAL_BASE = 0x0000_6000_0000
+HEAP_BASE = 0x0000_7000_0000
+STACK_BASE = 0x0000_7FFF_F000_0000
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous allocated range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+    kind: str = "heap"  # "heap" | "stack" | "global"
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this region."""
+        return self.base <= addr < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.name!r}, 0x{self.base:x}+{self.size})"
+
+
+class AddressSpace:
+    """Bump allocator over the simulated address space.
+
+    Not thread-safe; one per simulated process.
+    """
+
+    def __init__(self, *, alignment: int = 64, guard: int = 4096) -> None:
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError(f"alignment must be a power of two, got {alignment}")
+        if guard < 0:
+            raise ValueError(f"guard must be >= 0, got {guard}")
+        self._alignment = alignment
+        self._guard = guard
+        self._heap_next = HEAP_BASE
+        self._global_next = GLOBAL_BASE
+        self._stack_next = STACK_BASE
+        self._regions: list[Region] = []
+        self._bases: list[int] = []  # sorted mirror of region bases
+        self._values: dict[int, int] = {}
+        self._free_lists: dict[int, list[int]] = {}  # aligned size -> bases
+        #: every heap/global/stack allocation ever made: (name, base, size)
+        self.alloc_log: list[tuple[str, int, int]] = []
+
+    # -- allocation ---------------------------------------------------------
+
+    def _align(self, n: int) -> int:
+        a = self._alignment
+        return (n + a - 1) & ~(a - 1)
+
+    def _insert(self, region: Region) -> Region:
+        idx = bisect.bisect_left(self._bases, region.base)
+        self._bases.insert(idx, region.base)
+        self._regions.insert(idx, region)
+        return region
+
+    def malloc(self, size: int, name: str = "heap") -> Region:
+        """Allocate ``size`` bytes on the heap under label ``name``.
+
+        Like a real allocator, freed blocks of the same size class are
+        recycled first (size-bucketed free list), so repeated
+        allocate/free cycles — e.g. a per-vertex hash map — revisit the
+        same addresses instead of marching through the address space.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        bucket = self._free_lists.get(self._align(size))
+        if bucket:
+            base = bucket.pop()
+        else:
+            base = self._heap_next
+            self._heap_next = base + self._align(size) + self._guard
+        self.alloc_log.append((name, base, size))
+        return self._insert(Region(name, base, size, "heap"))
+
+    def alloc_global(self, size: int, name: str = "globals") -> Region:
+        """Allocate ``size`` bytes in the global data section."""
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        base = self._global_next
+        self._global_next = base + self._align(size) + self._guard
+        self.alloc_log.append((name, base, size))
+        return self._insert(Region(name, base, size, "global"))
+
+    def push_frame(self, size: int, name: str = "frame") -> Region:
+        """Allocate a stack frame (stack grows down)."""
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        base = self._stack_next - self._align(size)
+        self._stack_next = base - self._guard
+        return self._insert(Region(name, base, size, "stack"))
+
+    def free(self, region: Region) -> None:
+        """Release a region; heap blocks go to the size-class free list."""
+        idx = bisect.bisect_left(self._bases, region.base)
+        if idx >= len(self._regions) or self._regions[idx] is not region:
+            raise KeyError(f"region {region} not allocated here")
+        del self._bases[idx]
+        del self._regions[idx]
+        if region.kind == "heap":
+            self._free_lists.setdefault(self._align(region.size), []).append(
+                region.base
+            )
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """Live regions in ascending base order."""
+        return tuple(self._regions)
+
+    def region_of(self, addr: int) -> Region | None:
+        """The live region containing ``addr``, or ``None``."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx < 0:
+            return None
+        region = self._regions[idx]
+        return region if region.contains(addr) else None
+
+    def extent_of(self, name: str) -> tuple[int, int]:
+        """(lowest base, highest end) over all allocations ever labelled ``name``.
+
+        Uses the allocation log, so it covers freed-and-recycled objects —
+        the footprint a location analysis would attribute to the label.
+        """
+        entries = [(b, b + s) for n, b, s in self.alloc_log if n == name]
+        if not entries:
+            raise KeyError(f"no allocation named {name!r}")
+        return min(b for b, _ in entries), max(e for _, e in entries)
+
+    def find(self, name: str) -> Region:
+        """The first live region with label ``name`` (KeyError if absent)."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named {name!r}")
+
+    # -- value backing store (used by the ISA interpreter) -------------------
+
+    def load_value(self, addr: int) -> int:
+        """Read the 64-bit word at ``addr`` (uninitialised memory reads 0)."""
+        return self._values.get(addr, 0)
+
+    def store_value(self, addr: int, value: int) -> None:
+        """Write the 64-bit word at ``addr``."""
+        self._values[addr] = value

@@ -1,0 +1,102 @@
+"""Instrumented dense array.
+
+The workhorse container: payload in one numpy array, one simulated-heap
+region, and recording helpers for the two access shapes compiled array
+code exhibits — induction-variable sweeps (Strided) and data-dependent
+gathers (Irregular).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace, Region
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+__all__ = ["FlatArray"]
+
+
+class FlatArray:
+    """A fixed-length array of ``elem_size``-byte elements."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        recorder: AccessRecorder,
+        n: int,
+        *,
+        elem_size: int = 8,
+        name: str = "array",
+        dtype=np.int64,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be > 0, got {n}")
+        if elem_size <= 0:
+            raise ValueError(f"elem_size must be > 0, got {elem_size}")
+        self.space = space
+        self.recorder = recorder
+        self.n = n
+        self.elem_size = elem_size
+        self.region: Region = space.malloc(n * elem_size, name)
+        self.data = np.zeros(n, dtype=dtype)
+        self.n_stores = 0
+
+    # -- address helpers -------------------------------------------------------
+
+    def addr_of(self, i) -> np.ndarray | int:
+        """Simulated address(es) of element(s) ``i``."""
+        return self.region.base + np.asarray(i) * self.elem_size
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"index {i} out of range [0, {self.n})")
+
+    # -- recorded loads ----------------------------------------------------------
+
+    def load(self, i: int, *, pattern: LoadClass = LoadClass.STRIDED):
+        """Load element ``i``, recording one access of class ``pattern``."""
+        self._check_index(i)
+        site = self.recorder.scoped_site(pattern, self.region.name)
+        self.recorder.record(site, self.region.base + i * self.elem_size)
+        return self.data[i]
+
+    def gather(self, idx, *, pattern: LoadClass = LoadClass.IRREGULAR) -> np.ndarray:
+        """Load elements at ``idx`` (data-dependent order), vectorised."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            raise IndexError("gather index out of range")
+        site = self.recorder.scoped_site(pattern, self.region.name)
+        self.recorder.record_many(site, self.region.base + idx * self.elem_size)
+        return self.data[idx]
+
+    def load_range(self, lo: int, hi: int, step: int = 1) -> np.ndarray:
+        """Load elements ``lo:hi:step`` as one Strided run."""
+        if not (0 <= lo <= hi <= self.n):
+            raise IndexError(f"range [{lo}, {hi}) out of bounds")
+        idx = np.arange(lo, hi, step, dtype=np.int64)
+        site = self.recorder.scoped_site(LoadClass.STRIDED, self.region.name)
+        self.recorder.record_many(site, self.region.base + idx * self.elem_size)
+        return self.data[lo:hi:step]
+
+    def sweep(self) -> np.ndarray:
+        """Load the whole array sequentially."""
+        return self.load_range(0, self.n)
+
+    # -- unrecorded stores (load-based analysis ignores stores) -----------------
+
+    def store(self, i: int, value) -> None:
+        """Store ``value`` at ``i`` (stores are not traced)."""
+        self._check_index(i)
+        self.data[i] = value
+        self.n_stores += 1
+
+    def store_many(self, idx, values) -> None:
+        """Vectorised store (not traced)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        self.data[idx] = values
+        self.n_stores += idx.size
+
+    def fill(self, values) -> None:
+        """Initialise payload without recording (setup, not workload)."""
+        self.data[:] = values

@@ -1,0 +1,107 @@
+"""Instrumented CSR (compressed sparse row) graph storage.
+
+The GAP-style workloads read graphs through this container: an offsets
+array (n+1 entries) and a targets array (m entries), each its own
+simulated-heap region. Under a sequential vertex sweep the offset loads
+are Strided and each adjacency list is a contiguous Strided run; the
+*values* read through adjacency (neighbor ids used to index per-vertex
+state) drive the Irregular gathers that dominate graph analytics — those
+happen in the caller's property arrays (:class:`FlatArray.gather`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.recorder import AccessRecorder
+from repro.simmem.datastructs.array import FlatArray
+from repro.trace.event import LoadClass
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """CSR adjacency with instrumented offset/target loads."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        recorder: AccessRecorder,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        *,
+        name: str = "graph",
+    ) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if offsets.ndim != 1 or len(offsets) < 2:
+            raise ValueError("offsets must be 1-D with length >= 2")
+        if offsets[0] != 0 or offsets[-1] != len(targets):
+            raise ValueError("offsets must start at 0 and end at len(targets)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        self.space = space
+        self.recorder = recorder
+        self.n = len(offsets) - 1
+        self.m = len(targets)
+        self.offsets = FlatArray(
+            space, recorder, len(offsets), elem_size=8, name=f"{name}-offsets"
+        )
+        self.offsets.fill(offsets)
+        self.targets = FlatArray(
+            space, recorder, max(1, len(targets)), elem_size=8, name=f"{name}-targets"
+        )
+        if len(targets):
+            self.targets.data[: len(targets)] = targets
+
+    @classmethod
+    def from_edges(
+        cls,
+        space: AddressSpace,
+        recorder: AccessRecorder,
+        n: int,
+        edges: np.ndarray,
+        *,
+        symmetrize: bool = False,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build CSR from an (m, 2) edge array, deduplicating."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if symmetrize:
+            edges = np.concatenate([edges, edges[:, ::-1]])
+        # drop self-loops and duplicates
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        if len(edges):
+            order = np.lexsort((edges[:, 1], edges[:, 0]))
+            edges = edges[order]
+            keep = np.ones(len(edges), dtype=bool)
+            keep[1:] = np.any(edges[1:] != edges[:-1], axis=1)
+            edges = edges[keep]
+        counts = np.bincount(edges[:, 0], minlength=n) if len(edges) else np.zeros(n, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return cls(space, recorder, offsets, edges[:, 1] if len(edges) else np.empty(0, dtype=np.int64), name=name)
+
+    def degree(self, v: int, *, record: bool = True) -> int:
+        """Out-degree of ``v`` (two strided offset loads when recorded)."""
+        if record:
+            self.offsets.load(v)
+            self.offsets.load(v + 1)
+        return int(self.offsets.data[v + 1] - self.offsets.data[v])
+
+    def neighbors(self, v: int, *, record: bool = True) -> np.ndarray:
+        """Adjacency list of ``v``; offset loads + one contiguous targets run."""
+        if not 0 <= v < self.n:
+            raise IndexError(f"vertex {v} out of range [0, {self.n})")
+        lo = int(self.offsets.data[v])
+        hi = int(self.offsets.data[v + 1])
+        if record:
+            self.offsets.load(v)
+            self.offsets.load(v + 1)
+            if hi > lo:
+                self.targets.load_range(lo, hi)
+        return self.targets.data[lo:hi]
+
+    def degrees(self) -> np.ndarray:
+        """All out-degrees (no recording; derived metadata)."""
+        return np.diff(self.offsets.data[: self.n + 1])

@@ -1,0 +1,215 @@
+"""Instrumented hopscotch hash table — the miniVite v2/v3 map.
+
+Models TSL hopscotch [34,35]: a closed ('flat') table where every element
+lives within a fixed neighborhood of ``H`` slots after its home bucket —
+an invariant this implementation maintains strictly, so a lookup never
+scans more than ``H`` contiguous slots. A lookup loads the home slot
+(Irregular — its index is data-dependent on the hash) and then scans the
+neighborhood **contiguously** — a Strided run, which is exactly how the
+paper's v2/v3 replace v1's pointer chases with prefetchable traffic.
+
+Insertion linear-probes for a free slot; if the free slot lies beyond the
+neighborhood, hopscotch displacement bubbles it closer (window scans =
+more strided loads). When displacement fails, or the load-factor limit is
+hit, the table doubles and every element reinserts — the copy burst that
+inflates v2's access count. A *right-sized* table (v3) is constructed
+with enough capacity up front and never resizes in steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace, Region
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+__all__ = ["HopscotchMap"]
+
+_SLOT_SIZE = 16  # key + value
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+_H = 16  # neighborhood size
+
+
+class HopscotchMap:
+    """Closed hopscotch hash map with Strided probe behaviour."""
+
+    H = _H
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        recorder: AccessRecorder,
+        *,
+        capacity: int = 64,
+        right_size_for: int | None = None,
+        max_load_factor: float = 0.75,
+        name: str = "hmap",
+    ) -> None:
+        if right_size_for is not None:
+            capacity = self.capacity_for(right_size_for, max_load_factor)
+        if capacity < _H:
+            capacity = _H
+        if not 0 < max_load_factor < 1:
+            raise ValueError(f"max_load_factor must be in (0,1), got {max_load_factor}")
+        self.space = space
+        self.recorder = recorder
+        self.name = name
+        self.max_load_factor = max_load_factor
+        self.right_sized = right_size_for is not None
+        self._alloc(capacity)
+        self._n = 0
+        self.n_resizes = 0
+
+    @staticmethod
+    def capacity_for(n_elems: int, max_load_factor: float = 0.75) -> int:
+        """Right-sized capacity: just enough slots, rounded to the
+        neighborhood size — unlike growth by doubling, which lands on the
+        next power of two and over-allocates (the v2 vs v3 difference)."""
+        need = max(_H, int(n_elems / max_load_factor) + 1)
+        return ((need + _H - 1) // _H) * _H
+
+    def _alloc(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.region: Region = self.space.malloc(capacity * _SLOT_SIZE, self.name)
+        self._keys = np.full(capacity, -1, dtype=np.int64)
+        self._values = np.zeros(capacity, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied fraction of the slot array."""
+        return self._n / self.capacity
+
+    def regions(self) -> list[Region]:
+        """The map object's live region (one flat slot array)."""
+        return [self.region]
+
+    def _slot_addr(self, s: int) -> int:
+        return self.region.base + s * _SLOT_SIZE
+
+    def _home(self, key: int) -> int:
+        return (((key * _GOLDEN) & _MASK64) >> 33) % self.capacity
+
+    # -- operations ---------------------------------------------------------------
+
+    def find(self, key: int) -> float | None:
+        """Lookup: one Irregular home-slot load + a Strided neighborhood scan.
+
+        The hopscotch invariant bounds the scan at ``H`` slots.
+        """
+        rec = self.recorder
+        home = self._home(key)
+        rec.record(rec.scoped_site(LoadClass.IRREGULAR, self.name), self._slot_addr(home))
+        if self._keys[home] == key:
+            return float(self._values[home])
+        site_str = rec.scoped_site(LoadClass.STRIDED, self.name)
+        for d in range(1, _H):
+            s = (home + d) % self.capacity
+            rec.record(site_str, self._slot_addr(s))
+            if self._keys[s] == key:
+                return float(self._values[s])
+        return None
+
+    def insert(self, key: int, value: float, *, accumulate: bool = False) -> None:
+        """Insert or update, displacing or resizing as hopscotch requires."""
+        while True:
+            outcome = self._place(key, value, accumulate, record=True)
+            if outcome != "resize":
+                return
+            self._resize()
+
+    def _place(
+        self, key: int, value: float, accumulate: bool, *, record: bool
+    ) -> str:
+        """One placement attempt; 'updated', 'inserted', or 'resize'."""
+        rec = self.recorder
+        cap = self.capacity
+        home = self._home(key)
+        if record:
+            rec.record(
+                rec.scoped_site(LoadClass.IRREGULAR, self.name), self._slot_addr(home)
+            )
+            site_str = rec.scoped_site(LoadClass.STRIDED, self.name)
+        # 1) update in place when the key already lives in its neighborhood
+        for d in range(_H):
+            s = (home + d) % cap
+            if record and d > 0:
+                rec.record(site_str, self._slot_addr(s))
+            if self._keys[s] == key:
+                self._values[s] = self._values[s] + value if accumulate else value
+                return "updated"
+        if self._n + 1 > cap * self.max_load_factor:
+            return "resize"
+        # 2) linear-probe for the nearest free slot
+        free = -1
+        for d in range(cap):
+            s = (home + d) % cap
+            if record:
+                rec.record(site_str, self._slot_addr(s))
+            if self._keys[s] == -1:
+                free, dist = s, d
+                break
+        if free == -1:
+            return "resize"
+        # 3) bubble the free slot back into the neighborhood
+        while dist >= _H:
+            moved = False
+            for back in range(_H - 1, 0, -1):
+                cand = (free - back) % cap
+                if record:
+                    rec.record(site_str, self._slot_addr(cand))
+                ckey = int(self._keys[cand])
+                if ckey == -1:
+                    continue
+                if (free - self._home(ckey)) % cap < _H:
+                    self._keys[free] = ckey
+                    self._values[free] = self._values[cand]
+                    self._keys[cand] = -1
+                    free = cand
+                    dist -= back
+                    moved = True
+                    break
+            if not moved:
+                return "resize"
+        self._keys[free] = key
+        self._values[free] = value
+        self._n += 1
+        return "inserted"
+
+    def _resize(self) -> None:
+        """Double capacity and reinsert everything (the v2 copy burst)."""
+        rec = self.recorder
+        old_keys, old_values = self._keys, self._values
+        old_region, old_cap = self.region, self.capacity
+        # sweeping the old table is one contiguous strided read
+        site_str = rec.scoped_site(LoadClass.STRIDED, self.name)
+        rec.record_many(site_str, old_region.base + np.arange(old_cap) * _SLOT_SIZE)
+        occupied = np.flatnonzero(old_keys != -1)
+        new_cap = old_cap * 2
+        while True:
+            self.n_resizes += 1
+            self._alloc(new_cap)
+            self._n = 0
+            ok = all(
+                self._place(int(old_keys[s]), float(old_values[s]), False, record=True)
+                != "resize"
+                for s in occupied
+            )
+            if ok:
+                self.space.free(old_region)
+                return
+            # rare: even the doubled table could not host an item — double again
+            self.space.free(self.region)
+            new_cap *= 2
+
+    def items(self) -> list[tuple[int, float]]:
+        """Iterate pairs by sweeping the slot array (one Strided run)."""
+        rec = self.recorder
+        site = rec.scoped_site(LoadClass.STRIDED, self.name)
+        rec.record_many(site, self.region.base + np.arange(self.capacity) * _SLOT_SIZE)
+        occ = np.flatnonzero(self._keys != -1)
+        return [(int(self._keys[s]), float(self._values[s])) for s in occ]

@@ -1,0 +1,161 @@
+"""Instrumented chained ('open') hash table — the miniVite v1 map.
+
+Models ``std::unordered_map``: an array of bucket heads, each pointing at
+a singly-linked list of separately-allocated nodes. Every logical load is
+Irregular — the bucket-head index is data-dependent on the key's hash,
+and the chain walk chases pointers — which is exactly the access
+behaviour the paper's v1 case study attributes its poor cache performance
+to. Node storage grows in chunks, so successive insertions land at
+allocation-order addresses uncorrelated with later access order.
+
+Rehashing (when the load factor crosses the limit, as libstdc++ does)
+walks every node and relinks it into a fresh bucket array: a burst of
+irregular loads that shows up in insert-heavy phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace, Region
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+__all__ = ["OpenHashMap"]
+
+_NODE_SIZE = 32  # key, value, next pointer, allocator padding
+_CHUNK = 256  # nodes per allocation chunk
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class OpenHashMap:
+    """Chained hash map with Irregular access behaviour."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        recorder: AccessRecorder,
+        *,
+        n_buckets: int = 16,
+        max_load_factor: float = 1.0,
+        name: str = "umap",
+    ) -> None:
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be > 0, got {n_buckets}")
+        if max_load_factor <= 0:
+            raise ValueError(f"max_load_factor must be > 0, got {max_load_factor}")
+        self.space = space
+        self.recorder = recorder
+        self.name = name
+        self.max_load_factor = max_load_factor
+        self._buckets_region: Region = space.malloc(n_buckets * 8, name)
+        self._buckets: list[int] = [-1] * n_buckets  # node index or -1
+        self._keys: list[int] = []
+        self._values: list[float] = []
+        self._next: list[int] = []
+        self._chunks: list[Region] = []
+        self.n_rehashes = 0
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        """Current bucket-array length."""
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def load_factor(self) -> float:
+        """Elements per bucket."""
+        return len(self._keys) / len(self._buckets)
+
+    def regions(self) -> list[Region]:
+        """All live regions of the map object (buckets + node chunks)."""
+        return [self._buckets_region, *self._chunks]
+
+    def _node_addr(self, node: int) -> int:
+        chunk = node // _CHUNK
+        return self._chunks[chunk].base + (node % _CHUNK) * _NODE_SIZE
+
+    def _bucket_addr(self, b: int) -> int:
+        return self._buckets_region.base + b * 8
+
+    def _hash(self, key: int) -> int:
+        return ((key * _GOLDEN) & _MASK64) >> 33
+
+    # -- operations ---------------------------------------------------------------
+
+    def find(self, key: int) -> float | None:
+        """Lookup; records the bucket-head load and one load per chain node."""
+        rec = self.recorder
+        site = rec.scoped_site(LoadClass.IRREGULAR, self.name)
+        b = self._hash(key) % len(self._buckets)
+        rec.record(site, self._bucket_addr(b))
+        node = self._buckets[b]
+        while node != -1:
+            rec.record(site, self._node_addr(node))
+            if self._keys[node] == key:
+                return self._values[node]
+            node = self._next[node]
+        return None
+
+    def insert(self, key: int, value: float, *, accumulate: bool = False) -> None:
+        """Insert or update; ``accumulate`` adds to an existing value.
+
+        Follows libstdc++: probe the chain first, link a new node at the
+        bucket head on a miss, rehash when the load factor limit is hit.
+        """
+        rec = self.recorder
+        site = rec.scoped_site(LoadClass.IRREGULAR, self.name)
+        b = self._hash(key) % len(self._buckets)
+        rec.record(site, self._bucket_addr(b))
+        node = self._buckets[b]
+        while node != -1:
+            rec.record(site, self._node_addr(node))
+            if self._keys[node] == key:
+                self._values[node] = self._values[node] + value if accumulate else value
+                return
+            node = self._next[node]
+        new = len(self._keys)
+        if new % _CHUNK == 0:
+            self._chunks.append(
+                self.space.malloc(_CHUNK * _NODE_SIZE, f"{self.name}-nodes")
+            )
+        self._keys.append(key)
+        self._values.append(value)
+        self._next.append(self._buckets[b])
+        self._buckets[b] = new
+        if self.load_factor > self.max_load_factor:
+            self._rehash()
+
+    def _rehash(self) -> None:
+        """Double the bucket array and relink every node (irregular burst)."""
+        self.n_rehashes += 1
+        rec = self.recorder
+        site = rec.scoped_site(LoadClass.IRREGULAR, self.name)
+        old_region = self._buckets_region
+        n_new = len(self._buckets) * 2
+        self._buckets_region = self.space.malloc(n_new * 8, self.name)
+        self._buckets = [-1] * n_new
+        for node in range(len(self._keys)):
+            rec.record(site, self._node_addr(node))  # reload each node's key
+            b = self._hash(self._keys[node]) % n_new
+            self._next[node] = self._buckets[b]
+            self._buckets[b] = node
+        self.space.free(old_region)
+
+    def items(self) -> list[tuple[int, float]]:
+        """Iterate all (key, value) pairs, recording the node loads."""
+        rec = self.recorder
+        site = rec.scoped_site(LoadClass.IRREGULAR, self.name)
+        out = []
+        for b in range(len(self._buckets)):
+            node = self._buckets[b]
+            while node != -1:
+                rec.record(site, self._node_addr(node))
+                out.append((self._keys[node], self._values[node]))
+                node = self._next[node]
+        return out

@@ -1,0 +1,68 @@
+"""Measurement substrate: the Processor-Trace/perf model (paper SS:II-III).
+
+This package models the paper's measurement stack — `ptwrite` packets, the
+pinned circular buffer, the sampling trigger, perf's drop behaviour for
+full traces, the class-based trace compression with its decompression math
+(rho and kappa, Eqs. 1-2), a packed on-disk trace format, and the analytic
+time-overhead model behind Fig. 7.
+"""
+
+from repro.trace.event import (
+    EVENT_DTYPE,
+    LoadClass,
+    concat_events,
+    empty_events,
+    make_events,
+)
+from repro.trace.buffer import CircularBuffer
+from repro.trace.sampler import SamplingConfig, sample_bounds
+from repro.trace.collector import (
+    CollectionResult,
+    FullTraceResult,
+    collect_full_trace,
+    collect_sampled_trace,
+)
+from repro.trace.compress import (
+    compression_ratio,
+    decompress_counts,
+    sample_ratio,
+)
+from repro.trace.tracefile import TraceMeta, read_trace, write_trace
+from repro.trace.overhead import OverheadModel, OverheadReport, PTMode
+from repro.trace.guards import RegionOfInterest, apply_guards
+from repro.trace.packing import (
+    PackedTrace,
+    pack_strided_runs,
+    packed_bytes,
+    unpack_strided_runs,
+)
+
+__all__ = [
+    "EVENT_DTYPE",
+    "LoadClass",
+    "concat_events",
+    "empty_events",
+    "make_events",
+    "CircularBuffer",
+    "SamplingConfig",
+    "sample_bounds",
+    "CollectionResult",
+    "FullTraceResult",
+    "collect_full_trace",
+    "collect_sampled_trace",
+    "compression_ratio",
+    "decompress_counts",
+    "sample_ratio",
+    "TraceMeta",
+    "read_trace",
+    "write_trace",
+    "OverheadModel",
+    "OverheadReport",
+    "PTMode",
+    "RegionOfInterest",
+    "apply_guards",
+    "PackedTrace",
+    "pack_strided_runs",
+    "packed_bytes",
+    "unpack_strided_runs",
+]

@@ -1,0 +1,87 @@
+"""Processor-Trace circular buffer model (paper SS:III-C).
+
+PT streams ptwrite packets into a pinned, fixed-size circular buffer; a
+sampling trigger drains it, yielding the most recent ``w`` records. The
+paper observes that with current kernel support the buffer fill and
+flushes run asynchronously with the trigger, so a drain yields fewer
+addresses than capacity (16 KiB -> ~1150 rather than 2048). The
+``fill_factor`` of :class:`~repro.trace.sampler.SamplingConfig` models
+that; this class provides the exact wrap-around retention semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CircularBuffer"]
+
+
+class CircularBuffer:
+    """Fixed-capacity FIFO keeping the most recent records.
+
+    Stores record *indices* (positions into an external event array); the
+    collector uses it to model which records survive until a drain.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._buf = np.empty(capacity, dtype=np.int64)
+        self._head = 0  # next write slot
+        self._count = 0  # valid records (<= capacity)
+        self.n_pushed = 0
+        self.n_overwritten = 0
+
+    def push(self, value: int) -> None:
+        """Append one record, overwriting the oldest when full."""
+        if self._count == self.capacity:
+            self.n_overwritten += 1
+        else:
+            self._count += 1
+        self._buf[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        self.n_pushed += 1
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Append many records (vectorised; keeps only the last ``capacity``)."""
+        values = np.asarray(values, dtype=np.int64)
+        n = len(values)
+        if n == 0:
+            return
+        self.n_pushed += n
+        if n >= self.capacity:
+            self.n_overwritten += self._count + n - self.capacity
+            self._buf[:] = values[-self.capacity :]
+            self._head = 0
+            self._count = self.capacity
+            return
+        overflow = max(0, self._count + n - self.capacity)
+        self.n_overwritten += overflow
+        end = self._head + n
+        if end <= self.capacity:
+            self._buf[self._head : end] = values
+        else:
+            split = self.capacity - self._head
+            self._buf[self._head :] = values[:split]
+            self._buf[: end - self.capacity] = values[split:]
+        self._head = end % self.capacity
+        self._count = min(self.capacity, self._count + n)
+
+    def drain(self) -> np.ndarray:
+        """Return the retained records oldest-first and clear the buffer."""
+        if self._count == 0:
+            return np.empty(0, dtype=np.int64)
+        start = (self._head - self._count) % self.capacity
+        if start + self._count <= self.capacity:
+            out = self._buf[start : start + self._count].copy()
+        else:
+            out = np.concatenate(
+                [self._buf[start:], self._buf[: self._head]]
+            )
+        self._head = 0
+        self._count = 0
+        return out
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,224 @@
+"""Trace collection: sampled traces and full traces with perf's drop model.
+
+The collector consumes the *observed record stream* — every event an
+instrumented load would emit, in retirement order, with ``t`` counting all
+retired loads (so suppressed Constant loads advance time without adding
+records). It then applies the measurement model:
+
+* :func:`collect_sampled_trace` — MemGaze's sampled collection: at every
+  trigger (period ``w+z`` loads) drain the PT buffer, keeping the last
+  ``w_k`` records (continuous PT) or the first ``w_k`` after the sample
+  starts (MemGaze-opt, PT enabled only during samples). Either way a
+  sample is ``w`` recorded accesses against ``z`` unrecorded ones.
+* :func:`collect_full_trace` — the straightforward-ptwrite baseline the
+  paper measures for Table III: perf cannot copy the pinned buffer out
+  fast enough, so 30-50% of records drop in bursts; DROP records preserve
+  the loss accounting that corrects 'Rec' sizes into 'All'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+from repro.trace.event import EVENT_DTYPE, empty_events
+from repro.trace.sampler import SamplingConfig, sample_bounds
+
+__all__ = [
+    "CollectionResult",
+    "FullTraceResult",
+    "collect_sampled_trace",
+    "collect_full_trace",
+]
+
+
+@dataclass
+class CollectionResult:
+    """A sampled trace: concatenated per-sample records plus geometry."""
+
+    events: np.ndarray  # EVENT_DTYPE, all samples concatenated in order
+    sample_id: np.ndarray  # int32 per event
+    n_samples: int
+    n_loads_total: int  # retired loads in the run (the population size)
+    config: SamplingConfig
+
+    def samples(self) -> Iterator[np.ndarray]:
+        """Iterate per-sample event slices in order."""
+        if len(self.events) == 0:
+            return
+        bounds = np.flatnonzero(np.diff(self.sample_id)) + 1
+        for chunk in np.split(self.events, bounds):
+            yield chunk
+
+    def sample_sizes(self) -> np.ndarray:
+        """Number of records in each non-empty sample."""
+        if len(self.events) == 0:
+            return np.empty(0, dtype=np.int64)
+        _, counts = np.unique(self.sample_id, return_counts=True)
+        return counts
+
+    @property
+    def mean_w(self) -> float:
+        """Average recorded accesses per sample (the effective ``w``)."""
+        sizes = self.sample_sizes()
+        return float(sizes.mean()) if len(sizes) else 0.0
+
+
+@dataclass
+class FullTraceResult:
+    """A 'full' trace collected with the perf drop model."""
+
+    events: np.ndarray  # records that survived ('Rec')
+    n_dropped: int  # records lost to throttling
+    n_observed_total: int  # 'All': survived + dropped
+    drop_records: np.ndarray  # (position_in_kept_stream, count) per DROP
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of observed records that were dropped."""
+        if self.n_observed_total == 0:
+            return 0.0
+        return self.n_dropped / self.n_observed_total
+
+
+def _check_events(events: np.ndarray) -> None:
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if len(events) > 1 and np.any(np.diff(events["t"].astype(np.int64)) < 0):
+        raise ValueError("events must be sorted by t (retirement order)")
+
+
+def collect_sampled_trace(
+    events: np.ndarray,
+    n_loads_total: int | None = None,
+    config: SamplingConfig | None = None,
+    *,
+    mode: str = "continuous",
+    load_rate: np.ndarray | None = None,
+) -> CollectionResult:
+    """Sample the observed record stream ``events``.
+
+    Parameters
+    ----------
+    events:
+        The full observed record stream (EVENT_DTYPE, sorted by ``t``).
+    n_loads_total:
+        Total retired loads in the run. Defaults to ``max(t)+1`` — exact
+        for uncompressed oracle streams, a slight undercount otherwise.
+    config:
+        Sampling parameters (required).
+    mode:
+        ``"continuous"`` — PT runs all the time; a drain yields the last
+        ``w_k`` records before the trigger. ``"sampled_only"`` — the
+        MemGaze-opt scheme; PT turns on at the start of each period and
+        records until the buffer holds ``w_k``.
+    load_rate:
+        Only with ``config.trigger == "time"``: per-event wall-clock-ish
+        timestamps (same length as ``events``) used instead of ``t`` so
+        triggers land uniformly in time rather than in loads.
+    """
+    if config is None:
+        raise ValueError("config is required")
+    if mode not in ("continuous", "sampled_only"):
+        raise ValueError(f"mode must be 'continuous' or 'sampled_only', got {mode!r}")
+    _check_events(events)
+    if n_loads_total is None:
+        n_loads_total = int(events["t"][-1]) + 1 if len(events) else 0
+
+    if config.trigger == "time":
+        if load_rate is None:
+            raise ValueError("trigger='time' requires a load_rate timestamp array")
+        timeline = np.asarray(load_rate, dtype=np.int64)
+        if len(timeline) != len(events):
+            raise ValueError("load_rate must align with events")
+        horizon = int(timeline[-1]) + 1 if len(timeline) else 0
+    else:
+        timeline = events["t"].astype(np.int64)
+        horizon = n_loads_total
+
+    triggers, budgets = sample_bounds(horizon, config)
+    pieces: list[np.ndarray] = []
+    ids: list[np.ndarray] = []
+    for k, (trig, w_k) in enumerate(zip(triggers, budgets)):
+        start_t = trig - config.period
+        lo = np.searchsorted(timeline, start_t, side="left")  # t >= start
+        hi = np.searchsorted(timeline, trig, side="left")  # t < trigger
+        if hi <= lo:
+            continue
+        if mode == "continuous":
+            sel = slice(max(lo, hi - w_k), hi)  # last w_k before the trigger
+        else:
+            sel = slice(lo, min(hi, lo + w_k))  # first w_k after sample start
+        chunk = events[sel]
+        pieces.append(chunk)
+        ids.append(np.full(len(chunk), k, dtype=np.int32))
+
+    if pieces:
+        out = np.concatenate(pieces)
+        out_ids = np.concatenate(ids)
+    else:
+        out = empty_events()
+        out_ids = np.empty(0, dtype=np.int32)
+    return CollectionResult(
+        events=out,
+        sample_id=out_ids,
+        n_samples=len(triggers),
+        n_loads_total=n_loads_total,
+        config=config,
+    )
+
+
+def collect_full_trace(
+    events: np.ndarray,
+    *,
+    drop_fraction: float | None = None,
+    burst_records: int = 4096,
+    seed: int = 0,
+) -> FullTraceResult:
+    """Collect a 'full' trace under perf's unpredictable-drop model.
+
+    Drops happen in buffer-sized bursts: each ``burst_records`` chunk is
+    lost independently with the probability that yields the target
+    ``drop_fraction`` (drawn uniformly from the paper's observed 30-50%
+    range when not given). DROP records mark where losses occurred.
+    """
+    _check_events(events)
+    rng = derive_rng(seed, "full-trace-drops")
+    if drop_fraction is None:
+        drop_fraction = float(rng.uniform(0.30, 0.50))
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError(f"drop_fraction must be in [0, 1), got {drop_fraction}")
+
+    n = len(events)
+    if n == 0 or drop_fraction == 0.0:
+        return FullTraceResult(
+            events=events.copy(),
+            n_dropped=0,
+            n_observed_total=n,
+            drop_records=np.empty((0, 2), dtype=np.int64),
+        )
+
+    n_chunks = (n + burst_records - 1) // burst_records
+    dropped_chunk = rng.random(n_chunks) < drop_fraction
+    keep_mask = np.ones(n, dtype=bool)
+    drops: list[tuple[int, int]] = []
+    kept_so_far = 0
+    for c in range(n_chunks):
+        lo = c * burst_records
+        hi = min(n, lo + burst_records)
+        if dropped_chunk[c]:
+            keep_mask[lo:hi] = False
+            drops.append((kept_so_far, hi - lo))
+        else:
+            kept_so_far += hi - lo
+    kept = events[keep_mask]
+    n_dropped = int((~keep_mask).sum())
+    return FullTraceResult(
+        events=kept,
+        n_dropped=n_dropped,
+        n_observed_total=n,
+        drop_records=np.array(drops, dtype=np.int64).reshape(-1, 2),
+    )

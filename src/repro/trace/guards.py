@@ -1,0 +1,105 @@
+"""PT hardware address guards: region-of-interest tracing (paper SS:II).
+
+The paper's Step 1/2 allow limiting tracing to a region of interest —
+a set of functions — either by selective instrumentation or by
+Processor Tracing's *hardware guards* (IP filters). With guards, the
+region of interest can change **without re-instrumentation**: the
+hardware simply masks ptwrites whose instruction pointer falls outside
+the configured ranges.
+
+:class:`RegionOfInterest` models the guard configuration;
+:func:`apply_guards` filters an observed record stream exactly as the
+hardware would, and reports how many ptwrites still *executed* (they
+retire either way — only the PT packet generation is gated), which is
+what the overhead model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.event import EVENT_DTYPE
+
+__all__ = ["RegionOfInterest", "apply_guards"]
+
+#: Gemini Lake exposes 2 address-filter ranges; newer parts expose 4.
+MAX_GUARD_RANGES = 4
+
+
+@dataclass
+class RegionOfInterest:
+    """A set of instruction-address ranges the hardware traces.
+
+    Built either from explicit ranges or from function names resolved
+    through an ip->function map (e.g. a recorder's sites or a module's
+    layout).
+    """
+
+    ranges: list[tuple[int, int]] = field(default_factory=list)  # [lo, hi)
+
+    def __post_init__(self) -> None:
+        if len(self.ranges) > MAX_GUARD_RANGES:
+            raise ValueError(
+                f"hardware exposes at most {MAX_GUARD_RANGES} guard ranges, "
+                f"got {len(self.ranges)}"
+            )
+        for lo, hi in self.ranges:
+            if lo >= hi:
+                raise ValueError(f"empty guard range [{lo:#x}, {hi:#x})")
+
+    @classmethod
+    def from_functions(
+        cls,
+        functions: list[str],
+        fn_ranges: dict[str, tuple[int, int]],
+    ) -> "RegionOfInterest":
+        """Build guards covering ``functions``.
+
+        ``fn_ranges`` maps function name -> its [lo, hi) code range.
+        Adjacent/overlapping ranges are coalesced to respect the
+        hardware's range budget.
+        """
+        try:
+            spans = sorted(fn_ranges[f] for f in functions)
+        except KeyError as exc:
+            raise KeyError(f"unknown function {exc.args[0]!r}") from exc
+        merged: list[tuple[int, int]] = []
+        for lo, hi in spans:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(hi, merged[-1][1]))
+            else:
+                merged.append((lo, hi))
+        return cls(ranges=merged)
+
+    def contains(self, ips: np.ndarray) -> np.ndarray:
+        """Boolean mask: which instruction pointers the guards admit."""
+        ips = np.asarray(ips, dtype=np.uint64)
+        mask = np.zeros(len(ips), dtype=bool)
+        for lo, hi in self.ranges:
+            mask |= (ips >= lo) & (ips < hi)
+        return mask
+
+    @property
+    def is_unrestricted(self) -> bool:
+        """No ranges configured = trace everything."""
+        return not self.ranges
+
+
+def apply_guards(
+    events: np.ndarray, roi: RegionOfInterest
+) -> tuple[np.ndarray, int]:
+    """Filter a record stream through the hardware guards.
+
+    Returns ``(admitted_events, n_suppressed)``. Timestamps are kept —
+    the load counter keeps running outside the region, so sampling
+    geometry downstream is unchanged (this is what makes ROI traces
+    directly comparable to full ones).
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if roi.is_unrestricted:
+        return events, 0
+    mask = roi.contains(events["ip"])
+    return events[mask], int((~mask).sum())

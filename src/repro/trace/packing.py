@@ -1,0 +1,153 @@
+"""Strided-run packing: the paper's suggested extra compression (SS:VI-B).
+
+"It may be possible to further reduce overhead with 32-bit packets and
+additional compression that reduces ptwrites for Strided loads."
+SS:III-B also sketches (and forgoes, for instrumentation-complexity
+reasons) a ``<begin, stride, end>`` tuple representation of strided runs.
+
+This module implements both as *post-collection* trace transforms, where
+they cost nothing at run time:
+
+* :func:`pack_strided_runs` — collapse maximal runs of records from the
+  same Strided load site whose addresses advance by a constant delta
+  into one record plus (stride, length); :func:`unpack_strided_runs`
+  restores the exact original stream, so every analysis is unaffected;
+* :func:`packed_bytes` — the byte cost of a packed trace, optionally
+  with 32-bit payloads for addresses sharing a 4 GiB prefix with their
+  run head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.event import EVENT_DTYPE, LoadClass
+
+__all__ = ["PackedTrace", "pack_strided_runs", "unpack_strided_runs", "packed_bytes"]
+
+#: packed run record: head event index, stride (bytes), run length
+RUN_DTYPE = np.dtype([("head", np.int64), ("stride", np.int64), ("length", np.int64)])
+
+
+@dataclass
+class PackedTrace:
+    """A losslessly packed record stream."""
+
+    heads: np.ndarray  # EVENT_DTYPE: one record per run (length >= 1)
+    runs: np.ndarray  # RUN_DTYPE aligned with heads
+    n_original: int
+
+    @property
+    def n_records(self) -> int:
+        """Packed record count."""
+        return len(self.heads)
+
+    @property
+    def packing_ratio(self) -> float:
+        """Original records per packed record (>= 1)."""
+        return self.n_original / max(1, self.n_records)
+
+
+def pack_strided_runs(events: np.ndarray, *, min_run: int = 3) -> PackedTrace:
+    """Collapse constant-stride runs of Strided records.
+
+    A run must come from one load site (same ip), advance by one constant
+    byte delta, have consecutive timestamps, and reach ``min_run`` records
+    to be packed (short runs stay as singletons — matching the paper's
+    note that tuple encodings only pay off on real streams).
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if min_run < 2:
+        raise ValueError(f"min_run must be >= 2, got {min_run}")
+    n = len(events)
+    if n == 0:
+        return PackedTrace(
+            heads=events.copy(), runs=np.empty(0, dtype=RUN_DTYPE), n_original=0
+        )
+
+    addr = events["addr"].astype(np.int64)
+    ip = events["ip"]
+    cls = events["cls"]
+    t = events["t"].astype(np.int64)
+
+    # a record may EXTEND a run when: same ip, strided, same delta as the
+    # previous step in the run, consecutive t, and no proxy payload
+    same_ip = np.zeros(n, dtype=bool)
+    same_ip[1:] = ip[1:] == ip[:-1]
+    strided = cls == int(LoadClass.STRIDED)
+    no_proxy = events["n_const"] == 0
+    consec_t = np.zeros(n, dtype=bool)
+    consec_t[1:] = t[1:] == t[:-1] + 1
+    delta = np.zeros(n, dtype=np.int64)
+    delta[1:] = addr[1:] - addr[:-1]
+    extendable = same_ip & strided & consec_t & no_proxy
+    extendable[1:] &= strided[:-1] & (events["n_const"][:-1] == 0)
+
+    head_idx: list[int] = []
+    strides: list[int] = []
+    lengths: list[int] = []
+    i = 0
+    while i < n:
+        j = i + 1
+        run_delta = None
+        while j < n and extendable[j]:
+            if run_delta is None:
+                run_delta = delta[j]
+            elif delta[j] != run_delta:
+                break
+            if run_delta == 0:
+                break  # repeated address: not a strided run
+            j += 1
+        length = j - i
+        if run_delta is not None and length >= min_run:
+            head_idx.append(i)
+            strides.append(int(run_delta))
+            lengths.append(length)
+            i = j
+        else:
+            head_idx.append(i)
+            strides.append(0)
+            lengths.append(1)
+            i += 1
+
+    heads = events[np.array(head_idx, dtype=np.int64)]
+    runs = np.zeros(len(head_idx), dtype=RUN_DTYPE)
+    runs["head"] = head_idx
+    runs["stride"] = strides
+    runs["length"] = lengths
+    return PackedTrace(heads=heads, runs=runs, n_original=n)
+
+
+def unpack_strided_runs(packed: PackedTrace) -> np.ndarray:
+    """Exactly restore the original record stream."""
+    total = int(packed.runs["length"].sum())
+    out = np.zeros(total, dtype=EVENT_DTYPE)
+    pos = 0
+    for head, run in zip(packed.heads, packed.runs):
+        length = int(run["length"])
+        chunk = out[pos : pos + length]
+        chunk[:] = head
+        if length > 1:
+            steps = np.arange(length, dtype=np.int64)
+            chunk["addr"] = head["addr"] + (steps * run["stride"]).astype(np.uint64)
+            chunk["t"] = head["t"] + steps.astype(np.uint64)
+        pos += length
+    return out
+
+
+def packed_bytes(packed: PackedTrace, *, payload32: bool = False) -> int:
+    """Byte cost of the packed stream.
+
+    Singleton records cost one payload (8 B, or 4 B when ``payload32``);
+    packed runs cost one payload plus 8 B of (stride, length) metadata.
+    32-bit payloads model the paper's suggested small packets: within a
+    run every address shares the head's upper 32 bits by construction,
+    and singletons are charged half on the same assumption.
+    """
+    payload = 4 if payload32 else 8
+    n_runs = int((packed.runs["length"] > 1).sum())
+    n_single = packed.n_records - n_runs
+    return n_single * payload + n_runs * (payload + 8)

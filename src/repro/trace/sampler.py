@@ -1,0 +1,91 @@
+"""Sampling trigger configuration and window geometry (paper SS:III-C).
+
+A sampled trace is a sequence of samples: ``w`` recorded accesses followed
+by ``z`` unrecorded ones, with the period ``w+z`` measured in *retired
+loads* — the trigger is a hardware counter of memory accesses, which the
+paper notes is what keeps the sample uniform in accesses even when the
+load rate varies over time (footnote 2; the uniform-in-time alternative is
+benchmarked in ``benchmarks/test_ablation_sampling_trigger.py``).
+
+``w`` itself is set by the PT buffer: nominally ``capacity`` records, but
+suboptimal kernel support drains asynchronously, so the effective yield is
+a per-sample random fraction of capacity (~55% on the paper's platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+
+__all__ = ["SamplingConfig", "sample_bounds"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Sampling parameters.
+
+    Parameters
+    ----------
+    period:
+        Sample period ``w+z`` in retired loads (paper: 10K for
+        microbenchmarks, 5M-10M for applications).
+    buffer_capacity:
+        PT buffer capacity in records (paper: 16 KiB / 8 B = 2048 for
+        microbenchmarks, 8 KiB -> 1024 for applications).
+    fill_mean, fill_jitter:
+        Mean and spread of the per-sample effective fill fraction
+        (asynchronous-drain model). ``fill_jitter=0`` gives deterministic
+        ``w = capacity * fill_mean``.
+    trigger:
+        ``"loads"`` (hardware load counter; the paper's choice) or
+        ``"time"`` (wall-clock-like trigger; ablation only — the caller
+        then supplies a load-rate profile to
+        :func:`repro.trace.collector.collect_sampled_trace`).
+    seed:
+        Seed for the fill-fraction stream.
+    """
+
+    period: int
+    buffer_capacity: int
+    fill_mean: float = 0.55
+    fill_jitter: float = 0.15
+    trigger: str = "loads"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.buffer_capacity <= 0:
+            raise ValueError(
+                f"buffer_capacity must be > 0, got {self.buffer_capacity}"
+            )
+        if not 0.0 < self.fill_mean <= 1.0:
+            raise ValueError(f"fill_mean must be in (0, 1], got {self.fill_mean}")
+        if self.fill_jitter < 0:
+            raise ValueError(f"fill_jitter must be >= 0, got {self.fill_jitter}")
+        if self.trigger not in ("loads", "time"):
+            raise ValueError(f"trigger must be 'loads' or 'time', got {self.trigger}")
+
+
+def sample_bounds(
+    n_loads_total: int, config: SamplingConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Trigger times and per-sample record budgets.
+
+    Returns ``(triggers, budgets)``: trigger load-counts ``k*period`` that
+    fall within the run, and the effective record capacity ``w_k`` of each
+    drain under the asynchronous-fill model.
+    """
+    n_triggers = n_loads_total // config.period
+    triggers = (np.arange(1, n_triggers + 1, dtype=np.int64)) * config.period
+    rng = derive_rng(config.seed, "fill")
+    if config.fill_jitter == 0.0:
+        fills = np.full(n_triggers, config.fill_mean)
+    else:
+        fills = rng.normal(config.fill_mean, config.fill_jitter, size=n_triggers)
+    fills = np.clip(fills, 0.1, 1.0)
+    budgets = np.maximum(1, np.round(config.buffer_capacity * fills)).astype(np.int64)
+    return triggers, budgets

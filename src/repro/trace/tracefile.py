@@ -1,0 +1,103 @@
+"""Packed on-disk trace format.
+
+Traces persist as compressed ``.npz`` archives: the event array, the
+optional per-event sample ids, and a JSON metadata blob
+(:class:`TraceMeta`) recording how the trace was collected — enough to
+re-derive rho/kappa and to attribute ips to source lines offline. Table
+III's size accounting uses both the in-memory packet model
+(:func:`packet_bytes`) and real on-disk sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.event import EVENT_DTYPE
+
+__all__ = ["TraceMeta", "write_trace", "read_trace", "packet_bytes"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceMeta:
+    """Collection metadata stored alongside the events."""
+
+    module: str = "?"
+    kind: str = "sampled"  # "sampled" | "full" | "oracle"
+    period: int = 0
+    buffer_capacity: int = 0
+    n_loads_total: int = 0
+    n_samples: int = 0
+    n_dropped: int = 0
+    source_map: dict[int, tuple[str, str, int]] = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialise to JSON."""
+        d = asdict(self)
+        d["source_map"] = {str(k): list(v) for k, v in self.source_map.items()}
+        d["version"] = _FORMAT_VERSION
+        return json.dumps(d)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceMeta":
+        """Parse metadata serialised by :meth:`to_json`."""
+        raw = json.loads(text)
+        version = raw.pop("version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        raw["source_map"] = {
+            int(k): (v[0], v[1], int(v[2])) for k, v in raw["source_map"].items()
+        }
+        return cls(**raw)
+
+
+def write_trace(
+    path,
+    events: np.ndarray,
+    meta: TraceMeta,
+    sample_id: np.ndarray | None = None,
+) -> int:
+    """Write a trace archive; returns the on-disk size in bytes."""
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    path = Path(path)
+    arrays = {"events": events, "meta": np.frombuffer(meta.to_json().encode("utf-8"), dtype=np.uint8)}
+    if sample_id is not None:
+        if len(sample_id) != len(events):
+            raise ValueError("sample_id length must match events")
+        arrays["sample_id"] = np.asarray(sample_id, dtype=np.int32)
+    np.savez_compressed(path, **arrays)
+    # numpy appends .npz when missing
+    actual = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+    return actual.stat().st_size
+
+
+def read_trace(path) -> tuple[np.ndarray, TraceMeta, np.ndarray | None]:
+    """Read a trace archive written by :func:`write_trace`."""
+    with np.load(path) as archive:
+        events = archive["events"]
+        meta = TraceMeta.from_json(bytes(archive["meta"]).decode("utf-8"))
+        sample_id = archive["sample_id"] if "sample_id" in archive else None
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"archive events have dtype {events.dtype}")
+    return events, meta, sample_id
+
+
+def packet_bytes(events: np.ndarray, *, two_reg_fraction: float = 0.0) -> int:
+    """Raw PT payload bytes a trace's records occupy (8 B per ptwrite).
+
+    Loads with two source registers emit two packets (paper SS:VI-C);
+    ``two_reg_fraction`` is the fraction of records that do.
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    if not 0.0 <= two_reg_fraction <= 1.0:
+        raise ValueError(f"two_reg_fraction must be in [0,1], got {two_reg_fraction}")
+    n = len(events)
+    return int(round(8 * n * (1.0 + two_reg_fraction)))

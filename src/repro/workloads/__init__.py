@@ -1,0 +1,36 @@
+"""The paper's workloads (SS:VI-VII).
+
+* :mod:`repro.workloads.microbench` — composable strided/irregular
+  microbenchmarks written in the synthetic ISA ('str<k>', 'irr', joined
+  with '/' for conditional and '|' for series composition);
+* :mod:`repro.workloads.minivite` — Louvain community detection with the
+  three hash-map variants of the paper's miniVite case study;
+* :mod:`repro.workloads.gap` — GAP-style PageRank (pr, pr-spmv) and
+  Connected Components (cc Afforest, cc-sv Shiloach-Vishkin);
+* :mod:`repro.workloads.darknet` — Darknet-style conv-net inference
+  (im2col + gemm) with AlexNet-like and ResNet152-like layer stacks.
+"""
+
+from repro.workloads.microbench import (
+    MICROBENCH_SPECS,
+    MicrobenchResult,
+    build_microbench,
+    run_microbench,
+)
+from repro.workloads.kernels import KERNELS, KernelResult, build_kernel, run_kernel
+from repro.workloads.cost import MemoryCostModel
+from repro.workloads.parallel import interleave_streams, split_vertices
+
+__all__ = [
+    "MICROBENCH_SPECS",
+    "MicrobenchResult",
+    "build_microbench",
+    "run_microbench",
+    "KERNELS",
+    "KernelResult",
+    "build_kernel",
+    "run_kernel",
+    "MemoryCostModel",
+    "interleave_streams",
+    "split_vertices",
+]

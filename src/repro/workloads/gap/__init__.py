@@ -1,0 +1,25 @@
+"""GAP-style graph workloads (paper SS:VII-C).
+
+* :mod:`repro.workloads.gap.graphs` — Kronecker (RMAT) and uniform graph
+  generators plus instrumented CSR construction (the 'graph build' phase
+  the paper's time analysis separates out);
+* :mod:`repro.workloads.gap.pagerank` — PageRank: ``pr`` (Gauss-Seidel,
+  in-place score updates) and ``pr-spmv`` (Jacobi, next-iteration score
+  vector);
+* :mod:`repro.workloads.gap.cc` — Connected Components: ``cc`` (Afforest
+  with subgraph sampling) and ``cc-sv`` (Shiloach-Vishkin).
+"""
+
+from repro.workloads.gap.graphs import build_csr, kronecker_edges, uniform_edges
+from repro.workloads.gap.pagerank import PageRankResult, run_pagerank
+from repro.workloads.gap.cc import CCResult, run_cc
+
+__all__ = [
+    "build_csr",
+    "kronecker_edges",
+    "uniform_edges",
+    "PageRankResult",
+    "run_pagerank",
+    "CCResult",
+    "run_cc",
+]

@@ -1,0 +1,220 @@
+"""GAP-style Connected Components: ``cc`` (Afforest) vs ``cc-sv``
+(Shiloach-Vishkin) (paper SS:VII-C).
+
+The hot memory object is the component array *cc*:
+
+* ``cc-sv`` — Shiloach-Vishkin iterates hook-and-compress passes over the
+  whole edge list until nothing changes: per edge, irregular gathers of
+  both endpoints' labels, then a pointer-jumping compression sweep.
+* ``cc`` — Afforest [38] first links every vertex through a small sample
+  of its neighbors (the subgraph-sampling phase), compresses, identifies
+  the largest intermediate component, and only processes the *remaining*
+  vertices' full adjacency — more accesses per processed vertex
+  (union-find chases with path compression) but far less total work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.array import FlatArray
+from repro.simmem.datastructs.csr import CSRGraph
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+from repro.workloads.cost import MemoryCostModel
+from repro.workloads.gap.graphs import build_csr, kronecker_edges
+
+__all__ = ["CCResult", "run_cc"]
+
+
+@dataclass
+class CCResult:
+    """One Connected-Components run."""
+
+    algorithm: str  # "cc" | "cc-sv"
+    events: np.ndarray
+    fn_names: dict[int, str]
+    components: np.ndarray
+    n_iterations: int
+    sim_time: float
+    wall_time: float
+    space: AddressSpace
+    region_extents: dict[str, tuple[int, int]] = field(default_factory=dict)
+    phase_bounds: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_loads(self) -> int:
+        """Retired loads including suppressed constants."""
+        return len(self.events) + int(self.events["n_const"].sum())
+
+
+class _UnionFind:
+    """GAP-style union-find over an instrumented component array."""
+
+    def __init__(self, comp: FlatArray) -> None:
+        self.comp = comp
+
+    def find(self, x: int) -> int:
+        """Find with path halving; every hop is an irregular load."""
+        comp = self.comp
+        cx = int(comp.load(x, pattern=LoadClass.IRREGULAR))
+        while cx != x:
+            grand = int(comp.load(cx, pattern=LoadClass.IRREGULAR))
+            comp.store(x, grand)  # path halving
+            x = grand
+            cx = int(comp.load(x, pattern=LoadClass.IRREGULAR))
+        return x
+
+    def link(self, u: int, v: int) -> None:
+        """GAP's Link: hook the higher root under the lower."""
+        comp = self.comp
+        p1 = int(comp.load(u, pattern=LoadClass.IRREGULAR))
+        p2 = int(comp.load(v, pattern=LoadClass.IRREGULAR))
+        while p1 != p2:
+            high, low = (p1, p2) if p1 > p2 else (p2, p1)
+            p_high = int(comp.load(high, pattern=LoadClass.IRREGULAR))
+            if p_high == high:
+                comp.store(high, low)
+                return
+            if p_high == low:
+                return
+            comp.store(high, low)  # compress while walking
+            p1, p2 = p_high, low
+
+
+def _compress_all(comp: FlatArray, n: int) -> None:
+    """Full pointer-jumping compression sweep (strided reads + chases)."""
+    for v in range(n):
+        cv = int(comp.load(v, pattern=LoadClass.STRIDED))
+        while True:
+            ccv = int(comp.load(cv, pattern=LoadClass.IRREGULAR))
+            if ccv == cv:
+                break
+            cv = ccv
+        comp.store(v, cv)
+
+
+def _run_afforest(
+    graph: CSRGraph,
+    comp: FlatArray,
+    recorder: AccessRecorder,
+    neighbor_rounds: int = 2,
+) -> int:
+    n = graph.n
+    uf = _UnionFind(comp)
+    with recorder.scope("afforest", "cc.py"):
+        # phase 1: subgraph sampling — link through the first k neighbors
+        for r in range(neighbor_rounds):
+            for v in range(n):
+                lo = int(graph.offsets.data[v])
+                hi = int(graph.offsets.data[v + 1])
+                if lo + r < hi:
+                    graph.offsets.load(v)
+                    graph.offsets.load(v + 1)
+                    u = int(graph.targets.load(lo + r, pattern=LoadClass.STRIDED))
+                    uf.link(v, u)
+        _compress_all(comp, n)
+        # phase 2: find the most frequent intermediate component (sampled)
+        sample = comp.data[:: max(1, n // 1024)]
+        comp.load_range(0, n, step=max(1, n // 1024))
+        vals, counts = np.unique(sample, return_counts=True)
+        giant = int(vals[np.argmax(counts)])
+        recorder.touch_const(len(sample))
+        # phase 3: finish only vertices outside the giant component
+        for v in range(n):
+            cv = int(comp.load(v, pattern=LoadClass.STRIDED))
+            if cv == giant:
+                continue
+            neigh = graph.neighbors(v)
+            for u in neigh[neighbor_rounds:]:
+                uf.link(v, int(u))
+        _compress_all(comp, n)
+    return 1
+
+
+def _run_sv(graph: CSRGraph, comp: FlatArray, recorder: AccessRecorder) -> int:
+    n = graph.n
+    iterations = 0
+    with recorder.scope("shiloach_vishkin", "cc.py"):
+        while True:
+            iterations += 1
+            changed = False
+            for u in range(n):
+                neigh = graph.neighbors(u)
+                if len(neigh) == 0:
+                    continue
+                comp_u = int(comp.load(u, pattern=LoadClass.STRIDED))
+                comp_neigh = comp.gather(neigh)  # irregular
+                for v, comp_v in zip(neigh, comp_neigh):
+                    comp_v = int(comp_v)
+                    if comp_v < comp_u:
+                        parent = int(comp.load(comp_u, pattern=LoadClass.IRREGULAR))
+                        if parent == comp_u:
+                            comp.store(comp_u, comp_v)
+                            changed = True
+                            comp_u = comp_v
+            # pointer jumping
+            for v in range(n):
+                cv = int(comp.load(v, pattern=LoadClass.STRIDED))
+                while True:
+                    ccv = int(comp.load(cv, pattern=LoadClass.IRREGULAR))
+                    if ccv == cv:
+                        break
+                    cv = ccv
+                comp.store(v, cv)
+            if not changed:
+                break
+    return iterations
+
+
+def run_cc(
+    algorithm: str = "cc",
+    scale: int = 10,
+    edge_factor: int = 8,
+    seed: int = 0,
+) -> CCResult:
+    """Run Connected Components over a Kronecker graph, recording loads."""
+    if algorithm not in ("cc", "cc-sv"):
+        raise ValueError(f"algorithm must be 'cc' or 'cc-sv', got {algorithm!r}")
+    t0 = time.perf_counter()
+    space = AddressSpace()
+    recorder = AccessRecorder()
+
+    n, edges = kronecker_edges(scale, edge_factor, seed)
+    with recorder.scope("graph_gen", "cc.py"):
+        graph = build_csr(space, recorder, n, edges, symmetrize=True, name="graph")
+    gen_end = recorder.n_recorded
+
+    comp = FlatArray(space, recorder, n, name="cc")
+    comp.fill(np.arange(n))
+    if algorithm == "cc":
+        n_iterations = _run_afforest(graph, comp, recorder)
+    else:
+        n_iterations = _run_sv(graph, comp, recorder)
+
+    events = recorder.finalize()
+    extents = {}
+    for label in ("cc", "graph-targets", "graph-offsets"):
+        try:
+            extents[label] = space.extent_of(label)
+        except KeyError:
+            pass
+    return CCResult(
+        algorithm=algorithm,
+        events=events,
+        fn_names=recorder.function_names,
+        components=comp.data.copy(),
+        n_iterations=n_iterations,
+        sim_time=MemoryCostModel().runtime(events),
+        wall_time=time.perf_counter() - t0,
+        space=space,
+        region_extents=extents,
+        phase_bounds={
+            "graph_gen": (0, gen_end),
+            "components": (gen_end, len(events)),
+        },
+    )

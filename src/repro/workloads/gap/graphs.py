@@ -1,0 +1,104 @@
+"""Graph generators and instrumented CSR construction.
+
+The GAP benchmark suite evaluates on Kronecker (RMAT-style) graphs of
+scale 22; the same generator is provided here (vectorised bit-recursive
+sampling) at configurable scale, plus a uniform Erdos-Renyi-style
+generator. Construction through :func:`build_csr` records the 'graph
+build' phase's access stream, which the paper's per-phase overhead
+analysis (Fig. 7) distinguishes from the algorithm phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.csr import CSRGraph
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+__all__ = ["kronecker_edges", "uniform_edges", "build_csr"]
+
+# GAP's RMAT parameters
+_A, _B, _C = 0.57, 0.19, 0.19
+
+
+def kronecker_edges(
+    scale: int, edge_factor: int = 16, seed: int | np.random.Generator = 0
+) -> tuple[int, np.ndarray]:
+    """(n, edges): an RMAT graph with ``2**scale`` vertices.
+
+    Vectorised: each of the ``scale`` address bits of both endpoints is
+    sampled independently per edge with the RMAT quadrant probabilities.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    if edge_factor <= 0:
+        raise ValueError(f"edge_factor must be > 0, got {edge_factor}")
+    rng = derive_rng(seed, "kronecker", scale)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant: a (0,0), b (0,1), c (1,0), d (1,1)
+        src_bit = (r >= _A + _B).astype(np.int64)
+        dst_bit = ((r >= _A) & (r < _A + _B) | (r >= _A + _B + _C)).astype(np.int64)
+        src |= src_bit << bit
+        dst |= dst_bit << bit
+    # permute vertex labels to break the RMAT degree/label correlation
+    relabel = rng.permutation(n)
+    return n, np.column_stack([relabel[src], relabel[dst]])
+
+
+def uniform_edges(
+    n: int, avg_degree: int = 16, seed: int | np.random.Generator = 0
+) -> np.ndarray:
+    """Uniform random directed edges: ``n * avg_degree`` endpoint pairs."""
+    if n <= 1:
+        raise ValueError(f"n must be > 1, got {n}")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be > 0, got {avg_degree}")
+    rng = derive_rng(seed, "uniform-graph", n)
+    m = n * avg_degree
+    return np.column_stack(
+        [rng.integers(0, n, m, dtype=np.int64), rng.integers(0, n, m, dtype=np.int64)]
+    )
+
+
+def build_csr(
+    space: AddressSpace,
+    recorder: AccessRecorder,
+    n: int,
+    edges: np.ndarray,
+    *,
+    symmetrize: bool = True,
+    name: str = "graph",
+) -> CSRGraph:
+    """Instrumented CSR construction (the 'graph build' phase).
+
+    Records the dominant loads of a counting-sort CSR build: a strided
+    sweep of the edge list, irregular gathers of per-vertex counters, and
+    a second sweep placing targets.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    with recorder.scope("graph_build"):
+        site_str = recorder.scoped_site(LoadClass.STRIDED, "edges")
+        site_irr = recorder.scoped_site(LoadClass.IRREGULAR, "counters")
+        # pass 1: read each edge (strided) and bump its source counter (irregular)
+        edge_buf = space.malloc(max(16, edges.size * 8), "edge-buffer")
+        counters = space.malloc(max(16, n * 8), "degree-counters")
+        recorder.record_many(site_str, edge_buf.base + np.arange(edges.size) * 8)
+        srcs = edges[:, 0] if not symmetrize else np.concatenate([edges[:, 0], edges[:, 1]])
+        recorder.record_many(site_irr, counters.base + srcs * 8)
+        # pass 2: place each target (read edge again, irregular offset gather)
+        recorder.record_many(site_str, edge_buf.base + np.arange(edges.size) * 8)
+        recorder.record_many(site_irr, counters.base + srcs * 8)
+        graph = CSRGraph.from_edges(
+            space, recorder, n, edges, symmetrize=symmetrize, name=name
+        )
+        space.free(edge_buf)
+        space.free(counters)
+    return graph

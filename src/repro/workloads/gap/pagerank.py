@@ -1,0 +1,152 @@
+"""GAP-style PageRank: ``pr`` (Gauss-Seidel) vs ``pr-spmv`` (Jacobi).
+
+Both pull rank through incoming edges; the hot memory object is
+*o-score* — the per-vertex outgoing contribution (score / out-degree),
+gathered irregularly through the adjacency (paper Table IX).
+
+* ``pr-spmv`` (Jacobi / SpMV style): per iteration, a strided sweep
+  recomputes the whole o-score vector from the previous iteration's
+  scores, then every vertex accumulates its neighbors' contributions
+  into a *separate* next-score vector — updates are saved until the
+  next iteration.
+* ``pr`` (Gauss-Seidel style): scores and o-score update **in place**
+  the moment a vertex's new rank is known, so later vertices in the same
+  sweep already observe fresh contributions. That both converges in
+  fewer iterations (fewer accesses) and shortens o-score reuse
+  intervals (smaller D) — the paper's observed win.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.array import FlatArray
+from repro.simmem.datastructs.csr import CSRGraph
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+from repro.workloads.cost import MemoryCostModel
+from repro.workloads.gap.graphs import build_csr, kronecker_edges
+
+__all__ = ["PageRankResult", "run_pagerank"]
+
+_DAMPING = 0.85
+
+
+@dataclass
+class PageRankResult:
+    """One PageRank run."""
+
+    algorithm: str  # "pr" | "pr-spmv"
+    events: np.ndarray
+    fn_names: dict[int, str]
+    scores: np.ndarray
+    n_iterations: int
+    sim_time: float
+    wall_time: float
+    space: AddressSpace
+    region_extents: dict[str, tuple[int, int]] = field(default_factory=dict)
+    phase_bounds: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_loads(self) -> int:
+        """Retired loads including suppressed constants."""
+        return len(self.events) + int(self.events["n_const"].sum())
+
+
+def run_pagerank(
+    algorithm: str = "pr",
+    scale: int = 10,
+    edge_factor: int = 8,
+    seed: int = 0,
+    max_iters: int = 20,
+    tolerance: float = 1e-2,
+) -> PageRankResult:
+    """Run PageRank over a Kronecker graph and record its access trace."""
+    if algorithm not in ("pr", "pr-spmv"):
+        raise ValueError(f"algorithm must be 'pr' or 'pr-spmv', got {algorithm!r}")
+    t0 = time.perf_counter()
+    space = AddressSpace()
+    recorder = AccessRecorder()
+
+    n, edges = kronecker_edges(scale, edge_factor, seed)
+    with recorder.scope("graph_gen", "pagerank.py"):
+        graph = build_csr(space, recorder, n, edges, symmetrize=True, name="graph")
+    gen_end = recorder.n_recorded
+
+    deg = np.maximum(graph.degrees(), 1).astype(np.float64)
+    scores = FlatArray(space, recorder, n, name="scores", dtype=np.float64)
+    scores.fill(np.full(n, 1.0 / n))
+    oscore = FlatArray(space, recorder, n, name="o-score", dtype=np.float64)
+    oscore.fill(scores.data / deg)
+    base_rank = (1.0 - _DAMPING) / n
+
+    fn = "rank" if algorithm == "pr" else "rank_spmv"
+    n_iterations = 0
+    with recorder.scope(fn, "pagerank.py"):
+        if algorithm == "pr-spmv":
+            next_scores = FlatArray(space, recorder, n, name="next-scores", dtype=np.float64)
+            # SpMV keeps the matrix explicit: one value (1/deg of the
+            # source) per stored edge, read alongside each adjacency run.
+            # pr avoids this traffic by folding 1/deg into o-score.
+            edge_vals = FlatArray(
+                space, recorder, max(1, graph.m), name="edge-vals", dtype=np.float64
+            )
+            edge_vals.fill(1.0)
+        for _ in range(max_iters):
+            n_iterations += 1
+            error = 0.0
+            if algorithm == "pr-spmv":
+                # Jacobi: refresh the whole o-score vector from old scores
+                scores.load_range(0, n)
+                oscore.store_many(np.arange(n), scores.data / deg)
+            for v in range(n):
+                neigh = graph.neighbors(v)
+                if len(neigh):
+                    contrib = oscore.gather(neigh)  # irregular: the hot object
+                    if algorithm == "pr-spmv":
+                        lo = int(graph.offsets.data[v])
+                        edge_vals.load_range(lo, lo + len(neigh))
+                    incoming = float(contrib.sum())
+                else:
+                    incoming = 0.0
+                new_score = base_rank + _DAMPING * incoming
+                recorder.touch_const(2)  # base_rank, damping scalars
+                old = float(scores.load(v, pattern=LoadClass.STRIDED))
+                error += abs(new_score - old)
+                if algorithm == "pr":
+                    # Gauss-Seidel: publish immediately
+                    scores.store(v, new_score)
+                    oscore.store(v, new_score / deg[v])
+                else:
+                    next_scores.store(v, new_score)
+            if algorithm == "pr-spmv":
+                scores.store_many(np.arange(n), next_scores.data)
+            if error < tolerance:
+                break
+
+    events = recorder.finalize()
+    extents = {}
+    for label in ("o-score", "scores", "graph-targets", "graph-offsets"):
+        try:
+            extents[label] = space.extent_of(label)
+        except KeyError:
+            pass
+    return PageRankResult(
+        algorithm=algorithm,
+        events=events,
+        fn_names=recorder.function_names,
+        scores=scores.data.copy(),
+        n_iterations=n_iterations,
+        sim_time=MemoryCostModel().runtime(events),
+        wall_time=time.perf_counter() - t0,
+        space=space,
+        region_extents=extents,
+        phase_bounds={
+            "graph_gen": (0, gen_end),
+            "rank": (gen_end, len(events)),
+        },
+    )

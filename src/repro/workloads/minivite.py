@@ -1,0 +1,197 @@
+"""miniVite-style Louvain community detection (paper SS:VII-A).
+
+One Louvain phase over an undirected graph, structured like miniVite's
+hotspot: per vertex, ``buildMap`` inspects the neighboring communities
+and accumulates edge weights into a *map* object, ``map.insert`` is the
+map's logical insert, and ``getMax`` scans the map for the best-gain
+community. The three variants differ only in the map implementation:
+
+* **v1** — chained open hash (``std::unordered_map``-like): irregular
+  bucket/chain chases (:class:`~repro.simmem.datastructs.OpenHashMap`);
+* **v2** — hopscotch closed hash at the default initial capacity:
+  strided probes, but per-instance dynamic resizing copies the table
+  repeatedly (:class:`~repro.simmem.datastructs.HopscotchMap`);
+* **v3** — hopscotch right-sized per vertex degree: strided probes and
+  no resizing.
+
+A map instance is constructed per vertex and freed after use; the
+simulated allocator recycles freed blocks, so the map object occupies a
+stable hot address range — the paper's Table V 'map (hash table)' region.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.array import FlatArray
+from repro.simmem.datastructs.csr import CSRGraph
+from repro.simmem.datastructs.hopscotch import HopscotchMap
+from repro.simmem.datastructs.open_hash import OpenHashMap
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+from repro.workloads.cost import MemoryCostModel
+from repro.workloads.gap.graphs import build_csr, kronecker_edges
+
+__all__ = ["MINIVITE_VARIANTS", "MiniViteResult", "run_minivite", "modularity"]
+
+MINIVITE_VARIANTS = ("v1", "v2", "v3")
+
+
+@dataclass
+class MiniViteResult:
+    """One miniVite run: trace, solution, and bookkeeping."""
+
+    variant: str
+    events: np.ndarray
+    fn_names: dict[int, str]
+    source_map: dict[int, tuple[str, str, int]]
+    communities: np.ndarray
+    modularity: float
+    n_iterations: int
+    n_moves: int
+    sim_time: float  # memory-cost-model 'run time'
+    wall_time: float
+    space: AddressSpace
+    region_extents: dict[str, tuple[int, int]] = field(default_factory=dict)
+    phase_bounds: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_loads(self) -> int:
+        """Retired loads (the sampling population size)."""
+        return len(self.events) + int(self.events["n_const"].sum())
+
+
+def _make_map(variant: str, space: AddressSpace, recorder: AccessRecorder, degree: int):
+    if variant == "v1":
+        return OpenHashMap(space, recorder, n_buckets=16, name="map")
+    if variant == "v2":
+        # the library default: a minimal table that grows by doubling
+        return HopscotchMap(space, recorder, capacity=16, name="map")
+    if variant == "v3":
+        return HopscotchMap(space, recorder, right_size_for=max(degree, 1), name="map")
+    raise ValueError(f"unknown variant {variant!r}; expected one of {MINIVITE_VARIANTS}")
+
+
+def modularity(n: int, edges: np.ndarray, comm: np.ndarray) -> float:
+    """Newman modularity of partition ``comm`` over undirected ``edges``.
+
+    ``edges`` are directed pairs (both directions present after
+    symmetrisation); self-loops ignored.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    m2 = len(edges)  # = 2m for a symmetrised edge list
+    if m2 == 0:
+        return 0.0
+    same = comm[edges[:, 0]] == comm[edges[:, 1]]
+    e_in = same.sum() / m2
+    deg = np.bincount(edges[:, 0], minlength=n).astype(np.float64)
+    a = np.bincount(comm, weights=deg)
+    return float(e_in - np.sum((a / m2) ** 2))
+
+
+def run_minivite(
+    variant: str = "v1",
+    scale: int = 9,
+    edge_factor: int = 8,
+    seed: int = 0,
+    max_iters: int = 3,
+    min_moves_frac: float = 0.01,
+) -> MiniViteResult:
+    """Run Louvain with the given map variant and record its access trace.
+
+    ``scale``/``edge_factor`` follow the Kronecker generator; the graph
+    is symmetrised. Iterations stop when fewer than ``min_moves_frac`` of
+    vertices move (or at ``max_iters``).
+    """
+    t0 = time.perf_counter()
+    space = AddressSpace()
+    recorder = AccessRecorder()
+
+    n, edges = kronecker_edges(scale, edge_factor, seed)
+    with recorder.scope("graph_gen", "minivite.py"):
+        graph = build_csr(space, recorder, n, edges, symmetrize=True, name="graph")
+    gen_end = recorder.n_recorded
+
+    sym_edges = np.concatenate([edges, edges[:, ::-1]])
+    sym_edges = sym_edges[sym_edges[:, 0] != sym_edges[:, 1]]
+
+    comm = FlatArray(space, recorder, n, name="comm")
+    comm.fill(np.arange(n))
+    deg = graph.degrees().astype(np.float64)
+    ktot = FlatArray(space, recorder, n, name="comm-degree", dtype=np.float64)
+    ktot.fill(deg)
+    m2 = float(deg.sum())
+    if m2 == 0:
+        raise ValueError("graph has no edges")
+
+    n_iterations = 0
+    total_moves = 0
+    for _ in range(max_iters):
+        n_iterations += 1
+        moves = 0
+        for v in range(n):
+            dv = int(deg[v])
+            if dv == 0:
+                continue
+            with recorder.scope("buildMap", "minivite.py"):
+                neigh = graph.neighbors(v)
+                vcomms = comm.gather(neigh)
+                map_ = _make_map(variant, space, recorder, dv)
+                for c in vcomms:
+                    with recorder.scope("map.insert", "minivite.py"):
+                        map_.insert(int(c), 1.0, accumulate=True)
+                recorder.touch_const(len(neigh))  # loop-control scalars
+            with recorder.scope("getMax", "minivite.py"):
+                items = map_.items()
+                ki = deg[v]
+                cur = int(comm.data[v])
+                best_c, best_gain = cur, -np.inf
+                for c, w in items:
+                    ktot.load(int(c), pattern=LoadClass.IRREGULAR)
+                    a_c = float(ktot.data[int(c)]) - (ki if int(c) == cur else 0.0)
+                    gain = w - ki * a_c / m2
+                    if gain > best_gain or (gain == best_gain and int(c) < best_c):
+                        best_c, best_gain = int(c), gain
+                recorder.touch_const(len(items))
+            for region in map_.regions():
+                space.free(region)
+            if best_c != cur:
+                comm.store(v, best_c)
+                ktot.store(cur, ktot.data[cur] - ki)
+                ktot.store(best_c, ktot.data[best_c] + ki)
+                moves += 1
+        total_moves += moves
+        if moves < max(1, int(min_moves_frac * n)):
+            break
+
+    events = recorder.finalize()
+    q = modularity(n, sym_edges, comm.data.astype(np.int64))
+    extents = {}
+    for label in ("map", "map-nodes", "graph-targets", "graph-offsets", "comm", "comm-degree"):
+        try:
+            extents[label] = space.extent_of(label)
+        except KeyError:
+            pass
+    return MiniViteResult(
+        variant=variant,
+        events=events,
+        fn_names=recorder.function_names,
+        source_map=recorder.source_map(),
+        communities=comm.data.astype(np.int64),
+        modularity=q,
+        n_iterations=n_iterations,
+        n_moves=total_moves,
+        sim_time=MemoryCostModel().runtime(events),
+        wall_time=time.perf_counter() - t0,
+        space=space,
+        region_extents=extents,
+        phase_bounds={
+            "graph_gen": (0, gen_end),
+            "modularity": (gen_end, len(events)),
+        },
+    )

@@ -1,0 +1,76 @@
+"""Thread interleaving: sampling under CPU parallelism (paper SS:VI).
+
+"All application benchmarks support OpenMP and are executed with and
+without parallelism. However, note that our analysis focuses on memory
+behavior and is *orthogonal* to CPU parallelism."
+
+This module makes that claim testable: :func:`interleave_streams` merges
+per-thread record streams the way a core-multiplexed trace would observe
+them (threads advance in bursts of a scheduling quantum), renumbering
+timestamps into one retirement order. The orthogonality claim then says
+the *intensive* diagnostics (footprint growth, class mix) of the merged
+trace match the single-threaded ones — checked in
+``tests/workloads/test_parallel.py``.
+
+:func:`split_vertices` is the helper workloads use to partition their
+outer loop across simulated threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+from repro.trace.event import EVENT_DTYPE, concat_events
+
+__all__ = ["interleave_streams", "split_vertices"]
+
+
+def split_vertices(n: int, n_threads: int) -> list[np.ndarray]:
+    """Contiguous partition of ``range(n)`` across ``n_threads`` (OpenMP
+    static scheduling)."""
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be > 0, got {n_threads}")
+    return [chunk for chunk in np.array_split(np.arange(n), n_threads)]
+
+
+def interleave_streams(
+    streams: list[np.ndarray],
+    *,
+    quantum: int = 256,
+    jitter: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Merge per-thread record streams into one observed trace.
+
+    Threads advance round-robin in bursts of roughly ``quantum`` records
+    (±``jitter`` relative spread — real cores drift), until every stream
+    drains. Output timestamps are the merged retirement order, which is
+    exactly what a shared load counter would produce.
+    """
+    for s in streams:
+        if s.dtype != EVENT_DTYPE:
+            raise TypeError(f"expected EVENT_DTYPE streams, got {s.dtype}")
+    if quantum <= 0:
+        raise ValueError(f"quantum must be > 0, got {quantum}")
+    if not 0 <= jitter < 1:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    rng = derive_rng(seed, "interleave")
+    cursors = [0] * len(streams)
+    pieces: list[np.ndarray] = []
+    remaining = sum(len(s) for s in streams)
+    while remaining > 0:
+        for tid, stream in enumerate(streams):
+            lo = cursors[tid]
+            if lo >= len(stream):
+                continue
+            burst = quantum
+            if jitter:
+                burst = max(1, int(quantum * (1 + jitter * (rng.random() * 2 - 1))))
+            hi = min(len(stream), lo + burst)
+            pieces.append(stream[lo:hi])
+            cursors[tid] = hi
+            remaining -= hi - lo
+    out = concat_events(pieces)
+    out["t"] = np.arange(len(out), dtype=np.uint64)
+    return out

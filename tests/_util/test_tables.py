@@ -1,0 +1,32 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro._util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # header separator and rows share the same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.5], [1234567.0], [0.0]])
+        assert "0.5" in out
+        assert "1.23e+06" in out
+        assert "\n0" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

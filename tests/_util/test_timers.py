@@ -1,0 +1,18 @@
+"""Tests for the wall-clock timer."""
+
+import time
+
+from repro._util.timers import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_restart(self):
+        with Timer() as t:
+            pass
+        t.restart()
+        assert t.elapsed == 0.0

@@ -1,0 +1,44 @@
+"""Tests for argument validators."""
+
+import pytest
+
+from repro._util.validate import check_fraction, check_positive, check_power_of_two
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        check_fraction("f", 0.0)
+        check_fraction("f", 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+        with pytest.raises(ValueError):
+            check_fraction("f", -0.1)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 64, 4096])
+    def test_accepts_powers(self, v):
+        check_power_of_two("p", v)
+
+    @pytest.mark.parametrize("v", [0, -2, 3, 48])
+    def test_rejects_non_powers(self, v):
+        with pytest.raises(ValueError):
+            check_power_of_two("p", v)

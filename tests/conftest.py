@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmem import AccessRecorder, AddressSpace
+from repro.trace.event import LoadClass, make_events
+from repro.trace.sampler import SamplingConfig
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace()
+
+
+@pytest.fixture
+def recorder() -> AccessRecorder:
+    return AccessRecorder()
+
+
+@pytest.fixture
+def small_config() -> SamplingConfig:
+    return SamplingConfig(period=1000, buffer_capacity=128, fill_jitter=0.0)
+
+
+@pytest.fixture
+def mixed_events() -> np.ndarray:
+    """A deterministic stream mixing strided, irregular, and constant loads."""
+    rng = np.random.default_rng(42)
+    n = 20_000
+    kind = np.arange(n) % 4
+    addr = np.where(
+        kind < 2,
+        0x7000_0000 + (np.arange(n) * 8) % 4096,  # strided sweep over 4 KiB
+        np.where(
+            kind == 2,
+            0x7010_0000 + rng.integers(0, 512, n) * 8,  # irregular in 4 KiB
+            0x7FFF_0000,  # constant frame scalar
+        ),
+    )
+    cls = np.where(
+        kind < 2, int(LoadClass.STRIDED), np.where(kind == 2, int(LoadClass.IRREGULAR), int(LoadClass.CONSTANT))
+    )
+    fn = (np.arange(n) >= n // 2).astype(np.uint32)
+    return make_events(ip=0x40_0000 + (kind * 4), addr=addr, cls=cls, fn=fn)

@@ -1,0 +1,106 @@
+"""Tests for the LRU cache model, including the D-vs-hit cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core.cachesim import CacheConfig, CacheStats, simulate_cache
+from repro.core.reuse import reuse_distances
+from repro.trace.event import LoadClass, make_events
+
+
+class TestConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        assert cfg.n_sets == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)
+
+
+class TestSimulation:
+    def test_repeated_access_hits(self):
+        ev = make_events(ip=1, addr=np.zeros(100), cls=2)
+        stats = simulate_cache(ev)
+        assert stats.n_hits == 99
+
+    def test_streaming_misses(self):
+        ev = make_events(ip=1, addr=np.arange(10_000) * 64, cls=1)
+        stats = simulate_cache(ev, CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        assert stats.hit_ratio == 0.0
+
+    def test_working_set_fits(self):
+        # 16 lines looped, cache holds 64 lines -> all hits after warmup
+        addr = np.tile(np.arange(16) * 64, 100)
+        ev = make_events(ip=1, addr=addr, cls=1)
+        stats = simulate_cache(ev, CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        assert stats.n_hits == len(addr) - 16
+
+    def test_capacity_eviction(self):
+        # loop over 2x the cache capacity -> LRU always evicts before reuse
+        n_lines = 128
+        addr = np.tile(np.arange(n_lines) * 64, 10)
+        ev = make_events(ip=1, addr=addr, cls=1)
+        stats = simulate_cache(ev, CacheConfig(size_bytes=4096, line_bytes=64, ways=64))
+        assert stats.hit_ratio == 0.0
+
+    def test_per_class_accounting(self):
+        ev = make_events(ip=1, addr=[0, 0, 64, 64], cls=[1, 1, 2, 2])
+        stats = simulate_cache(ev)
+        assert stats.accesses_by_class[LoadClass.STRIDED] == 2
+        assert stats.class_hit_ratio(LoadClass.STRIDED) == 0.5
+        assert stats.class_hit_ratio(LoadClass.IRREGULAR) == 0.5
+
+    def test_suppressed_constants_always_hit(self):
+        ev = make_events(ip=1, addr=[0], cls=1, n_const=10)
+        stats = simulate_cache(ev)
+        assert stats.n_accesses == 11
+        assert stats.class_hit_ratio(LoadClass.CONSTANT) == 1.0
+
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            simulate_cache(np.zeros(4))
+
+
+class TestPrefetcher:
+    def test_streaming_hits_with_prefetch(self):
+        ev = make_events(ip=1, addr=np.arange(10_000) * 8, cls=1)
+        cfg = CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        cold = simulate_cache(ev, cfg)
+        warm = simulate_cache(
+            ev, CacheConfig(size_bytes=4096, line_bytes=64, ways=4, prefetch_next_line=True)
+        )
+        assert warm.hit_ratio > cold.hit_ratio
+        assert warm.hit_ratio > 0.95
+
+    def test_prefetch_does_not_help_random(self):
+        rng = np.random.default_rng(0)
+        ev = make_events(ip=1, addr=rng.integers(0, 1 << 20, 5000) * 64, cls=2)
+        cfg = CacheConfig(size_bytes=4096, line_bytes=64, ways=4, prefetch_next_line=True)
+        assert simulate_cache(ev, cfg).hit_ratio < 0.05
+
+
+class TestDistancePredictsHits:
+    def test_fully_associative_matches_reuse_distance(self):
+        """An access hits a fully-associative LRU of capacity C iff its
+        spatio-temporal reuse distance (in lines) is < C."""
+        rng = np.random.default_rng(1)
+        addr = rng.integers(0, 256, 4000) * 64
+        ev = make_events(ip=1, addr=addr, cls=2)
+        ways = 32
+        cfg = CacheConfig(size_bytes=ways * 64, line_bytes=64, ways=ways)  # 1 set
+        stats = simulate_cache(ev, cfg)
+        d = reuse_distances(ev, block=64)
+        predicted_hits = int(((d >= 0) & (d < ways)).sum())
+        assert stats.n_hits == predicted_hits
+
+    def test_hit_ratio_monotone_in_size(self):
+        rng = np.random.default_rng(2)
+        ev = make_events(ip=1, addr=rng.integers(0, 4096, 5000) * 64, cls=2)
+        ratios = [
+            simulate_cache(ev, CacheConfig(size_bytes=s, line_bytes=64, ways=8)).hit_ratio
+            for s in (8 * 1024, 32 * 1024, 128 * 1024)
+        ]
+        assert ratios[0] <= ratios[1] <= ratios[2]

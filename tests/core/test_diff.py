@@ -1,0 +1,99 @@
+"""Tests for trace differencing."""
+
+import numpy as np
+import pytest
+
+from repro.core.diff import diff_traces
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.event import LoadClass, make_events
+from repro.trace.sampler import SamplingConfig
+
+CFG = SamplingConfig(period=997, buffer_capacity=128, fill_jitter=0.0)
+
+
+def _collection(per_fn: dict[int, tuple[int, int]]):
+    """Build a collection: fn -> (n_accesses, cls)."""
+    parts = []
+    for fid, (n, cls) in per_fn.items():
+        rng = np.random.default_rng(fid)
+        addr = (
+            (np.arange(n) * 8) % 65536
+            if cls == int(LoadClass.STRIDED)
+            else rng.integers(0, 65536, n)
+        )
+        parts.append(make_events(ip=1 + fid, addr=addr, cls=cls, fn=fid))
+    ev = np.concatenate(parts)
+    ev["t"] = np.arange(len(ev))
+    return collect_sampled_trace(ev, config=CFG)
+
+
+NAMES = {0: "insert", 1: "lookup", 2: "resize"}
+
+
+class TestDiffTraces:
+    def test_access_ratio_detected(self):
+        before = _collection({0: (80_000, 2), 1: (40_000, 1)})
+        after = _collection({0: (20_000, 2), 1: (40_000, 1)})
+        diff = diff_traces(before, after, NAMES, NAMES)
+        by_fn = {d.function: d for d in diff.deltas}
+        assert by_fn["insert"].accesses_ratio == pytest.approx(0.25, rel=0.2)
+        assert by_fn["lookup"].accesses_ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_class_shift_detected(self):
+        before = _collection({0: (60_000, 2)})  # irregular
+        after = _collection({0: (60_000, 1)})  # strided
+        diff = diff_traces(before, after, NAMES, NAMES)
+        d = diff.deltas[0]
+        assert d.strided_delta > 80
+
+    def test_new_and_removed_functions(self):
+        before = _collection({0: (50_000, 1)})
+        after = _collection({0: (50_000, 1), 2: (50_000, 2)})
+        diff = diff_traces(before, after, NAMES, NAMES)
+        by_fn = {d.function: d for d in diff.deltas}
+        assert by_fn["resize"].before is None
+        assert by_fn["resize"].accesses_ratio == float("inf")
+        back = diff_traces(after, before, NAMES, NAMES)
+        assert {d.function: d for d in back.deltas}["resize"].accesses_ratio == 0.0
+
+    def test_ranking_puts_big_movers_first(self):
+        before = _collection({0: (50_000, 1), 1: (50_000, 1)})
+        after = _collection({0: (50_000, 1), 1: (200_000, 1)})
+        diff = diff_traces(before, after, NAMES, NAMES)
+        assert diff.deltas[0].function == "lookup"
+
+    def test_total_ratio(self):
+        before = _collection({0: (50_000, 1)})
+        after = _collection({0: (100_000, 1)})
+        diff = diff_traces(before, after, NAMES, NAMES)
+        assert diff.total_ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_render_contains_functions(self):
+        before = _collection({0: (50_000, 1)})
+        after = _collection({0: (60_000, 1)})
+        out = diff_traces(before, after, NAMES, NAMES, label_before="v1", label_after="v2").render()
+        assert "v1 -> v2" in out
+        assert "insert" in out
+
+    def test_noise_functions_dropped(self):
+        before = _collection({0: (50_000, 1), 1: (600, 2)})
+        after = _collection({0: (50_000, 1)})
+        diff = diff_traces(before, after, NAMES, NAMES, min_accesses=100)
+        # fn1 has ~60 sampled records (<100): dropped
+        assert {d.function for d in diff.deltas} == {"insert"}
+
+
+class TestCliDiff:
+    def test_cli_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        for variant, path in (("v1", a), ("v3", b)):
+            main(
+                ["trace", "--workload", f"minivite:{variant}", "--scale", "7", "-o", str(path)]
+            )
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "map.insert" in out

@@ -1,0 +1,40 @@
+"""Tests for footprint growth (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.growth import footprint_growth
+from repro.trace.event import make_events
+
+
+def _ev(addrs, n_const=0):
+    return make_events(ip=1, addr=np.asarray(addrs, dtype=np.uint64), cls=2, n_const=n_const)
+
+
+class TestGrowth:
+    def test_streaming_is_one(self):
+        assert footprint_growth(_ev([1, 2, 3, 4])) == 1.0
+
+    def test_full_reuse_tends_to_zero(self):
+        assert footprint_growth(_ev([7] * 100)) == 0.01
+
+    def test_empty(self):
+        assert footprint_growth(_ev([])) == 0.0
+
+    def test_compression_denominator(self):
+        # 2 records implying 2 extra constant loads each: window = 6
+        ev = _ev([1, 2], n_const=2)
+        # footprint = 2 unique + 1 constant unit = 3; dF = 3/6
+        assert footprint_growth(ev) == pytest.approx(0.5)
+
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            footprint_growth(np.zeros(4))
+
+
+@given(addrs=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_growth_bounded(addrs):
+    """Property: 0 < dF <= 1 for any non-empty uncompressed trace."""
+    g = footprint_growth(_ev(addrs))
+    assert 0.0 < g <= 1.0

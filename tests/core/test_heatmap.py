@@ -1,0 +1,70 @@
+"""Tests for access/reuse heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import access_heatmap, render_heatmap_ascii
+from repro.trace.event import make_events
+
+
+class TestAccessHeatmap:
+    def test_shape_and_totals(self):
+        ev = make_events(ip=1, addr=0x1000 + np.arange(1000) % 512, cls=2)
+        hm = access_heatmap(ev, 0x1000, 512, n_pages=8, n_bins=4)
+        assert hm.counts.shape == (8, 4)
+        assert hm.counts.sum() == 1000
+
+    def test_out_of_region_excluded(self):
+        ev = make_events(ip=1, addr=[0x1000, 0x9000], cls=2)
+        hm = access_heatmap(ev, 0x1000, 256, n_pages=2, n_bins=2)
+        assert hm.counts.sum() == 1
+
+    def test_time_binning(self):
+        # all early accesses in page 0, all late in page 1
+        addr = np.concatenate([np.full(50, 0x1000), np.full(50, 0x1100)])
+        ev = make_events(ip=1, addr=addr, cls=2)
+        hm = access_heatmap(ev, 0x1000, 512, n_pages=2, n_bins=2)
+        assert hm.counts[0, 0] == 50
+        assert hm.counts[1, 1] == 50
+
+    def test_reuse_matrix(self):
+        ev = make_events(ip=1, addr=np.full(10, 0x1000), cls=2)
+        hm = access_heatmap(ev, 0x1000, 64, n_pages=1, n_bins=1)
+        assert hm.reuse[0, 0] == 0.0  # immediate re-accesses
+
+    def test_reuse_nan_where_no_reuse(self):
+        ev = make_events(ip=1, addr=0x1000 + np.arange(4) * 64, cls=2)
+        hm = access_heatmap(ev, 0x1000, 256, n_pages=4, n_bins=1)
+        assert np.all(np.isnan(hm.reuse))
+
+    def test_constants_excluded(self):
+        ev = make_events(ip=1, addr=[0x1000], cls=0)
+        hm = access_heatmap(ev, 0x1000, 64, n_pages=1, n_bins=1)
+        assert hm.counts.sum() == 0
+
+    def test_bad_args(self):
+        ev = make_events(ip=1, addr=[0x1000], cls=2)
+        with pytest.raises(ValueError):
+            access_heatmap(ev, 0, 0)
+        with pytest.raises(TypeError):
+            access_heatmap(np.zeros(3), 0, 64)
+
+
+class TestAsciiRender:
+    def test_dimensions(self):
+        out = render_heatmap_ascii(np.ones((3, 5)))
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 5 for l in lines)
+
+    def test_larger_values_darker(self):
+        shades = render_heatmap_ascii(np.array([[0.0, 1000.0]]), log=False)
+        assert shades[0] == " "
+        assert shades[1] != " "
+
+    def test_nan_treated_as_zero(self):
+        out = render_heatmap_ascii(np.array([[np.nan, 1.0]]))
+        assert out[0] == " "
+
+    def test_all_zero(self):
+        assert render_heatmap_ascii(np.zeros((2, 2))) == "  \n  "

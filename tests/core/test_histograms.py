@@ -1,0 +1,59 @@
+"""Tests for window histograms and MAPE."""
+
+import numpy as np
+import pytest
+
+from repro.core.histograms import default_window_sizes, mape, window_histogram
+from repro.trace.event import make_events
+
+
+class TestDefaultSizes:
+    def test_powers_of_two(self):
+        assert default_window_sizes(64, 8) == [8, 16, 32, 64]
+
+    def test_min_rounded_up(self):
+        assert default_window_sizes(32, 5) == [8, 16, 32]
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            default_window_sizes(4, 8)
+
+
+class TestWindowHistogram:
+    def test_streaming_footprint_equals_window(self):
+        ev = make_events(ip=1, addr=np.arange(1024), cls=2)
+        sizes, means = window_histogram(ev, "F", sizes=[8, 16, 32])
+        assert list(sizes) == [8, 16, 32]
+        assert list(means) == [8.0, 16.0, 32.0]
+
+    def test_nan_for_oversized_windows(self):
+        ev = make_events(ip=1, addr=np.arange(10), cls=2)
+        _, means = window_histogram(ev, "F", sizes=[8, 64])
+        assert not np.isnan(means[0])
+        assert np.isnan(means[1])
+
+    def test_default_sizes_from_samples(self):
+        ev = make_events(ip=1, addr=np.arange(100), cls=2)
+        sid = np.repeat(np.arange(4), 25)
+        sizes, _ = window_histogram(ev, "F", sample_id=sid)
+        assert sizes.max() <= 25
+
+
+class TestMape:
+    def test_zero_for_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert mape(a, a) == 0.0
+
+    def test_known_value(self):
+        assert mape(np.array([11.0]), np.array([10.0])) == pytest.approx(10.0)
+
+    def test_skips_nan_and_zero(self):
+        m = mape(np.array([1.0, np.nan, 5.0]), np.array([1.0, 2.0, 0.0]))
+        assert m == 0.0
+
+    def test_all_invalid_is_nan(self):
+        assert np.isnan(mape(np.array([np.nan]), np.array([1.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,69 @@
+"""Tests for inter-sample reuse-distance estimation (paper SS:V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reuse import inter_sample_distance
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.event import LoadClass, make_events
+from repro.trace.sampler import SamplingConfig
+
+CFG = SamplingConfig(period=1000, buffer_capacity=100, fill_mean=1.0, fill_jitter=0.0)
+
+
+def _loop_stream(working_set_pages: int, n=100_000):
+    """Cyclic sweep over a working set: every page reused once per lap."""
+    span = working_set_pages * 4096
+    addr = (np.arange(n) * 64) % span
+    return make_events(ip=1, addr=addr, cls=int(LoadClass.STRIDED))
+
+
+class TestInterSampleDistance:
+    def test_bigger_working_set_bigger_distance(self):
+        small = collect_sampled_trace(_loop_stream(8), config=CFG)
+        large = collect_sampled_trace(_loop_stream(64), config=CFG)
+        d_small, n_small = inter_sample_distance(small)
+        d_large, n_large = inter_sample_distance(large)
+        assert n_small > 0 and n_large > 0
+        assert d_large > 2 * d_small
+
+    def test_estimate_tracks_true_working_set(self):
+        """For a cyclic sweep, blocks reused across samples have seen the
+        whole working set in between: D ~ working-set pages."""
+        pages = 16
+        col = collect_sampled_trace(_loop_stream(pages), config=CFG)
+        d, n = inter_sample_distance(col, block=4096)
+        assert n > 0
+        assert pages * 0.3 <= d <= pages * 3
+
+    def test_no_cross_sample_reuse(self):
+        # streaming: every page touched once, never reused
+        ev = make_events(ip=1, addr=np.arange(50_000) * 4096, cls=1)
+        col = collect_sampled_trace(ev, config=CFG)
+        d, n = inter_sample_distance(col)
+        assert n == 0
+        assert d == 0.0
+
+    def test_empty_collection(self):
+        ev = make_events(ip=1, addr=np.arange(0))
+        col = collect_sampled_trace(ev, config=CFG)
+        assert inter_sample_distance(col) == (0.0, 0)
+
+    def test_capped_by_total_footprint(self):
+        # two touches of one page separated by a huge idle gap: the
+        # estimate is capped at the (rho-scaled) total footprint
+        addr = np.concatenate([[0], np.arange(1, 90_000) * 64 % 8192, [0]])
+        ev = make_events(ip=1, addr=addr, cls=1)
+        col = collect_sampled_trace(ev, config=CFG)
+        d, n = inter_sample_distance(col, block=4096)
+        if n:
+            from repro.core.metrics import footprint
+            from repro.trace.compress import sample_ratio_from
+
+            cap = sample_ratio_from(col) * footprint(col.events, 4096)
+            assert d <= cap + 1e-9
+
+    def test_pair_budget(self):
+        col = collect_sampled_trace(_loop_stream(8), config=CFG)
+        _, n = inter_sample_distance(col, max_pairs=10)
+        assert n == 10

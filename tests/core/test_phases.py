@@ -1,0 +1,102 @@
+"""Tests for phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.phases import detect_phases, sample_features
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.event import LoadClass, make_events
+from repro.trace.sampler import SamplingConfig
+
+
+def _alternating_collection(phase_loads=20_000, n_phases=4):
+    """Alternating strided / irregular phases."""
+    rng = np.random.default_rng(0)
+    parts = []
+    for k in range(n_phases):
+        if k % 2 == 0:
+            addr = 0x10_0000 + (np.arange(phase_loads) * 8) % 65536
+            cls = int(LoadClass.STRIDED)
+        else:
+            addr = 0x80_0000 + rng.integers(0, 8192, phase_loads) * 8
+            cls = int(LoadClass.IRREGULAR)
+        parts.append(make_events(ip=1 + k, addr=addr, cls=cls, fn=k))
+    ev = np.concatenate(parts)
+    ev["t"] = np.arange(len(ev))
+    cfg = SamplingConfig(period=997, buffer_capacity=128, fill_jitter=0.0)
+    return collect_sampled_trace(ev, config=cfg)
+
+
+class TestSampleFeatures:
+    def test_values_in_range(self):
+        col = _alternating_collection()
+        f = sample_features(col)
+        valid = f[~np.isnan(f)]
+        assert np.all((valid >= 0) & (valid <= 1))
+
+    def test_pure_phases_give_extreme_shares(self):
+        col = _alternating_collection()
+        f = sample_features(col)
+        assert (f > 0.95).any() and (f < 0.05).any()
+
+
+class TestDetectPhases:
+    def test_finds_alternating_phases(self):
+        col = _alternating_collection(n_phases=4)
+        phases = detect_phases(col)
+        assert len(phases) == 4
+        labels = [p.label for p in phases]
+        assert labels == ["regular", "irregular", "regular", "irregular"]
+
+    def test_phase_time_spans_ordered(self):
+        phases = detect_phases(_alternating_collection())
+        for a, b in zip(phases, phases[1:]):
+            assert a.t_end <= b.t_start + 1
+        assert all(p.n_samples >= 1 for p in phases)
+
+    def test_single_phase_stream(self):
+        ev = make_events(ip=1, addr=np.arange(50_000) * 8, cls=int(LoadClass.STRIDED))
+        cfg = SamplingConfig(period=997, buffer_capacity=64, fill_jitter=0.0)
+        col = collect_sampled_trace(ev, config=cfg)
+        phases = detect_phases(col)
+        assert len(phases) == 1
+        assert phases[0].label == "regular"
+        assert phases[0].strided_share == pytest.approx(1.0)
+
+    def test_diagnostics_attached(self):
+        phases = detect_phases(_alternating_collection())
+        for p in phases:
+            assert p.diagnostics.A_obs > 0
+
+    def test_threshold_validation(self):
+        col = _alternating_collection(phase_loads=5000, n_phases=2)
+        with pytest.raises(ValueError):
+            detect_phases(col, threshold=0.0)
+        with pytest.raises(ValueError):
+            detect_phases(col, min_phase_samples=0)
+
+    def test_high_threshold_merges_mild_variation(self):
+        # phases with strided shares ~0.6 and ~0.4: a 0.3 threshold sees
+        # one mixed phase; a 0.05 threshold splits them
+        rng = np.random.default_rng(3)
+        parts = []
+        for k in range(4):
+            n = 20_000
+            share = 0.6 if k % 2 == 0 else 0.4
+            cls = np.where(rng.random(n) < share, 1, 2)
+            parts.append(make_events(ip=1, addr=rng.integers(0, 65536, n), cls=cls))
+        ev = np.concatenate(parts)
+        ev["t"] = np.arange(len(ev))
+        cfg = SamplingConfig(period=997, buffer_capacity=128, fill_jitter=0.0)
+        col = collect_sampled_trace(ev, config=cfg)
+        coarse = detect_phases(col, threshold=0.45)
+        fine = detect_phases(col, threshold=0.05)
+        assert len(coarse) <= 2  # 0.6-vs-0.4 never jumps past 0.45
+        assert all(p.label == "mixed" for p in coarse)
+        assert len(fine) > len(coarse)
+
+    def test_empty_collection(self):
+        ev = make_events(ip=1, addr=np.arange(0))
+        cfg = SamplingConfig(period=10, buffer_capacity=4)
+        col = collect_sampled_trace(ev, config=cfg)
+        assert detect_phases(col) == []

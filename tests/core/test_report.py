@@ -1,0 +1,78 @@
+"""Tests for the paper-style table renderers."""
+
+from collections import Counter
+
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.report import (
+    format_quantity,
+    render_function_table,
+    render_interval_table,
+    render_region_table,
+)
+from repro.core.zoom import ZoomRegion
+from repro.trace.event import make_events
+
+
+class TestFormatQuantity:
+    def test_scales(self):
+        assert format_quantity(2.3e9) == "2.3G"
+        assert format_quantity(291_000) == "291K"
+        assert format_quantity(1_200_000) == "1.2M"
+        assert format_quantity(42) == "42"
+        assert format_quantity(0.25) == "0.25"
+
+
+def _diag():
+    ev = make_events(ip=1, addr=[0, 8, 100], cls=[1, 1, 2])
+    return compute_diagnostics(ev, rho=2.0)
+
+
+class TestFunctionTable:
+    def test_columns_present(self):
+        out = render_function_table({"buildMap": _diag()})
+        assert "Function" in out and "F_str%" in out
+        assert "buildMap" in out
+
+    def test_order_respected(self):
+        out = render_function_table(
+            {"a": _diag(), "b": _diag()}, order=["b", "a"]
+        )
+        assert out.index("b") < out.rindex("a")
+
+    def test_min_accesses_filter(self):
+        out = render_function_table({"tiny": _diag()}, min_accesses=100)
+        assert "tiny" not in out
+
+
+class TestRegionTable:
+    def _region(self):
+        return ZoomRegion(
+            base=0x1000,
+            size=4096,
+            depth=1,
+            n_accesses=500,
+            pct_of_total=25.0,
+            D_mean=2.65,
+            D_max=150,
+            n_blocks=64,
+            accesses_per_block=7.8,
+            functions=Counter({"f": 500}),
+        )
+
+    def test_basic(self):
+        out = render_region_table([("map", self._region())])
+        assert "map" in out and "2.65" in out
+
+    def test_max_d_column(self):
+        out = render_region_table([("cc", self._region())], show_max_d=True)
+        assert "Max D" in out and "150" in out
+
+
+class TestIntervalTable:
+    def test_rows(self):
+        rows = [
+            {"interval": 0, "F": 28e6, "dF": 0.475, "D": 0.01, "A": 30e3},
+            {"interval": 1, "F": 55e6, "dF": 0.675, "D": 0.02, "A": 30e3},
+        ]
+        out = render_interval_table(rows)
+        assert "28M" in out and "0.475" in out

@@ -1,0 +1,72 @@
+"""Tests for working-set analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.workingset import working_set_curve
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.event import make_events
+from repro.trace.sampler import SamplingConfig
+
+
+def _collection(addr_fn, n=100_000):
+    ev = make_events(ip=1, addr=addr_fn(n), cls=2)
+    cfg = SamplingConfig(period=2000, buffer_capacity=256, fill_jitter=0.0)
+    return collect_sampled_trace(ev, config=cfg)
+
+
+class TestWorkingSetCurve:
+    def test_growing_working_set_detected(self):
+        # phase 1 touches 4 pages; phase 2 touches 64 pages
+        def addr(n):
+            half = n // 2
+            a = np.empty(n, dtype=np.int64)
+            a[:half] = (np.arange(half) % (4 * 512)) * 8
+            a[half:] = 0x100_0000 + (np.arange(half) % (64 * 512)) * 8
+            return a
+
+        curve = working_set_curve(_collection(addr), n_intervals=2)
+        assert len(curve) == 2
+        assert curve[1].pages_est > 5 * curve[0].pages_est
+
+    def test_estimate_scales_by_rho(self):
+        def addr(n):
+            return (np.arange(n) % 2048) * 8  # ~4 pages resident
+
+        curve = working_set_curve(_collection(addr), n_intervals=1)
+        point = curve[0]
+        # true resident set: 2048*8/4096 = 4 pages; rho-scaled estimate
+        # overestimates but stays within an order of magnitude
+        assert 4 <= point.pages_est <= 80
+        assert point.bytes_est == point.pages_est * 4096
+        assert point.mb_est == pytest.approx(point.bytes_est / (1 << 20))
+
+    def test_captured_fraction_high_for_resident_set(self):
+        def addr(n):
+            return (np.arange(n) % 512) * 8  # one hot page, re-touched
+
+        curve = working_set_curve(_collection(addr), n_intervals=1)
+        assert curve[0].captured_fraction > 0.9
+
+    def test_streaming_has_low_capture(self):
+        def addr(n):
+            return np.arange(n) * 4096  # new page every access
+
+        curve = working_set_curve(_collection(addr), n_intervals=1)
+        assert curve[0].captured_fraction < 0.1
+
+    def test_bad_args(self):
+        def addr(n):
+            return np.arange(n)
+
+        col = _collection(addr, n=10_000)
+        with pytest.raises(ValueError):
+            working_set_curve(col, n_intervals=0)
+        with pytest.raises(ValueError):
+            working_set_curve(col, page_size=1000)
+
+    def test_empty(self):
+        ev = make_events(ip=1, addr=np.arange(0))
+        cfg = SamplingConfig(period=10, buffer_capacity=4)
+        col = collect_sampled_trace(ev, config=cfg)
+        assert working_set_curve(col) == []

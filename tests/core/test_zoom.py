@@ -1,0 +1,107 @@
+"""Tests for the location zoom tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
+from repro.trace.event import make_events
+
+
+def _two_region_stream(n=8000):
+    """Half the accesses sweep region A (64 KiB), half hammer region B (4 KiB)."""
+    rng = np.random.default_rng(0)
+    a = 0x10_0000 + (np.arange(n // 2) * 8) % 65536
+    b = 0x40_0000 + rng.integers(0, 512, n // 2) * 8
+    addr = np.empty(n, dtype=np.uint64)
+    addr[0::2] = a
+    addr[1::2] = b
+    cls = np.where(np.arange(n) % 2 == 0, 1, 2)
+    fn = np.where(np.arange(n) % 2 == 0, 0, 1)
+    return make_events(ip=1, addr=addr, cls=cls, fn=fn)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZoomConfig(page_size=100)
+        with pytest.raises(ValueError):
+            ZoomConfig(hot_threshold=0.0)
+        with pytest.raises(ValueError):
+            ZoomConfig(shrink=1)
+        with pytest.raises(ValueError):
+            ZoomConfig(max_depth=0)
+
+
+class TestZoom:
+    def test_finds_both_hot_regions(self):
+        root = location_zoom(_two_region_stream())
+        leaves = zoom_leaves(root, min_pct=10)
+        bases = {l.base & ~0xFFFFF for l in leaves}
+        assert 0x10_0000 in {b & 0xFF_FFFF | 0x10_0000 for b in bases} or any(
+            0x10_0000 <= l.base < 0x12_0000 for l in leaves
+        )
+        assert any(0x40_0000 <= l.base < 0x42_0000 for l in leaves)
+
+    def test_hotness_percentages_sum_sensibly(self):
+        root = location_zoom(_two_region_stream())
+        leaves = zoom_leaves(root, min_pct=10)
+        assert sum(l.pct_of_total for l in leaves) <= 100.0 + 1e-6
+        assert all(0 < l.pct_of_total <= 100 for l in leaves)
+
+    def test_irregular_region_has_higher_d(self):
+        root = location_zoom(_two_region_stream())
+        leaves = zoom_leaves(root, min_pct=10)
+        strided_leaf = min(leaves, key=lambda l: l.base)
+        irregular_leaf = max(leaves, key=lambda l: l.base)
+        assert irregular_leaf.D_mean > strided_leaf.D_mean
+
+    def test_leaf_block_stats(self):
+        cfg = ZoomConfig(access_block=64)
+        root = location_zoom(_two_region_stream(), cfg)
+        for leaf in zoom_leaves(root, min_pct=10):
+            assert leaf.n_blocks == max(1, leaf.size // 64)
+            assert leaf.accesses_per_block == pytest.approx(
+                leaf.n_accesses / leaf.n_blocks
+            )
+
+    def test_function_attribution(self):
+        root = location_zoom(
+            _two_region_stream(), fn_names={0: "sweep", 1: "hammer"}
+        )
+        leaves = zoom_leaves(root, min_pct=10)
+        irregular_leaf = max(leaves, key=lambda l: l.base)
+        assert irregular_leaf.functions.most_common(1)[0][0] == "hammer"
+
+    def test_constants_ignored(self):
+        ev = make_events(ip=1, addr=[100, 100, 100], cls=0)
+        root = location_zoom(ev)
+        assert root.n_accesses == 0
+
+    def test_cold_gap_kept_inside_contiguous_region(self):
+        """The contiguity rule: one object with a cold middle stays one leaf."""
+        addr = np.concatenate(
+            [
+                0x10_0000 + np.tile(np.arange(0, 4096, 8), 20),  # hot first page
+                0x10_2000 + np.tile(np.arange(0, 4096, 8), 20),  # hot third page
+                0x10_1000 + np.arange(0, 4096, 8),  # middle page touched once/line
+            ]
+        )
+        ev = make_events(ip=1, addr=np.sort(addr), cls=1)
+        cfg = ZoomConfig(page_size=4096, min_region_bytes=4096)
+        leaves = zoom_leaves(location_zoom(ev, cfg))
+        spans = [(l.base, l.end) for l in leaves if l.pct_of_total > 50]
+        assert any(hi - lo >= 3 * 4096 for lo, hi in spans)
+
+    def test_depth_bounded(self):
+        cfg = ZoomConfig(max_depth=2)
+        root = location_zoom(_two_region_stream(), cfg)
+        stack, max_depth = [root], 0
+        while stack:
+            n = stack.pop()
+            max_depth = max(max_depth, n.depth)
+            stack.extend(n.children)
+        assert max_depth <= 2
+
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            location_zoom(np.zeros(4))

@@ -1,0 +1,66 @@
+"""Tests for the auxiliary annotation file."""
+
+from repro.instrument.annotations import (
+    AnnotationFile,
+    LoadAnnotation,
+    PtwAnnotation,
+)
+from repro.trace.event import LoadClass
+
+
+def _sample() -> AnnotationFile:
+    ann = AnnotationFile(module="m")
+    ann.loads[0x100] = LoadAnnotation(
+        load_ip=0x100,
+        cls=LoadClass.STRIDED,
+        stride=8,
+        n_const=2,
+        fn=0,
+        proc="f",
+        line=3,
+    )
+    ann.ptwrites[0xFC] = PtwAnnotation(
+        ptw_ip=0xFC, load_ip=0x100, starts_record=True, multiplier=8, offset=16
+    )
+    ann.source_map[0x100] = ("f", "f.c", 3)
+    ann.n_static_loads = 4
+    ann.n_static_instrumented = 2
+    ann.n_static_suppressed = 2
+    return ann
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self):
+        ann = _sample()
+        back = AnnotationFile.from_json(ann.to_json())
+        assert back.module == "m"
+        assert back.loads == ann.loads
+        assert back.ptwrites == ann.ptwrites
+        assert back.source_map == ann.source_map
+        assert back.n_static_loads == 4
+
+    def test_load_class_survives_as_enum(self):
+        back = AnnotationFile.from_json(_sample().to_json())
+        assert back.loads[0x100].cls is LoadClass.STRIDED
+
+    def test_none_stride_roundtrips(self):
+        ann = _sample()
+        ann.loads[0x200] = LoadAnnotation(
+            load_ip=0x200, cls=LoadClass.IRREGULAR, stride=None, n_const=0, fn=1, proc="g", line=1
+        )
+        back = AnnotationFile.from_json(ann.to_json())
+        assert back.loads[0x200].stride is None
+
+    def test_file_roundtrip(self, tmp_path):
+        ann = _sample()
+        ann.save(tmp_path / "ann.json")
+        back = AnnotationFile.load(tmp_path / "ann.json")
+        assert back.loads == ann.loads
+
+
+class TestStats:
+    def test_instrumented_fraction(self):
+        assert _sample().instrumented_fraction == 0.5
+
+    def test_empty_fraction(self):
+        assert AnnotationFile(module="m").instrumented_fraction == 0.0

@@ -1,0 +1,59 @@
+"""Tests for source-code attribution."""
+
+import numpy as np
+
+from repro.instrument.attribution import SourceMap
+from repro.instrument.instrumenter import instrument_module
+from repro.isa.builder import ProgramBuilder
+from repro.trace.event import make_events
+
+
+class TestLookup:
+    def test_lookup_hit_and_miss(self):
+        sm = SourceMap({0x10: ("f", "f.c", 7)})
+        assert sm.lookup(0x10) == ("f", "f.c", 7)
+        assert sm.lookup(0x99) is None
+        assert sm.function_of(0x10) == "f"
+        assert sm.function_of(0x99) == "?"
+
+    def test_len(self):
+        assert len(SourceMap({1: ("a", "b", 1), 2: ("a", "b", 2)})) == 2
+
+
+class TestFromModule:
+    def test_module_lines(self):
+        b = ProgramBuilder("m", source_file="src.c")
+        with b.proc("f") as p:
+            p.mov("x", 1)
+            p.ret(0)
+        m = b.build()
+        sm = SourceMap.from_module(m)
+        fn, file, line = sm.lookup(m.procedures["f"].instructions()[0].addr)
+        assert (fn, file, line) == ("f", "src.c", 1)
+
+    def test_from_annotations_covers_new_layout(self):
+        """SS:III-D: the instrumented stream needs its own mapping."""
+        b = ProgramBuilder("m")
+        with b.proc("f", params=("arr",)) as p:
+            p.load("v", base="arr")
+            p.ret(0)
+        inst = instrument_module(b.build())
+        sm = SourceMap.from_annotations(inst.annotations)
+        for load_ip in inst.annotations.loads:
+            assert sm.lookup(load_ip) is not None
+
+
+class TestAggregation:
+    def test_attribute_events(self):
+        sm = SourceMap({1: ("f", "f.c", 1), 2: ("g", "g.c", 2)})
+        ev = make_events(ip=[1, 1, 2, 9], addr=[0, 0, 0, 0])
+        counts = sm.attribute_events(ev)
+        assert counts[("f", "f.c", 1)] == 2
+        assert counts[("g", "g.c", 2)] == 1
+        assert counts[("?", "?", 0)] == 1
+
+    def test_attribute_functions(self):
+        sm = SourceMap({1: ("f", "f.c", 1), 2: ("f", "f.c", 9)})
+        ev = make_events(ip=[1, 2, 2], addr=[0, 0, 0])
+        counts = sm.attribute_functions(ev)
+        assert counts["f"] == 3

@@ -1,0 +1,141 @@
+"""Tests for load classification (paper SS:III-B rules)."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.instrument.classify import classify_loads, classify_module
+from repro.trace.event import LoadClass
+
+
+def _classify(body, params=("arr", "n", "ptr")):
+    b = ProgramBuilder("m")
+    with b.proc("f", params=params) as p:
+        body(p)
+        p.ret(0)
+    proc = b.build().procedures["f"]
+    infos = classify_loads(proc)
+    return [infos[l.addr] for l in proc.loads()]
+
+
+class TestConstant:
+    def test_frame_relative_scalar(self):
+        out = _classify(lambda p: p.load_local("x", offset=8))
+        assert out[0].cls is LoadClass.CONSTANT
+
+    def test_global_relative_scalar(self):
+        out = _classify(lambda p: p.load_global("x", offset=16))
+        assert out[0].cls is LoadClass.CONSTANT
+
+    def test_frame_with_index_not_constant(self):
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load("x", base="fp", index="i", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED  # fp is invariant, i is the IV
+
+    def test_constant_inside_loop_stays_constant(self):
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load_local("x", offset=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.CONSTANT
+
+
+class TestStrided:
+    def test_direct_iv_index(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", index="i", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+        assert out[0].stride == 8
+
+    def test_derived_iv_stride(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.mul("i4", "i", 4)
+                p.load("v", base="arr", index="i4", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+        assert out[0].stride == 32
+
+    def test_iv_as_base(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.add("addr", "arr", "i")
+                p.load("v", base="addr")
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+        assert out[0].stride == 1
+
+    def test_outer_loop_iv_seen_from_inner_loop(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                with p.loop("j", 0, 4):
+                    p.load("v", base="arr", index="i", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+
+    def test_unknown_but_constant_stride(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.mul("ik", "i", "n")  # n invariant but not literal
+                p.load("v", base="arr", index="ik", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+        assert out[0].stride is None
+
+
+class TestIrregular:
+    def test_pointer_chase(self):
+        def body(p):
+            p.mov("v", 0)
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", index="v", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.IRREGULAR
+
+    def test_load_defined_index(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.load("j", base="ptr", index="i", scale=8)
+                p.load("v", base="arr", index="j", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.STRIDED
+        assert out[1].cls is LoadClass.IRREGULAR
+
+    def test_straight_line_heap_load(self):
+        out = _classify(lambda p: p.load("v", base="arr", offset=8))
+        assert out[0].cls is LoadClass.IRREGULAR
+
+    def test_loop_invariant_address_is_irregular(self):
+        # paper rule: "all other loads are classified as irregular"
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", offset=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.IRREGULAR
+
+    def test_multi_def_register(self):
+        def body(p):
+            with p.loop("i", 0, 8):
+                p.add("x", "x", 1)
+                p.add("x", "x", 2)
+                p.load("v", base="arr", index="x", scale=8)
+        out = _classify(body)
+        assert out[0].cls is LoadClass.IRREGULAR
+
+
+class TestModuleLevel:
+    def test_classify_module_covers_all_procs(self):
+        b = ProgramBuilder("m")
+        with b.proc("a") as p:
+            p.load_local("x")
+            p.ret(0)
+        with b.proc("b", params=("arr",)) as p:
+            with p.loop("i", 0, 4):
+                p.load("v", base="arr", index="i", scale=8)
+            p.ret(0)
+        m = b.build()
+        infos = classify_module(m)
+        assert len(infos) == 2
+        assert {i.cls for i in infos.values()} == {LoadClass.CONSTANT, LoadClass.STRIDED}
+        assert {i.proc for i in infos.values()} == {"a", "b"}

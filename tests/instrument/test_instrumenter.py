@@ -1,0 +1,142 @@
+"""Tests for ptwrite insertion and proxy selection (Fig. 2 behaviour)."""
+
+import pytest
+
+from repro.instrument.classify import classify_module
+from repro.instrument.instrumenter import instrument_module
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interp import Interpreter
+from repro.isa.program import Opcode
+from repro.trace.event import LoadClass
+
+
+def _module(body, params=("arr", "ptr")):
+    b = ProgramBuilder("m")
+    with b.proc("f", params=params) as p:
+        body(p)
+        p.ret(0)
+    return b.build()
+
+
+class TestPtwritePlacement:
+    def test_ptwrite_precedes_load(self):
+        m = _module(lambda p: p.load("v", base="arr"))
+        inst = instrument_module(m)
+        instrs = inst.module.procedures["f"].instructions()
+        ops = [i.op for i in instrs]
+        assert ops.index(Opcode.PTWRITE) == ops.index(Opcode.LOAD) - 1
+
+    def test_two_source_registers_two_ptwrites(self):
+        def body(p):
+            p.mov("v", 0)
+            with p.loop("i", 0, 4):
+                p.load("v", base="arr", index="v", scale=8)
+        m = _module(body)
+        inst = instrument_module(m)
+        ptws = [
+            i
+            for i in inst.module.procedures["f"].instructions()
+            if i.op is Opcode.PTWRITE
+        ]
+        assert len(ptws) == 2
+        roles = [inst.annotations.ptwrites[i.addr] for i in ptws]
+        assert [r.starts_record for r in roles] == [True, False]
+        assert roles[0].multiplier == 1  # base
+        assert roles[1].multiplier == 8  # index scale
+
+    def test_index_only_load_gets_scale_multiplier(self):
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load("v", index="i", scale=4, offset=0x1000)
+        m = _module(body)
+        inst = instrument_module(m)
+        ann = next(iter(inst.annotations.ptwrites.values()))
+        assert ann.multiplier == 4
+        assert ann.offset == 0x1000
+        assert ann.starts_record
+
+
+class TestProxySelection:
+    def test_constants_suppressed_with_nonconst_proxy(self):
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load_local("c1", offset=8)
+                p.load("v", base="arr", index="i", scale=8)
+                p.load_local("c2", offset=16)
+        m = _module(body)
+        inst = instrument_module(m)
+        ann = inst.annotations
+        assert ann.n_static_loads == 3
+        assert ann.n_static_instrumented == 1
+        assert ann.n_static_suppressed == 2
+        proxy = next(a for a in ann.loads.values() if a.cls is not LoadClass.CONSTANT)
+        assert proxy.n_const == 2
+
+    def test_all_constant_block_instruments_first(self):
+        def body(p):
+            p.load_local("c1", offset=8)
+            p.load_local("c2", offset=16)
+            p.load_local("c3", offset=24)
+        m = _module(body)
+        inst = instrument_module(m)
+        ann = inst.annotations
+        assert ann.n_static_instrumented == 1
+        proxy = next(iter(ann.loads.values()))
+        assert proxy.cls is LoadClass.CONSTANT
+        assert proxy.n_const == 2
+
+    def test_fig2_half_loads_instrumented(self):
+        """Fig. 2's takeaway: with a 50/50 constant mix, about half of the
+        static loads carry instrumentation."""
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load("v", base="arr", index="i", scale=8)
+                p.load_local("c1", offset=8)
+                p.load("w", base="arr", index="i", scale=8)
+                p.load_local("c2", offset=16)
+        m = _module(body)
+        inst = instrument_module(m)
+        assert inst.annotations.instrumented_fraction == pytest.approx(0.5)
+
+    def test_block_without_loads_untouched(self):
+        m = _module(lambda p: p.mov("x", 1))
+        inst = instrument_module(m)
+        assert inst.annotations.n_static_loads == 0
+        assert not inst.annotations.ptwrites
+
+
+class TestSemanticsPreserved:
+    def test_instrumented_module_computes_same_result(self):
+        def body(p):
+            p.mov("acc", 0)
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", index="i", scale=8)
+                p.add("acc", "acc", "v")
+            p.ret("acc")
+        b = ProgramBuilder("m")
+        with b.proc("f", params=("arr",)) as p:
+            body(p)
+        m = b.build()
+        inst = instrument_module(m)
+
+        from repro.simmem.address_space import AddressSpace
+
+        space = AddressSpace()
+        for i in range(8):
+            space.store_value(0x1000 + 8 * i, i * i)
+        rv1 = Interpreter(m, space).run("f", 0x1000).rv
+        rv2 = Interpreter(inst.module, space).run("f", 0x1000, mode="instrumented").rv
+        assert rv1 == rv2 == sum(i * i for i in range(8))
+
+    def test_original_module_not_mutated(self):
+        m = _module(lambda p: p.load("v", base="arr"))
+        before = m.n_instructions()
+        instrument_module(m)
+        assert m.n_instructions() == before
+
+    def test_source_lines_preserved(self):
+        m = _module(lambda p: p.load("v", base="arr"))
+        inst = instrument_module(m)
+        orig_lines = {i.line for i in m.procedures["f"].loads()}
+        new_lines = {a.line for a in inst.annotations.loads.values()}
+        assert new_lines == orig_lines

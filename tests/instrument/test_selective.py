@@ -1,0 +1,103 @@
+"""Tests for selective instrumentation (the paper's Step-1 ROI method)."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.instrumenter import instrument_module
+from repro.instrument.rebuild import rebuild_trace
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interp import Interpreter
+from repro.isa.program import Opcode
+from repro.simmem.address_space import AddressSpace
+
+
+def _two_proc_module():
+    b = ProgramBuilder("m")
+    for name in ("hot", "cold"):
+        with b.proc(name, params=("arr",)) as p:
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", index="i", scale=8)
+            p.ret(0)
+    with b.proc("main", params=("arr",)) as p:
+        p.call(None, "hot", "arr")
+        p.call(None, "cold", "arr")
+        p.ret(0)
+    return b.build()
+
+
+class TestSelectiveInstrumentation:
+    def test_only_selected_procs_get_ptwrites(self):
+        inst = instrument_module(_two_proc_module(), only_procs={"hot"})
+        for name, proc in inst.module.procedures.items():
+            has_ptw = any(
+                i.op is Opcode.PTWRITE for i in proc.instructions()
+            )
+            assert has_ptw == (name == "hot"), name
+
+    def test_unselected_loads_counted_as_suppressed(self):
+        inst = instrument_module(_two_proc_module(), only_procs={"hot"})
+        ann = inst.annotations
+        assert ann.n_static_loads == 2
+        assert ann.n_static_instrumented == 1
+        assert ann.n_static_suppressed == 1
+
+    def test_execution_traces_only_roi(self):
+        module = _two_proc_module()
+        inst = instrument_module(module, only_procs={"hot"})
+        space = AddressSpace()
+        res = Interpreter(inst.module, space).run("main", 0x1000, mode="instrumented")
+        events = rebuild_trace(res.packets, inst.annotations)
+        # all 16 loads executed, only hot's 8 recorded
+        assert res.n_loads == 16
+        assert len(events) == 8
+        fn_names = {fid: n for n, fid in inst.module.proc_ids().items()}
+        assert {fn_names[int(f)] for f in np.unique(events["fn"])} == {"hot"}
+
+    def test_timestamps_still_count_all_loads(self):
+        """Unselected loads advance the load counter (sampling geometry
+        is preserved) even though they emit nothing."""
+        module = _two_proc_module()
+        inst = instrument_module(module, only_procs={"cold"})
+        space = AddressSpace()
+        res = Interpreter(inst.module, space).run("main", 0x1000, mode="instrumented")
+        events = rebuild_trace(res.packets, inst.annotations)
+        # cold runs second: its records start after hot's 8 silent loads
+        assert events["t"][0] >= 8
+
+    def test_semantics_unchanged(self):
+        module = _two_proc_module()
+        inst = instrument_module(module, only_procs={"hot"})
+        space = AddressSpace()
+        rv = Interpreter(inst.module, space).run("main", 0x1000, mode="instrumented").rv
+        assert rv == 0
+
+    def test_unknown_proc_rejected(self):
+        with pytest.raises(KeyError):
+            instrument_module(_two_proc_module(), only_procs={"ghost"})
+
+    def test_none_means_everything(self):
+        inst = instrument_module(_two_proc_module(), only_procs=None)
+        assert inst.annotations.n_static_instrumented == 2
+
+    def test_matches_hardware_guard_result(self):
+        """Selective instrumentation and hardware guards produce the same
+        ROI record stream (the paper's two methods are interchangeable)."""
+        from repro.trace.guards import RegionOfInterest, apply_guards
+
+        module = _two_proc_module()
+        space1, space2 = AddressSpace(), AddressSpace()
+        # method 1: selective instrumentation
+        sel = instrument_module(module, only_procs={"hot"})
+        res1 = Interpreter(sel.module, space1).run("main", 0x1000, mode="instrumented")
+        ev1 = rebuild_trace(res1.packets, sel.annotations)
+        # method 2: instrument everything, guard afterwards
+        full = instrument_module(module)
+        res2 = Interpreter(full.module, space2).run("main", 0x1000, mode="instrumented")
+        ev2_all = rebuild_trace(res2.packets, full.annotations)
+        hot_ips = [
+            a.load_ip for a in full.annotations.loads.values() if a.proc == "hot"
+        ]
+        roi = RegionOfInterest(ranges=[(min(hot_ips), max(hot_ips) + 4)])
+        ev2, _ = apply_guards(ev2_all, roi)
+        assert np.array_equal(ev1["addr"], ev2["addr"])
+        assert np.array_equal(ev1["t"], ev2["t"])

@@ -1,0 +1,133 @@
+"""Failure injection: corrupted inputs fail loudly and recoverable losses
+recover.
+
+Covers the failure paths a deployed tool hits: truncated or corrupted
+trace archives, annotation/packet mismatches, perf drop bursts hitting
+two-register packet groups, and empty-everything corners.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.instrument.annotations import AnnotationFile
+from repro.instrument.instrumenter import instrument_module
+from repro.instrument.rebuild import rebuild_trace
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interp import Interpreter
+from repro.simmem.address_space import AddressSpace
+from repro.trace.collector import collect_full_trace, collect_sampled_trace
+from repro.trace.event import make_events
+from repro.trace.sampler import SamplingConfig
+from repro.trace.tracefile import TraceMeta, read_trace, write_trace
+
+
+class TestCorruptTraceFiles:
+    def test_truncated_archive(self, tmp_path):
+        path = tmp_path / "t.npz"
+        write_trace(path, make_events(ip=1, addr=np.arange(100)), TraceMeta())
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(Exception):
+            read_trace(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"definitely not a zip file")
+        with pytest.raises(Exception):
+            read_trace(path)
+
+    def test_bad_meta_json(self):
+        with pytest.raises(json.JSONDecodeError):
+            TraceMeta.from_json("{broken")
+
+    def test_unsupported_version(self):
+        text = TraceMeta().to_json().replace('"version": 1', '"version": 7')
+        with pytest.raises(ValueError):
+            TraceMeta.from_json(text)
+
+
+class TestAnnotationMismatch:
+    def test_annotations_from_wrong_module(self):
+        def build(loop_n):
+            b = ProgramBuilder("m")
+            with b.proc("f", params=("arr",)) as p:
+                with p.loop("i", 0, loop_n):
+                    p.load("v", base="arr", index="i", scale=8)
+                p.ret(0)
+            return b.build()
+
+        inst_a = instrument_module(build(8))
+        # a structurally different module: annotations won't line up
+        b2 = ProgramBuilder("m2")
+        with b2.proc("g", params=("arr", "x")) as p:
+            p.mov("v", 0)
+            with p.loop("i", 0, 8):
+                p.load("v", base="arr", index="v", scale=8)
+                p.load("w", base="x", index="i", scale=8)
+            p.ret(0)
+        inst_b = instrument_module(b2.build())
+        res = Interpreter(inst_b.module, AddressSpace()).run(
+            "g", 0x1000, 0x8000, mode="instrumented"
+        )
+        # wrong annotation file: either a hard error or (if ips happen to
+        # collide) a stream that cannot be fully matched
+        with pytest.raises(ValueError):
+            rebuild_trace(res.packets, AnnotationFile(module="empty"))
+
+    def test_bad_annotation_roundtrip_content(self):
+        with pytest.raises((KeyError, TypeError)):
+            AnnotationFile.from_json('{"module": "m"}')
+
+
+class TestDropsThroughRebuild:
+    def test_dropped_packets_resync_end_to_end(self):
+        """perf-style burst drops on the raw packet stream -> resync
+        rebuild recovers every intact record."""
+        b = ProgramBuilder("m")
+        with b.proc("f", params=("arr",)) as p:
+            p.mov("v", 0)
+            with p.loop("i", 0, 2000):
+                p.load("v", base="arr", index="v", scale=8)
+            p.ret(0)
+        inst = instrument_module(b.build())
+        space = AddressSpace()
+        for i in range(2000):
+            space.store_value(0x1000 + 8 * i, (i * 17) % 2000)
+        res = Interpreter(inst.module, space).run("f", 0x1000, mode="instrumented")
+        packets = res.packets
+
+        rng = np.random.default_rng(0)
+        keep = np.ones(len(packets), dtype=bool)
+        for start in rng.integers(0, len(packets) - 64, 12):
+            keep[start : start + 64] = False
+        damaged = packets[keep]
+
+        clean = rebuild_trace(packets, inst.annotations)
+        out = rebuild_trace(damaged, inst.annotations, resync=True)
+        assert 0 < len(out) < len(clean)
+        clean_by_t = {int(t): int(a) for t, a in zip(clean["t"], clean["addr"])}
+        for t, a in zip(out["t"], out["addr"]):
+            assert clean_by_t[int(t)] == int(a)
+
+
+class TestDegenerateInputs:
+    def test_sampling_period_longer_than_run(self):
+        ev = make_events(ip=1, addr=np.arange(50))
+        cfg = SamplingConfig(period=1_000_000, buffer_capacity=64)
+        col = collect_sampled_trace(ev, config=cfg)
+        assert col.n_samples == 0
+        assert len(col.events) == 0
+
+    def test_full_collection_total_drop_rejected(self):
+        ev = make_events(ip=1, addr=np.arange(50))
+        with pytest.raises(ValueError):
+            collect_full_trace(ev, drop_fraction=1.0)
+
+    def test_buffer_larger_than_stream(self):
+        ev = make_events(ip=1, addr=np.arange(100))
+        cfg = SamplingConfig(period=50, buffer_capacity=10_000, fill_mean=1.0, fill_jitter=0.0)
+        col = collect_sampled_trace(ev, config=cfg)
+        # every record lands in some sample exactly once
+        assert len(col.events) == 100

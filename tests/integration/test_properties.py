@@ -1,0 +1,108 @@
+"""Cross-module property-based tests on pipeline invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.histograms import window_histogram
+from repro.core.metrics import footprint
+from repro.core.reuse import reuse_distances, reuse_intervals
+from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.compress import decompress_counts, sample_ratio_from
+from repro.trace.event import make_events
+from repro.trace.sampler import SamplingConfig
+
+streams = st.builds(
+    lambda addrs, classes: make_events(
+        ip=1,
+        addr=np.asarray(addrs, dtype=np.uint64) * 8,
+        cls=np.resize(np.asarray(classes or [2], dtype=np.uint8), len(addrs)),
+    ),
+    addrs=st.lists(st.integers(0, 4000), min_size=1, max_size=400),
+    classes=st.lists(st.sampled_from([1, 2]), max_size=8),
+)
+
+configs = st.builds(
+    lambda period, cap: SamplingConfig(
+        period=period, buffer_capacity=cap, fill_mean=1.0, fill_jitter=0.0
+    ),
+    period=st.integers(10, 200),
+    cap=st.integers(1, 64),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ev=streams, cfg=configs)
+def test_sampling_is_a_subsequence(ev, cfg):
+    """Sampled records are a subsequence of the observed stream, with
+    sample sizes bounded by the buffer budget and the period."""
+    col = collect_sampled_trace(ev, config=cfg)
+    # subsequence: timestamps strictly increasing and present in source
+    t = col.events["t"].astype(np.int64)
+    assert np.all(np.diff(t) > 0) or len(t) <= 1
+    assert set(t) <= set(ev["t"].astype(np.int64))
+    for size in col.sample_sizes():
+        assert size <= min(cfg.buffer_capacity, cfg.period)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ev=streams, cfg=configs)
+def test_rho_scaling_bounds_population(ev, cfg):
+    """rho * implied sampled accesses ~= the run's load count."""
+    col = collect_sampled_trace(ev, config=cfg)
+    if len(col.events) == 0:
+        return
+    rho = sample_ratio_from(col)
+    est = rho * decompress_counts(col.events)
+    assert est == col.n_loads_total or abs(est - col.n_loads_total) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(ev=streams)
+def test_histogram_footprint_monotone_in_window(ev):
+    """Mean windowed footprint never decreases with window size."""
+    sizes = [4, 8, 16, 32]
+    _, means = window_histogram(ev, "F", sizes=sizes)
+    valid = means[~np.isnan(means)]
+    assert np.all(np.diff(valid) >= -1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ev=streams)
+def test_distance_never_exceeds_interval(ev):
+    d = reuse_distances(ev, block=8)
+    ri = reuse_intervals(ev, block=8)
+    mask = d >= 0
+    assert np.all(d[mask] <= ri[mask])
+    assert np.all((d >= 0) == (ri >= 0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(ev=streams)
+def test_zoom_tree_structure(ev):
+    """Children lie inside parents; leaf accesses never exceed the root's;
+    every leaf's hotness share is within (0, 100]."""
+    root = location_zoom(ev, ZoomConfig(page_size=4096, min_region_bytes=4096))
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            assert child.base >= node.base
+            assert child.end <= node.end
+            assert child.n_accesses <= node.n_accesses
+            stack.append(child)
+    for leaf in zoom_leaves(root):
+        assert 0 <= leaf.pct_of_total <= 100.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(ev=streams)
+def test_diagnostics_internal_consistency(ev):
+    d = compute_diagnostics(ev)
+    assert d.A_implied >= d.A_obs
+    assert d.F <= d.A_implied
+    assert 0 <= d.dF <= 1
+    assert d.F == footprint(ev)
+    if d.F_str + d.F_irr > 0:
+        assert abs(d.F_str_pct + d.F_irr_pct - 100.0) < 1e-9

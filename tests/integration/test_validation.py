@@ -1,0 +1,73 @@
+"""Integration: a miniature Fig.-6-style validation of sampled analysis.
+
+Checks the paper's central accuracy claim at test scale: sampled traces
+around 1-10% of the full trace reproduce windowed footprint metrics with
+bounded MAPE, and code-window aggregation reduces error further.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.histograms import mape, window_histogram
+from repro.core.windows import code_windows
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.compress import sample_ratio_from
+from repro.trace.sampler import SamplingConfig
+from repro.workloads.microbench import run_microbench
+
+SIZES = [8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return run_microbench("str4/irr", n_elems=2048, repeats=20, seed=0)
+
+
+@pytest.fixture(scope="module")
+def collection(bench):
+    cfg = SamplingConfig(period=5000, buffer_capacity=512, seed=2)
+    return collect_sampled_trace(
+        bench.events_observed, n_loads_total=bench.n_loads, config=cfg
+    )
+
+
+class TestTraceWindows:
+    @pytest.mark.parametrize("metric", ["F", "F_str", "F_irr"])
+    def test_mape_below_paper_bound(self, bench, collection, metric):
+        _, sampled = window_histogram(
+            collection.events, metric, sizes=SIZES, sample_id=collection.sample_id
+        )
+        _, full = window_histogram(bench.events_observed, metric, sizes=SIZES)
+        err = mape(sampled, full)
+        assert err < 25.0, f"{metric}: MAPE {err:.1f}%"
+
+
+class TestCodeWindows:
+    def test_per_function_error_small(self, bench, collection):
+        """Aggregated code windows estimate per-function accesses within
+        the paper's <5%-style bound (we allow 15% at this tiny scale)."""
+        rho = sample_ratio_from(collection)
+        sampled = code_windows(collection.events, rho=rho, fn_names=bench.fn_names)
+        full = code_windows(bench.events_observed, fn_names=bench.fn_names)
+        for fn, d_full in full.items():
+            if d_full.A_implied < 2000 or fn == "main":
+                continue
+            d_s = sampled.get(fn)
+            assert d_s is not None, fn
+            rel = abs(d_s.A_est - d_full.A_implied) / d_full.A_implied
+            assert rel < 0.15, f"{fn}: {rel:.2%}"
+
+    def test_df_estimates_close(self, bench, collection):
+        d_s = compute_diagnostics(collection.events)
+        d_f = compute_diagnostics(bench.events_observed)
+        # dF is scale-free; sampled windows overestimate slightly (paper
+        # SS:VI-A: quantitative overestimates, not qualitative errors)
+        assert d_s.dF >= d_f.dF * 0.8
+        assert d_s.dF <= d_f.dF * 20
+
+
+class TestSamplingFraction:
+    def test_trace_is_small_fraction(self, bench, collection):
+        frac = len(collection.events) / len(bench.events_observed)
+        assert frac < 0.15

@@ -1,0 +1,85 @@
+"""Tests for CFG construction, dominators, and natural loops."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.cfg import build_cfg, dominators, innermost_loop_of, natural_loops
+
+
+def _loopy_proc():
+    b = ProgramBuilder("m")
+    with b.proc("f") as p:
+        with b_loop(p, "i"):
+            with b_loop(p, "j"):
+                p.mov("x", "j")
+        p.ret(0)
+    return b.build().procedures["f"]
+
+
+def b_loop(p, var):
+    return p.loop(var, 0, 8)
+
+
+class TestCFG:
+    def test_entry_first_in_rpo(self):
+        proc = _loopy_proc()
+        cfg = build_cfg(proc)
+        assert cfg.rpo[0] == "entry"
+
+    def test_preds_inverse_of_succs(self):
+        proc = _loopy_proc()
+        cfg = build_cfg(proc)
+        for label, succs in cfg.succs.items():
+            for s in succs:
+                assert label in cfg.preds[s]
+
+    def test_all_blocks_reachable_in_builder_output(self):
+        proc = _loopy_proc()
+        cfg = build_cfg(proc)
+        assert cfg.reachable() == set(proc.blocks)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        proc = _loopy_proc()
+        cfg = build_cfg(proc)
+        dom = dominators(cfg)
+        for label in cfg.reachable():
+            assert "entry" in dom[label]
+
+    def test_every_block_dominates_itself(self):
+        proc = _loopy_proc()
+        cfg = build_cfg(proc)
+        for label, doms in dominators(cfg).items():
+            assert label in doms
+
+
+class TestNaturalLoops:
+    def test_two_nested_loops_found(self):
+        loops = natural_loops(_loopy_proc())
+        assert len(loops) == 2
+
+    def test_nesting_relationship(self):
+        loops = natural_loops(_loopy_proc())
+        inner = next(l for l in loops if l.depth == 2)
+        outer = next(l for l in loops if l.depth == 1)
+        assert inner.body < outer.body
+        assert inner.parent is outer
+
+    def test_latches_inside_body(self):
+        for loop in natural_loops(_loopy_proc()):
+            assert loop.latches <= loop.body
+
+    def test_innermost_loop_of(self):
+        proc = _loopy_proc()
+        loops = natural_loops(proc)
+        inner = next(l for l in loops if l.depth == 2)
+        # a block only in the inner loop maps to the inner loop
+        only_inner = next(iter(inner.body - next(l for l in loops if l.depth == 1).latches))
+        found = innermost_loop_of(only_inner, loops)
+        assert found is inner
+
+    def test_straight_line_has_no_loops(self):
+        b = ProgramBuilder("m")
+        with b.proc("f") as p:
+            p.mov("x", 1)
+            p.ret(0)
+        assert natural_loops(b.build().procedures["f"]) == []

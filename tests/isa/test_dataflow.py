@@ -1,0 +1,144 @@
+"""Tests for induction-variable and invariance analysis."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dataflow import analyze_induction
+
+
+def _analyze(build_body):
+    b = ProgramBuilder("m")
+    with b.proc("f", params=("base", "n")) as p:
+        build_body(p)
+        p.ret(0)
+    proc = b.build().procedures["f"]
+    infos = analyze_induction(proc)
+    assert len(infos) >= 1
+    # return the outermost loop's info (or the only one)
+    return min(infos.values(), key=lambda i: i.loop.depth)
+
+
+class TestBasicIVs:
+    def test_loop_counter_is_iv(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mov("x", "i")
+        info = _analyze(body)
+        assert "i" in info.ivs
+        assert info.ivs["i"] == 1
+
+    def test_stride_value(self):
+        def body(p):
+            with p.loop("i", 0, 100, step=3):
+                p.mov("x", "i")
+        info = _analyze(body)
+        assert info.ivs["i"] == 3
+
+    def test_negative_stride(self):
+        def body(p):
+            with p.loop("i", 100, 0, step=-2):
+                p.mov("x", "i")
+        info = _analyze(body)
+        assert info.ivs["i"] == -2
+
+
+class TestDerivedIVs:
+    def test_mul_by_constant(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mul("i8", "i", 8)
+        info = _analyze(body)
+        assert info.ivs["i8"] == 8
+
+    def test_add_invariant(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.add("off", "i", "base")  # base is a param: invariant
+        info = _analyze(body)
+        assert "off" in info.ivs
+        assert info.ivs["off"] == 1
+
+    def test_mul_by_invariant_register_unknown_stride(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mul("scaled", "i", "n")
+        info = _analyze(body)
+        assert "scaled" in info.ivs
+        assert info.ivs["scaled"] is None
+
+    def test_chained_derivation(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mul("a", "i", 4)
+                p.add("b", "a", 16)
+        info = _analyze(body)
+        assert info.ivs["b"] == 4
+
+    def test_mov_propagates(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mov("c", "i")
+        info = _analyze(body)
+        assert info.ivs["c"] == 1
+
+
+class TestNonIVs:
+    def test_multiple_defs_not_iv(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.add("x", "x", 1)
+                p.add("x", "x", 2)
+        info = _analyze(body)
+        assert "x" not in info.ivs
+
+    def test_load_defined_register(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.load("v", base="base", index="i", scale=8)
+                p.add("w", "v", 1)
+        info = _analyze(body)
+        assert "v" in info.load_defined
+        assert "w" not in info.ivs
+
+    def test_invariants(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.add("x", "base", "n")
+        info = _analyze(body)
+        assert info.is_invariant("base")
+        assert info.is_invariant("n")
+        assert info.is_invariant("fp")
+
+    def test_derived_invariant(self):
+        """A register computed from invariants is invariant, not irregular."""
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mul("row", "base", 8)
+                p.add("x", "row", "n")
+        info = _analyze(body)
+        assert info.is_invariant("row")
+        assert info.is_invariant("x")
+
+    def test_outer_iv_times_constant_invariant_in_inner_loop(self):
+        """The matmul shape: crow = i*8n computed inside the j loop."""
+        from repro.isa.builder import ProgramBuilder
+        from repro.isa.dataflow import analyze_induction
+
+        b = ProgramBuilder("m")
+        with b.proc("f", params=("C", "n")) as p:
+            with p.loop("i", 0, 8):
+                with p.loop("j", 0, 8):
+                    p.mul("crow", "i", 64)
+                    p.add("coff", "crow", "j")
+                    p.load("cv", base="C", index="coff")
+            p.ret(0)
+        proc = b.build().procedures["f"]
+        infos = analyze_induction(proc)
+        inner = max(infos.values(), key=lambda x: x.loop.depth)
+        assert inner.is_invariant("crow")
+        assert inner.is_iv("coff")  # crow(inv) + j(IV)
+
+    def test_self_dependent_non_affine(self):
+        def body(p):
+            with p.loop("i", 0, 10):
+                p.mul("acc", "acc", 2)
+        info = _analyze(body)
+        assert "acc" not in info.ivs

@@ -1,0 +1,176 @@
+"""Tests for the ISA interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interp import Interpreter
+from repro.simmem.address_space import AddressSpace
+from repro.trace.event import LoadClass
+
+
+def _build(body, params=("a", "b")):
+    b = ProgramBuilder("m")
+    with b.proc("main", params=params) as p:
+        body(p)
+    return b.build()
+
+
+class TestArithmeticAndControl:
+    def test_return_value(self):
+        m = _build(lambda p: p.ret(42))
+        assert Interpreter(m).run("main", 0, 0).rv == 42
+
+    def test_arithmetic(self):
+        def body(p):
+            p.add("x", "a", "b")
+            p.mul("y", "x", 3)
+            p.sub("z", "y", 1)
+            p.ret("z")
+        m = _build(body)
+        assert Interpreter(m).run("main", 2, 3).rv == 14
+
+    def test_and_shr(self):
+        def body(p):
+            p.and_("x", "a", 0xFF)
+            p.shr("y", "x", 4)
+            p.ret("y")
+        m = _build(body)
+        assert Interpreter(m).run("main", 0x1A7, 0).rv == 0xA
+
+    def test_loop_sums(self):
+        def body(p):
+            p.mov("acc", 0)
+            with p.loop("i", 0, "a"):
+                p.add("acc", "acc", "i")
+            p.ret("acc")
+        m = _build(body)
+        assert Interpreter(m).run("main", 10, 0).rv == 45
+
+    def test_branch_both_ways(self):
+        def body(p):
+            with p.if_else("lt", "a", 5) as otherwise:
+                p.mov("r", 1)
+                otherwise()
+                p.mov("r", 2)
+            p.ret("r")
+        m = _build(body)
+        assert Interpreter(m).run("main", 3, 0).rv == 1
+        assert Interpreter(m).run("main", 9, 0).rv == 2
+
+    def test_instruction_cap(self):
+        def body(p):
+            with p.loop("i", 0, 10_000):
+                p.mov("x", "i")
+            p.ret(0)
+        m = _build(body)
+        with pytest.raises(RuntimeError):
+            Interpreter(m, max_instrs=100).run("main", 0, 0)
+
+    def test_bad_mode(self):
+        m = _build(lambda p: p.ret(0))
+        with pytest.raises(ValueError):
+            Interpreter(m).run("main", 0, 0, mode="weird")
+
+
+class TestCalls:
+    def test_call_passes_args_and_returns(self):
+        b = ProgramBuilder("m")
+        with b.proc("double", params=("x",)) as p:
+            p.add("r", "x", "x")
+            p.ret("r")
+        with b.proc("main", params=("a",)) as p:
+            p.call("out", "double", "a")
+            p.ret("out")
+        m = b.build()
+        assert Interpreter(m).run("main", 21).rv == 42
+
+    def test_registers_are_per_activation(self):
+        b = ProgramBuilder("m")
+        with b.proc("clobber") as p:
+            p.mov("x", 999)
+            p.ret(0)
+        with b.proc("main") as p:
+            p.mov("x", 5)
+            p.call(None, "clobber")
+            p.ret("x")
+        m = b.build()
+        assert Interpreter(m).run("main").rv == 5
+
+    def test_too_many_args_rejected(self):
+        b = ProgramBuilder("m")
+        with b.proc("f", params=("x",)) as p:
+            p.ret("x")
+        with b.proc("main") as p:
+            p.call("r", "f", 1, 2)
+            p.ret(0)
+        m = b.build()
+        with pytest.raises(TypeError):
+            Interpreter(m).run("main")
+
+
+class TestMemoryAndEvents:
+    def test_load_store_roundtrip(self):
+        def body(p):
+            p.store(7, base="a", offset=8)
+            p.load("v", base="a", offset=8)
+            p.ret("v")
+        m = _build(body)
+        res = Interpreter(m).run("main", 0x1000, 0)
+        assert res.rv == 7
+        assert res.n_stores == 1
+        assert res.n_loads == 1
+
+    def test_oracle_events_have_addresses(self):
+        def body(p):
+            with p.loop("i", 0, 4):
+                p.load("v", base="a", index="i", scale=8)
+            p.ret(0)
+        m = _build(body)
+        res = Interpreter(m).run("main", 0x1000, 0)
+        assert len(res.events) == 4
+        assert list(res.events["addr"]) == [0x1000, 0x1008, 0x1010, 0x1018]
+        assert list(res.events["t"]) == [0, 1, 2, 3]
+
+    def test_class_map_tags_events(self):
+        def body(p):
+            p.load("v", base="a")
+            p.ret(0)
+        m = _build(body)
+        load_addr = m.procedures["main"].loads()[0].addr
+        res = Interpreter(m, classes={load_addr: LoadClass.STRIDED}).run("main", 0x10, 0)
+        assert res.events["cls"][0] == int(LoadClass.STRIDED)
+
+    def test_fp_gp_are_set(self):
+        def body(p):
+            p.load_local("l", offset=0)
+            p.load_global("g", offset=0)
+            p.ret(0)
+        m = _build(body)
+        res = Interpreter(m).run("main", 0, 0)
+        addrs = res.events["addr"]
+        assert addrs[0] != addrs[1]
+
+    def test_instrumented_mode_emits_no_oracle_events(self):
+        def body(p):
+            p.load("v", base="a")
+            p.ret(0)
+        m = _build(body)
+        res = Interpreter(m).run("main", 0x10, 0, mode="instrumented")
+        assert res.events is None
+        assert len(res.packets) == 0  # no ptwrites in this module
+        assert res.n_loads == 1
+
+    def test_uninitialised_memory_reads_zero(self):
+        def body(p):
+            p.load("v", base="a", offset=0x5000)
+            p.ret("v")
+        m = _build(body)
+        assert Interpreter(m).run("main", 0x20_0000, 0).rv == 0
+
+    def test_shared_space_across_runs(self):
+        space = AddressSpace()
+        m1 = _build(lambda p: (p.store(5, base="a"), p.ret(0))[-1])
+        m2 = _build(lambda p: (p.load("v", base="a"), p.ret("v"))[-1])
+        Interpreter(m1, space).run("main", 0x900, 0)
+        assert Interpreter(m2, space).run("main", 0x900, 0).rv == 5

@@ -1,0 +1,134 @@
+"""Tests for the program representation."""
+
+import pytest
+
+from repro.isa.program import (
+    BasicBlock,
+    CODE_BASE,
+    Instruction,
+    MemRef,
+    Module,
+    Opcode,
+    PROC_STRIDE,
+    Procedure,
+)
+
+
+class TestMemRef:
+    def test_requires_a_register(self):
+        with pytest.raises(ValueError):
+            MemRef()
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            MemRef(base="r1", scale=3)
+
+    def test_registers(self):
+        assert MemRef(base="a", index="b", scale=8).registers() == ("a", "b")
+        assert MemRef(base="a").registers() == ("a",)
+        assert MemRef(index="b", scale=4).registers() == ("b",)
+
+    def test_str(self):
+        assert str(MemRef(base="a", index="b", scale=8, offset=4)) == "[a + b*8 + 4]"
+
+
+class TestInstruction:
+    def test_br_needs_two_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, cond="lt", srcs=(1, 2), targets=("one",))
+
+    def test_br_cond_validated(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, cond="weird", srcs=(1, 2), targets=("a", "b"))
+
+    def test_jmp_needs_one_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, targets=())
+
+    def test_load_needs_mem(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, dest="r")
+
+    def test_defined_register(self):
+        add = Instruction(Opcode.ADD, dest="r", srcs=(1, 2))
+        assert add.defined_register() == "r"
+        store = Instruction(Opcode.STORE, srcs=("r",), mem=MemRef(base="a"))
+        assert store.defined_register() is None
+
+    def test_terminators(self):
+        assert Instruction(Opcode.RET, srcs=(0,)).is_terminator
+        assert not Instruction(Opcode.MOV, dest="r", srcs=(0,)).is_terminator
+
+
+def _tiny_proc(name="p") -> Procedure:
+    block = BasicBlock("entry", [Instruction(Opcode.RET, srcs=(0,))])
+    return Procedure(name=name, entry="entry", blocks={"entry": block})
+
+
+class TestProcedure:
+    def test_validate_missing_entry(self):
+        proc = Procedure(name="p", entry="nope", blocks={})
+        with pytest.raises(ValueError):
+            proc.validate()
+
+    def test_validate_open_block(self):
+        proc = Procedure(
+            name="p",
+            entry="entry",
+            blocks={"entry": BasicBlock("entry", [Instruction(Opcode.NOP)])},
+        )
+        with pytest.raises(ValueError):
+            proc.validate()
+
+    def test_validate_unknown_target(self):
+        block = BasicBlock("entry", [Instruction(Opcode.JMP, targets=("ghost",))])
+        proc = Procedure(name="p", entry="entry", blocks={"entry": block})
+        with pytest.raises(ValueError):
+            proc.validate()
+
+    def test_mid_block_terminator_rejected(self):
+        block = BasicBlock(
+            "entry",
+            [Instruction(Opcode.RET, srcs=(0,)), Instruction(Opcode.RET, srcs=(0,))],
+        )
+        proc = Procedure(name="p", entry="entry", blocks={"entry": block})
+        with pytest.raises(ValueError):
+            proc.validate()
+
+
+class TestModule:
+    def test_duplicate_procedure_rejected(self):
+        m = Module("m")
+        m.add(_tiny_proc("a"))
+        with pytest.raises(ValueError):
+            m.add(_tiny_proc("a"))
+
+    def test_layout_assigns_addresses(self):
+        m = Module("m")
+        m.add(_tiny_proc("a"))
+        m.add(_tiny_proc("b"))
+        m.layout()
+        a = m.procedures["a"].instructions()[0].addr
+        b = m.procedures["b"].instructions()[0].addr
+        assert a == CODE_BASE
+        assert b == CODE_BASE + PROC_STRIDE
+
+    def test_proc_of_addr(self):
+        m = Module("m")
+        m.add(_tiny_proc("a"))
+        m.add(_tiny_proc("b"))
+        m.layout()
+        assert m.proc_of_addr(CODE_BASE) == "a"
+        assert m.proc_of_addr(CODE_BASE + PROC_STRIDE + 4) == "b"
+        assert m.proc_of_addr(0) is None
+
+    def test_source_lines_requires_layout(self):
+        m = Module("m")
+        m.add(_tiny_proc("a"))
+        with pytest.raises(RuntimeError):
+            m.source_lines()
+
+    def test_n_instructions(self):
+        m = Module("m")
+        m.add(_tiny_proc("a"))
+        assert m.n_instructions() == 1

@@ -1,0 +1,130 @@
+"""Tests for the simulated address space and allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmem.address_space import AddressSpace, GLOBAL_BASE, HEAP_BASE
+
+
+class TestAllocation:
+    def test_heap_regions_disjoint(self, space):
+        a = space.malloc(100, "a")
+        b = space.malloc(100, "b")
+        assert a.end <= b.base
+
+    def test_guard_gap(self):
+        space = AddressSpace(guard=4096)
+        a = space.malloc(64, "a")
+        b = space.malloc(64, "b")
+        assert b.base - a.end >= 4096
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=64)
+        space.malloc(1, "a")
+        b = space.malloc(1, "b")
+        assert b.base % 64 == 0
+
+    def test_kinds_and_bases(self, space):
+        assert space.malloc(8, "h").base >= HEAP_BASE
+        assert space.alloc_global(8, "g").base >= GLOBAL_BASE
+        frame = space.push_frame(64, "f")
+        assert frame.kind == "stack"
+        assert frame.base > space.malloc(8).base
+
+    def test_stack_grows_down(self, space):
+        f1 = space.push_frame(64)
+        f2 = space.push_frame(64)
+        assert f2.end <= f1.base
+
+    def test_bad_sizes_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.malloc(0)
+        with pytest.raises(ValueError):
+            space.alloc_global(-1)
+        with pytest.raises(ValueError):
+            space.push_frame(0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(alignment=48)
+
+
+class TestRecycling:
+    def test_same_size_reuses_address(self, space):
+        a = space.malloc(128, "a")
+        base = a.base
+        space.free(a)
+        b = space.malloc(128, "b")
+        assert b.base == base
+
+    def test_different_size_not_reused(self, space):
+        a = space.malloc(128, "a")
+        space.free(a)
+        b = space.malloc(4096, "b")
+        assert b.base != a.base
+
+    def test_double_free_rejected(self, space):
+        a = space.malloc(64)
+        space.free(a)
+        with pytest.raises(KeyError):
+            space.free(a)
+
+    def test_alloc_log_includes_recycled(self, space):
+        a = space.malloc(128, "map")
+        space.free(a)
+        space.malloc(128, "map")
+        assert len([e for e in space.alloc_log if e[0] == "map"]) == 2
+
+    def test_extent_of_covers_history(self, space):
+        a = space.malloc(128, "obj")
+        space.free(a)
+        space.malloc(128, "obj")
+        lo, hi = space.extent_of("obj")
+        assert lo == a.base
+        assert hi == a.base + 128
+
+    def test_extent_missing_label(self, space):
+        with pytest.raises(KeyError):
+            space.extent_of("ghost")
+
+
+class TestLookup:
+    def test_region_of(self, space):
+        a = space.malloc(100, "a")
+        assert space.region_of(a.base) is a
+        assert space.region_of(a.base + 99) is a
+        assert space.region_of(a.base + 100) is None
+        assert space.region_of(0) is None
+
+    def test_find_by_name(self, space):
+        space.malloc(8, "x")
+        b = space.malloc(8, "y")
+        assert space.find("y") is b
+        with pytest.raises(KeyError):
+            space.find("z")
+
+    def test_regions_sorted(self, space):
+        space.push_frame(64)
+        space.malloc(8)
+        space.alloc_global(8)
+        bases = [r.base for r in space.regions]
+        assert bases == sorted(bases)
+
+
+class TestValues:
+    def test_store_load(self, space):
+        space.store_value(0x123, 77)
+        assert space.load_value(0x123) == 77
+
+    def test_uninitialised_zero(self, space):
+        assert space.load_value(0x999) == 0
+
+
+@given(sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=30))
+def test_allocations_never_overlap(sizes):
+    """Property: live regions are pairwise disjoint whatever the sizes."""
+    space = AddressSpace()
+    regions = [space.malloc(s) for s in sizes]
+    spans = sorted((r.base, r.end) for r in regions)
+    for (_, end1), (base2, _) in zip(spans, spans[1:]):
+        assert end1 <= base2

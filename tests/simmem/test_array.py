@@ -1,0 +1,89 @@
+"""Tests for the instrumented flat array."""
+
+import numpy as np
+import pytest
+
+from repro.simmem.datastructs.array import FlatArray
+from repro.trace.event import LoadClass
+
+
+@pytest.fixture
+def arr(space, recorder):
+    a = FlatArray(space, recorder, 16, name="arr")
+    a.fill(np.arange(16) * 10)
+    return a
+
+
+class TestConstruction:
+    def test_region_size(self, arr):
+        assert arr.region.size == 16 * 8
+        assert arr.region.name == "arr"
+
+    def test_bad_args(self, space, recorder):
+        with pytest.raises(ValueError):
+            FlatArray(space, recorder, 0)
+        with pytest.raises(ValueError):
+            FlatArray(space, recorder, 4, elem_size=0)
+
+
+class TestLoads:
+    def test_load_records_event(self, arr, recorder):
+        assert arr.load(3) == 30
+        ev = recorder.finalize()
+        assert ev["addr"][0] == arr.region.base + 24
+        assert ev["cls"][0] == int(LoadClass.STRIDED)
+
+    def test_load_pattern_override(self, arr, recorder):
+        arr.load(3, pattern=LoadClass.IRREGULAR)
+        ev = recorder.finalize()
+        assert ev["cls"][0] == int(LoadClass.IRREGULAR)
+
+    def test_gather(self, arr, recorder):
+        vals = arr.gather([5, 1, 5])
+        assert list(vals) == [50, 10, 50]
+        ev = recorder.finalize()
+        assert len(ev) == 3
+        assert ev["cls"][0] == int(LoadClass.IRREGULAR)
+
+    def test_load_range_and_sweep(self, arr, recorder):
+        assert list(arr.load_range(2, 6)) == [20, 30, 40, 50]
+        assert len(arr.sweep()) == 16
+        ev = recorder.finalize()
+        assert len(ev) == 4 + 16
+        assert np.all(ev["cls"] == int(LoadClass.STRIDED))
+
+    def test_load_range_step(self, arr, recorder):
+        assert list(arr.load_range(0, 8, step=2)) == [0, 20, 40, 60]
+        assert recorder.n_recorded == 4
+
+    def test_bounds_checked(self, arr):
+        with pytest.raises(IndexError):
+            arr.load(16)
+        with pytest.raises(IndexError):
+            arr.gather([99])
+        with pytest.raises(IndexError):
+            arr.load_range(0, 17)
+
+    def test_addr_of(self, arr):
+        assert arr.addr_of(2) == arr.region.base + 16
+        assert list(arr.addr_of([0, 1])) == [arr.region.base, arr.region.base + 8]
+
+
+class TestStores:
+    def test_store_not_recorded(self, arr, recorder):
+        arr.store(0, 99)
+        assert arr.data[0] == 99
+        assert recorder.n_recorded == 0
+        assert arr.n_stores == 1
+
+    def test_store_many(self, arr):
+        arr.store_many([1, 2], [5, 6])
+        assert arr.data[1] == 5 and arr.data[2] == 6
+        assert arr.n_stores == 2
+
+    def test_scope_attribution(self, space, recorder):
+        a = FlatArray(space, recorder, 4, name="x")
+        with recorder.scope("hot_fn"):
+            a.load(0)
+        ev = recorder.finalize()
+        assert recorder.function_names[int(ev["fn"][0])] == "hot_fn"

@@ -1,0 +1,73 @@
+"""Tests for instrumented CSR graph storage."""
+
+import numpy as np
+import pytest
+
+from repro.simmem.datastructs.csr import CSRGraph
+from repro.trace.event import LoadClass
+
+
+@pytest.fixture
+def graph(space, recorder):
+    # 0 -> 1,2 ; 1 -> 2 ; 2 -> (none)
+    offsets = np.array([0, 2, 3, 3])
+    targets = np.array([1, 2, 2])
+    return CSRGraph(space, recorder, offsets, targets)
+
+
+class TestConstruction:
+    def test_shape(self, graph):
+        assert graph.n == 3
+        assert graph.m == 3
+
+    def test_invalid_offsets(self, space, recorder):
+        with pytest.raises(ValueError):
+            CSRGraph(space, recorder, np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(space, recorder, np.array([0, 2, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(space, recorder, np.array([0]), np.array([], dtype=np.int64))
+
+    def test_from_edges_dedups_and_sorts(self, space, recorder):
+        edges = np.array([[1, 0], [0, 1], [0, 1], [0, 0]])
+        g = CSRGraph.from_edges(space, recorder, 2, edges)
+        assert list(g.neighbors(0, record=False)) == [1]
+        assert list(g.neighbors(1, record=False)) == [0]
+
+    def test_from_edges_symmetrize(self, space, recorder):
+        edges = np.array([[0, 1]])
+        g = CSRGraph.from_edges(space, recorder, 3, edges, symmetrize=True)
+        assert list(g.neighbors(1, record=False)) == [0]
+
+    def test_from_edges_empty(self, space, recorder):
+        g = CSRGraph.from_edges(space, recorder, 3, np.empty((0, 2)))
+        assert g.m == 0
+        assert list(g.degrees()) == [0, 0, 0]
+
+
+class TestAccess:
+    def test_neighbors_values(self, graph):
+        assert list(graph.neighbors(0)) == [1, 2]
+        assert list(graph.neighbors(2)) == []
+
+    def test_neighbors_records_offsets_and_run(self, graph, recorder):
+        graph.neighbors(0)
+        ev = recorder.finalize()
+        # 2 offset loads + 2 contiguous target loads
+        assert len(ev) == 4
+        assert np.all(ev["cls"] == int(LoadClass.STRIDED))
+
+    def test_record_false_suppresses(self, graph, recorder):
+        graph.neighbors(0, record=False)
+        assert recorder.n_recorded == 0
+
+    def test_degree(self, graph, recorder):
+        assert graph.degree(0) == 2
+        assert graph.degree(2, record=False) == 0
+
+    def test_degrees_vector(self, graph):
+        assert list(graph.degrees()) == [2, 1, 0]
+
+    def test_out_of_range(self, graph):
+        with pytest.raises(IndexError):
+            graph.neighbors(3)

@@ -1,0 +1,123 @@
+"""Tests for the hopscotch closed hash table (miniVite v2/v3 map)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.hopscotch import HopscotchMap
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+
+@pytest.fixture
+def hmap(space, recorder):
+    return HopscotchMap(space, recorder, capacity=32)
+
+
+class TestSemantics:
+    def test_insert_find(self, hmap):
+        hmap.insert(1, 10.0)
+        hmap.insert(2, 20.0)
+        assert hmap.find(1) == 10.0
+        assert hmap.find(2) == 20.0
+        assert hmap.find(3) is None
+
+    def test_update_and_accumulate(self, hmap):
+        hmap.insert(1, 1.0)
+        hmap.insert(1, 5.0)
+        assert hmap.find(1) == 5.0
+        hmap.insert(1, 2.0, accumulate=True)
+        assert hmap.find(1) == 7.0
+        assert len(hmap) == 1
+
+    def test_resize_preserves_contents(self, space, recorder):
+        m = HopscotchMap(space, recorder, capacity=16)
+        for k in range(100):
+            m.insert(k, float(k))
+        assert m.n_resizes > 0
+        for k in range(100):
+            assert m.find(k) == float(k)
+
+    def test_right_sized_never_resizes(self, space, recorder):
+        m = HopscotchMap(space, recorder, right_size_for=100)
+        for k in range(100):
+            m.insert(k, float(k))
+        assert m.n_resizes == 0
+        assert m.right_sized
+
+    def test_capacity_for_is_tight(self):
+        cap = HopscotchMap.capacity_for(100)
+        assert cap % HopscotchMap.H == 0
+        assert cap >= 100 / 0.75
+        assert cap < 100 / 0.75 + 2 * HopscotchMap.H
+
+    def test_items(self, hmap):
+        for k in (5, 3, 9):
+            hmap.insert(k, float(k))
+        assert sorted(hmap.items()) == [(3, 3.0), (5, 5.0), (9, 9.0)]
+
+    def test_neighborhood_invariant(self, space, recorder):
+        """Every key is within H slots of its home bucket."""
+        m = HopscotchMap(space, recorder, capacity=32)
+        rng = np.random.default_rng(0)
+        for k in rng.integers(0, 10_000, 60):
+            m.insert(int(k), 1.0)
+        for s in np.flatnonzero(m._keys != -1):
+            key = int(m._keys[s])
+            home = m._home(key)
+            assert (s - home) % m.capacity < m.H
+
+    def test_bad_load_factor(self, space, recorder):
+        with pytest.raises(ValueError):
+            HopscotchMap(space, recorder, max_load_factor=1.5)
+
+
+class TestAccessBehaviour:
+    def test_probes_are_mostly_strided(self, space, recorder):
+        m = HopscotchMap(space, recorder, capacity=64)
+        for k in range(30):
+            m.insert(k, 0.0)
+        for k in range(30):
+            m.find(k)
+        ev = recorder.finalize()
+        counts = np.bincount(ev["cls"], minlength=3)
+        assert counts[int(LoadClass.STRIDED)] > counts[int(LoadClass.IRREGULAR)]
+
+    def test_items_is_one_strided_sweep(self, space, recorder):
+        m = HopscotchMap(space, recorder, capacity=32)
+        m.insert(1, 1.0)
+        before = recorder.n_recorded
+        m.items()
+        ev_count = recorder.n_recorded - before
+        assert ev_count == m.capacity
+
+    def test_resize_burst_recorded(self, space, recorder):
+        m = HopscotchMap(space, recorder, capacity=16)
+        for k in range(13):  # crosses 0.75 * 16
+            m.insert(k, 0.0)
+        assert m.n_resizes >= 1
+
+    def test_single_region(self, space, recorder):
+        m = HopscotchMap(space, recorder, capacity=32, name="map")
+        assert [r.name for r in m.regions()] == ["map"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 40), st.floats(-10, 10, allow_nan=False)),
+        max_size=80,
+    )
+)
+def test_matches_dict_model(ops):
+    """Property: behaves exactly like a dict even across resizes."""
+    space, recorder = AddressSpace(), AccessRecorder()
+    m = HopscotchMap(space, recorder, capacity=16)
+    model: dict[int, float] = {}
+    for k, v in ops:
+        m.insert(k, v)
+        model[k] = v
+    assert len(m) == len(model)
+    for k in range(41):
+        assert m.find(k) == model.get(k)

@@ -1,0 +1,109 @@
+"""Tests for the chained open hash table (miniVite v1 map)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.open_hash import OpenHashMap
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+
+@pytest.fixture
+def omap(space, recorder):
+    return OpenHashMap(space, recorder, n_buckets=4)
+
+
+class TestSemantics:
+    def test_insert_find(self, omap):
+        omap.insert(1, 10.0)
+        omap.insert(2, 20.0)
+        assert omap.find(1) == 10.0
+        assert omap.find(2) == 20.0
+        assert omap.find(3) is None
+
+    def test_update(self, omap):
+        omap.insert(1, 10.0)
+        omap.insert(1, 11.0)
+        assert omap.find(1) == 11.0
+        assert len(omap) == 1
+
+    def test_accumulate(self, omap):
+        omap.insert(1, 1.0, accumulate=True)
+        omap.insert(1, 2.0, accumulate=True)
+        assert omap.find(1) == 3.0
+
+    def test_rehash_preserves_contents(self, omap):
+        for k in range(50):
+            omap.insert(k, float(k))
+        assert omap.n_rehashes > 0
+        for k in range(50):
+            assert omap.find(k) == float(k)
+
+    def test_items(self, omap):
+        for k in (3, 1, 2):
+            omap.insert(k, float(k))
+        assert sorted(omap.items()) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_load_factor(self, omap):
+        for k in range(4):
+            omap.insert(k, 0.0)
+        assert omap.load_factor <= omap.max_load_factor + 1e-9
+
+    def test_bad_args(self, space, recorder):
+        with pytest.raises(ValueError):
+            OpenHashMap(space, recorder, n_buckets=0)
+        with pytest.raises(ValueError):
+            OpenHashMap(space, recorder, max_load_factor=0)
+
+
+class TestAccessBehaviour:
+    def test_all_loads_irregular(self, space, recorder):
+        m = OpenHashMap(space, recorder, n_buckets=4)
+        for k in range(20):
+            m.insert(k, 0.0)
+        m.find(5)
+        m.items()
+        ev = recorder.finalize()
+        assert np.all(ev["cls"] == int(LoadClass.IRREGULAR))
+
+    def test_chain_walk_costs_loads(self, space, recorder):
+        # one bucket forces a chain; longer chains need more loads
+        m = OpenHashMap(space, recorder, n_buckets=1, max_load_factor=100.0)
+        for k in range(8):
+            m.insert(k, 0.0)
+        before = recorder.n_recorded
+        m.find(0)  # inserted first -> deepest in the chain
+        deep = recorder.n_recorded - before
+        before = recorder.n_recorded
+        m.find(7)  # linked at head
+        shallow = recorder.n_recorded - before
+        assert deep > shallow
+
+    def test_regions_cover_buckets_and_nodes(self, space, recorder):
+        m = OpenHashMap(space, recorder, n_buckets=4, name="map")
+        m.insert(1, 1.0)
+        names = {r.name for r in m.regions()}
+        assert names == {"map", "map-nodes"}
+
+
+@settings(max_examples=30)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.floats(-10, 10, allow_nan=False)),
+        max_size=60,
+    )
+)
+def test_matches_dict_model(ops):
+    """Property: behaves exactly like a dict under insert/find."""
+    space, recorder = AddressSpace(), AccessRecorder()
+    m = OpenHashMap(space, recorder, n_buckets=2)
+    model: dict[int, float] = {}
+    for k, v in ops:
+        m.insert(k, v)
+        model[k] = v
+    assert len(m) == len(model)
+    for k in range(31):
+        assert m.find(k) == model.get(k)
+    assert sorted(m.items()) == sorted(model.items())

@@ -1,0 +1,111 @@
+"""Tests for the access recorder."""
+
+import numpy as np
+import pytest
+
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+
+class TestSites:
+    def test_site_ips_unique(self, recorder):
+        s1 = recorder.site("f", LoadClass.STRIDED)
+        s2 = recorder.site("f", LoadClass.IRREGULAR)
+        s3 = recorder.site("g", LoadClass.STRIDED)
+        assert len({s1.ip, s2.ip, s3.ip}) == 3
+
+    def test_function_ids_stable(self, recorder):
+        assert recorder.function("a") == recorder.function("a")
+        assert recorder.function("a") != recorder.function("b")
+
+    def test_source_map(self, recorder):
+        s = recorder.site("f", LoadClass.STRIDED, file="f.py", line=12)
+        assert recorder.source_map()[s.ip] == ("f", "f.py", 12)
+
+
+class TestScoping:
+    def test_default_scope_is_main(self, recorder):
+        assert recorder.current_fn == "main"
+
+    def test_nested_scopes(self, recorder):
+        with recorder.scope("outer"):
+            assert recorder.current_fn == "outer"
+            with recorder.scope("inner"):
+                assert recorder.current_fn == "inner"
+            assert recorder.current_fn == "outer"
+        assert recorder.current_fn == "main"
+
+    def test_scoped_site_cached_per_fn_and_class(self, recorder):
+        with recorder.scope("f"):
+            a = recorder.scoped_site(LoadClass.STRIDED, "arr")
+            b = recorder.scoped_site(LoadClass.STRIDED, "arr")
+            c = recorder.scoped_site(LoadClass.IRREGULAR, "arr")
+        with recorder.scope("g"):
+            d = recorder.scoped_site(LoadClass.STRIDED, "arr")
+        assert a is b
+        assert a is not c
+        assert a is not d
+
+    def test_touch_const_emits_proxy(self, recorder):
+        with recorder.scope("f"):
+            recorder.touch_const(5)
+        ev = recorder.finalize()
+        assert len(ev) == 1
+        assert ev["cls"][0] == int(LoadClass.CONSTANT)
+        assert ev["n_const"][0] == 4
+
+    def test_touch_const_zero_noop(self, recorder):
+        recorder.touch_const(0)
+        assert recorder.n_recorded == 0
+
+
+class TestRecording:
+    def test_scalar_order_preserved(self, recorder):
+        s = recorder.site("f", LoadClass.STRIDED)
+        for addr in (5, 3, 9):
+            recorder.record(s, addr)
+        ev = recorder.finalize()
+        assert list(ev["addr"]) == [5, 3, 9]
+        assert list(ev["t"]) == [0, 1, 2]
+
+    def test_mixed_scalar_and_vector_order(self, recorder):
+        s = recorder.site("f", LoadClass.STRIDED)
+        recorder.record(s, 1)
+        recorder.record_many(s, np.array([2, 3]))
+        recorder.record(s, 4)
+        ev = recorder.finalize()
+        assert list(ev["addr"]) == [1, 2, 3, 4]
+
+    def test_record_many_empty(self, recorder):
+        s = recorder.site("f", LoadClass.STRIDED)
+        recorder.record_many(s, np.array([], dtype=np.uint64))
+        assert recorder.n_recorded == 0
+
+    def test_fields_filled(self, recorder):
+        s = recorder.site("f", LoadClass.IRREGULAR)
+        recorder.record(s, 7, n_const=2)
+        ev = recorder.finalize()
+        assert ev["ip"][0] == s.ip
+        assert ev["cls"][0] == int(LoadClass.IRREGULAR)
+        assert ev["n_const"][0] == 2
+        assert ev["fn"][0] == s.fn_id
+
+    def test_n_recorded_counts_both_paths(self, recorder):
+        s = recorder.site("f", LoadClass.STRIDED)
+        recorder.record(s, 1)
+        recorder.record_many(s, np.array([2, 3, 4]))
+        assert recorder.n_recorded == 4
+
+    def test_finalize_once(self, recorder):
+        recorder.finalize()
+        with pytest.raises(RuntimeError):
+            recorder.finalize()
+
+    def test_empty_finalize(self, recorder):
+        assert len(recorder.finalize()) == 0
+
+    def test_function_names(self, recorder):
+        recorder.site("alpha", LoadClass.STRIDED)
+        recorder.site("beta", LoadClass.STRIDED)
+        names = recorder.function_names
+        assert set(names.values()) == {"alpha", "beta"}

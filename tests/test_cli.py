@@ -1,0 +1,117 @@
+"""Tests for the memgaze command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ubench.npz"
+    rc = main(
+        [
+            "trace",
+            "--workload",
+            "ubench:str4/irr",
+            "--scale",
+            "10",
+            "--period",
+            "4999",
+            "--buffer",
+            "512",
+            "--deterministic",
+            "-o",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_requires_workload_and_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "-o", "x.npz"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--workload", "ubench:irr"])
+
+    def test_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "--workload", "x", "-o", "y", "--mode", "bogus"]
+            )
+
+
+class TestTrace:
+    def test_writes_archive(self, trace_file):
+        assert trace_file.exists()
+        assert trace_file.stat().st_size > 0
+
+    def test_unknown_family(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--workload", "nope:x", "-o", str(tmp_path / "t.npz")])
+
+    def test_minivite_workload(self, tmp_path, capsys):
+        path = tmp_path / "mv.npz"
+        rc = main(
+            ["trace", "--workload", "minivite:v3", "--scale", "7", "-o", str(path)]
+        )
+        assert rc == 0
+        assert "miniVite v3" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_shows_metadata(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ubench str4/irr" in out
+        assert "period (w+z):  4,999" in out
+        assert "rho:" in out
+
+
+class TestReport:
+    def test_default_report_has_all_sections(self, trace_file, capsys):
+        assert main(["report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "footprint access diagnostics" in out
+        assert "code windows" in out
+        assert "hot memory regions" in out
+        assert "working set" in out
+        assert "sampling confidence" in out
+
+    def test_selective_sections(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--functions"]) == 0
+        out = capsys.readouterr().out
+        assert "code windows" in out
+        assert "hot memory regions" not in out
+
+    def test_intervals(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--intervals", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "locality over 4 access intervals" in out
+
+    def test_confidence_flags(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--confidence"]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+
+    def test_phases_section(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "execution phases" in out
+        assert "phase 0" in out
+
+
+class TestValidate:
+    def test_validate_passes_on_microbench(self, capsys):
+        rc = main(
+            ["validate", "--workload", "ubench:str4", "--scale", "10", "--period", "4999"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MAPE" in out
+        assert "OK" in out

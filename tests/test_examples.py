@@ -1,0 +1,42 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slower case-study examples (miniVite/GAP/darknet sweeps) are
+exercised through the benchmark fixtures; here the quick ones run as real
+subprocesses so a packaging or API regression that only bites script
+users is caught.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "instrument_custom_kernel.py",
+    "codesign_explore.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 7
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python"), script.name
+        assert '"""' in text.partition("\n")[2][:10], script.name

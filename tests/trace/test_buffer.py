@@ -1,0 +1,80 @@
+"""Unit and model-based tests for the PT circular buffer."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.buffer import CircularBuffer
+
+
+class TestBasics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CircularBuffer(0)
+
+    def test_push_below_capacity(self):
+        b = CircularBuffer(4)
+        for v in (1, 2, 3):
+            b.push(v)
+        assert list(b.drain()) == [1, 2, 3]
+
+    def test_overwrite_keeps_most_recent(self):
+        b = CircularBuffer(3)
+        for v in range(6):
+            b.push(v)
+        assert list(b.drain()) == [3, 4, 5]
+        assert b.n_overwritten == 3
+
+    def test_drain_clears(self):
+        b = CircularBuffer(3)
+        b.push(1)
+        b.drain()
+        assert len(b) == 0
+        assert list(b.drain()) == []
+
+    def test_push_many_larger_than_capacity(self):
+        b = CircularBuffer(4)
+        b.push_many(np.arange(10))
+        assert list(b.drain()) == [6, 7, 8, 9]
+
+    def test_push_many_wraparound(self):
+        b = CircularBuffer(4)
+        b.push_many(np.array([0, 1, 2]))
+        b.push_many(np.array([3, 4]))
+        assert list(b.drain()) == [1, 2, 3, 4]
+
+    def test_push_many_empty(self):
+        b = CircularBuffer(4)
+        b.push_many(np.array([], dtype=np.int64))
+        assert len(b) == 0
+
+    def test_n_pushed_counts_everything(self):
+        b = CircularBuffer(2)
+        b.push_many(np.arange(7))
+        assert b.n_pushed == 7
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.integers(0, 1000),  # single push
+            st.lists(st.integers(0, 1000), min_size=0, max_size=20),  # batch
+        ),
+        max_size=40,
+    ),
+    capacity=st.integers(1, 16),
+)
+def test_matches_deque_model(ops, capacity):
+    """Property: the buffer always equals a maxlen-bounded deque."""
+    buf = CircularBuffer(capacity)
+    model: deque = deque(maxlen=capacity)
+    for op in ops:
+        if isinstance(op, int):
+            buf.push(op)
+            model.append(op)
+        else:
+            buf.push_many(np.array(op, dtype=np.int64))
+            model.extend(op)
+    assert list(buf.drain()) == list(model)

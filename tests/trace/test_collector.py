@@ -1,0 +1,129 @@
+"""Tests for sampled and full trace collection."""
+
+import numpy as np
+import pytest
+
+from repro.trace.collector import collect_full_trace, collect_sampled_trace
+from repro.trace.event import make_events
+from repro.trace.sampler import SamplingConfig
+
+
+def _stream(n: int) -> np.ndarray:
+    return make_events(ip=1, addr=np.arange(n, dtype=np.uint64))
+
+
+class TestSampledCollection:
+    def test_requires_config(self):
+        with pytest.raises(ValueError):
+            collect_sampled_trace(_stream(10))
+
+    def test_rejects_unsorted(self):
+        ev = _stream(10)
+        ev["t"] = ev["t"][::-1]
+        cfg = SamplingConfig(period=5, buffer_capacity=2)
+        with pytest.raises(ValueError):
+            collect_sampled_trace(ev, config=cfg)
+
+    def test_window_geometry_continuous(self):
+        """With full fill, each sample is the last w records before its trigger."""
+        cfg = SamplingConfig(period=100, buffer_capacity=10, fill_mean=1.0, fill_jitter=0.0)
+        res = collect_sampled_trace(_stream(1000), config=cfg)
+        assert res.n_samples == 10
+        samples = list(res.samples())
+        assert len(samples) == 10
+        for k, s in enumerate(samples):
+            trigger = (k + 1) * 100
+            assert list(s["t"]) == list(range(trigger - 10, trigger))
+
+    def test_window_geometry_sampled_only(self):
+        """MemGaze-opt records the first w after each sample start."""
+        cfg = SamplingConfig(period=100, buffer_capacity=10, fill_mean=1.0, fill_jitter=0.0)
+        res = collect_sampled_trace(_stream(1000), config=cfg, mode="sampled_only")
+        for k, s in enumerate(res.samples()):
+            assert list(s["t"]) == list(range(k * 100, k * 100 + 10))
+
+    def test_sample_fraction_matches_w_over_period(self):
+        cfg = SamplingConfig(period=1000, buffer_capacity=100, fill_mean=0.5, fill_jitter=0.0)
+        res = collect_sampled_trace(_stream(100_000), config=cfg)
+        frac = len(res.events) / 100_000
+        assert frac == pytest.approx(0.05, rel=0.05)
+
+    def test_mean_w_reflects_fill(self):
+        cfg = SamplingConfig(period=500, buffer_capacity=100, fill_mean=0.6, fill_jitter=0.0)
+        res = collect_sampled_trace(_stream(50_000), config=cfg)
+        assert res.mean_w == pytest.approx(60, abs=1)
+
+    def test_empty_stream(self):
+        cfg = SamplingConfig(period=10, buffer_capacity=4)
+        res = collect_sampled_trace(_stream(0), config=cfg)
+        assert len(res.events) == 0
+        assert res.n_samples == 0
+
+    def test_bad_mode_rejected(self):
+        cfg = SamplingConfig(period=10, buffer_capacity=4)
+        with pytest.raises(ValueError):
+            collect_sampled_trace(_stream(10), config=cfg, mode="bogus")
+
+    def test_time_trigger_requires_timeline(self):
+        cfg = SamplingConfig(period=10, buffer_capacity=4, trigger="time")
+        with pytest.raises(ValueError):
+            collect_sampled_trace(_stream(100), config=cfg)
+
+    def test_time_trigger_uses_timeline(self):
+        """With a bursty load rate, time triggers oversample slow phases."""
+        n = 1000
+        ev = _stream(n)
+        # first half of loads happens in 10% of the time
+        timeline = np.concatenate(
+            [np.linspace(0, 100, n // 2), np.linspace(100, 1000, n // 2)]
+        ).astype(np.int64)
+        cfg = SamplingConfig(
+            period=100, buffer_capacity=20, fill_mean=1.0, fill_jitter=0.0, trigger="time"
+        )
+        res = collect_sampled_trace(ev, config=cfg, load_rate=timeline)
+        # 10 triggers; only ~1 lands in the fast phase
+        first_half = (res.events["t"] < n // 2).sum()
+        assert first_half < len(res.events) / 3
+
+    def test_sample_id_aligns(self):
+        cfg = SamplingConfig(period=100, buffer_capacity=10, fill_mean=1.0, fill_jitter=0.0)
+        res = collect_sampled_trace(_stream(1000), config=cfg)
+        assert len(res.sample_id) == len(res.events)
+        assert list(np.unique(res.sample_id)) == list(range(10))
+
+
+class TestFullCollection:
+    def test_no_drops(self):
+        res = collect_full_trace(_stream(100), drop_fraction=0.0)
+        assert res.n_dropped == 0
+        assert len(res.events) == 100
+
+    def test_target_drop_fraction_respected(self):
+        res = collect_full_trace(_stream(400_000), drop_fraction=0.4, burst_records=1024)
+        assert res.drop_fraction == pytest.approx(0.4, abs=0.05)
+        assert res.n_observed_total == 400_000
+        assert len(res.events) + res.n_dropped == 400_000
+
+    def test_default_drop_in_paper_range(self):
+        res = collect_full_trace(_stream(200_000), seed=3)
+        assert 0.25 <= res.drop_fraction <= 0.55
+
+    def test_drop_records_account_for_losses(self):
+        res = collect_full_trace(_stream(100_000), drop_fraction=0.3, burst_records=512)
+        assert res.drop_records[:, 1].sum() == res.n_dropped
+
+    def test_bursts_are_contiguous(self):
+        res = collect_full_trace(_stream(10_000), drop_fraction=0.5, burst_records=100)
+        kept_t = res.events["t"].astype(np.int64)
+        gaps = np.diff(kept_t)
+        # every gap is either 1 or a multiple of the burst size plus 1
+        assert np.all((gaps == 1) | ((gaps - 1) % 100 == 0))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            collect_full_trace(_stream(10), drop_fraction=1.0)
+
+    def test_empty_stream(self):
+        res = collect_full_trace(_stream(0))
+        assert res.n_dropped == 0
+        assert res.drop_fraction == 0.0

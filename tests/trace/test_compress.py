@@ -1,0 +1,79 @@
+"""Tests for the rho/kappa decompression math (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.collector import collect_sampled_trace
+from repro.trace.compress import (
+    compression_ratio,
+    decompress_counts,
+    sample_ratio,
+    sample_ratio_from,
+    suppressed_count,
+)
+from repro.trace.event import make_events
+from repro.trace.sampler import SamplingConfig
+
+
+class TestKappa:
+    def test_uncompressed_trace_kappa_is_one(self):
+        ev = make_events(ip=1, addr=np.arange(10))
+        assert compression_ratio(ev) == 1.0
+
+    def test_kappa_formula(self):
+        ev = make_events(ip=1, addr=np.arange(10), n_const=1)
+        # A_const = 10 over A = 10 records
+        assert compression_ratio(ev) == 2.0
+
+    def test_empty_trace(self):
+        ev = make_events(ip=1, addr=np.arange(0))
+        assert compression_ratio(ev) == 1.0
+
+    def test_suppressed_count(self):
+        ev = make_events(ip=1, addr=np.arange(4), n_const=[0, 2, 0, 3])
+        assert suppressed_count(ev) == 5
+
+    def test_decompress_counts(self):
+        ev = make_events(ip=1, addr=np.arange(4), n_const=[0, 2, 0, 3])
+        assert decompress_counts(ev) == 9
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            compression_ratio(np.zeros(3))
+
+
+class TestRho:
+    def test_uncompressed_rho(self):
+        ev = make_events(ip=1, addr=np.arange(100))
+        # 10 samples of period 1000 cover 10_000 loads; 100 observed
+        assert sample_ratio(10, 1000, ev) == 100.0
+
+    def test_compression_lowers_rho(self):
+        ev = make_events(ip=1, addr=np.arange(100), n_const=1)
+        assert sample_ratio(10, 1000, ev) == 50.0
+
+    def test_empty_sample(self):
+        ev = make_events(ip=1, addr=np.arange(0))
+        assert sample_ratio(10, 1000, ev) == 1.0
+
+    def test_sample_ratio_from_collection(self):
+        ev = make_events(ip=1, addr=np.arange(10_000))
+        cfg = SamplingConfig(period=1000, buffer_capacity=100, fill_mean=1.0, fill_jitter=0.0)
+        res = collect_sampled_trace(ev, config=cfg)
+        # exactly 100 records per 1000 loads -> rho = 10
+        assert sample_ratio_from(res) == pytest.approx(10.0)
+
+
+@given(
+    n=st.integers(1, 200),
+    n_const=st.integers(0, 5),
+)
+def test_kappa_rho_consistency(n, n_const):
+    """Property: rho * kappa * A == |sigma| * period (Eq. 1 rearranged)."""
+    ev = make_events(ip=1, addr=np.arange(n), n_const=n_const)
+    period, n_samples = 1000, 7
+    rho = sample_ratio(n_samples, period, ev)
+    kappa = compression_ratio(ev)
+    assert rho * kappa * n == pytest.approx(n_samples * period)
+    assert kappa >= 1.0

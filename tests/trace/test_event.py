@@ -1,0 +1,75 @@
+"""Tests for the trace event record."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import (
+    EVENT_DTYPE,
+    LoadClass,
+    concat_events,
+    empty_events,
+    make_events,
+)
+
+
+class TestMakeEvents:
+    def test_default_timestamps_are_consecutive(self):
+        ev = make_events(ip=[1, 2, 3], addr=[10, 20, 30])
+        assert np.array_equal(ev["t"], [0, 1, 2])
+
+    def test_scalar_broadcast_ip(self):
+        ev = make_events(ip=7, addr=[1, 2, 3])
+        assert np.array_equal(ev["ip"], [7, 7, 7])
+
+    def test_scalar_broadcast_addr(self):
+        ev = make_events(ip=[1, 2], addr=9)
+        assert np.array_equal(ev["addr"], [9, 9])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_events(ip=[1, 2], addr=[1, 2, 3])
+
+    def test_class_assignment(self):
+        ev = make_events(ip=[1], addr=[1], cls=LoadClass.CONSTANT)
+        assert ev["cls"][0] == 0
+
+    def test_per_event_classes(self):
+        ev = make_events(ip=[1, 2], addr=[1, 2], cls=[1, 2])
+        assert list(ev["cls"]) == [1, 2]
+
+    def test_n_const_and_fn(self):
+        ev = make_events(ip=[1], addr=[1], n_const=5, fn=3)
+        assert ev["n_const"][0] == 5
+        assert ev["fn"][0] == 3
+
+
+class TestEmptyAndConcat:
+    def test_empty(self):
+        assert len(empty_events()) == 0
+        assert empty_events().dtype == EVENT_DTYPE
+
+    def test_zeroed(self):
+        ev = empty_events(3)
+        assert len(ev) == 3
+        assert ev["addr"].sum() == 0
+
+    def test_concat_preserves_order(self):
+        a = make_events(ip=[1], addr=[1])
+        b = make_events(ip=[2], addr=[2])
+        c = concat_events([a, b])
+        assert list(c["ip"]) == [1, 2]
+
+    def test_concat_empty_list(self):
+        assert len(concat_events([])) == 0
+
+    def test_concat_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            concat_events([np.zeros(2)])
+
+
+class TestLoadClass:
+    def test_values_are_stable(self):
+        # the on-disk format depends on these numbers
+        assert int(LoadClass.CONSTANT) == 0
+        assert int(LoadClass.STRIDED) == 1
+        assert int(LoadClass.IRREGULAR) == 2

@@ -1,0 +1,59 @@
+"""Tests for PT hardware address guards (ROI tracing)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import make_events
+from repro.trace.guards import MAX_GUARD_RANGES, RegionOfInterest, apply_guards
+
+
+class TestRegionOfInterest:
+    def test_empty_is_unrestricted(self):
+        roi = RegionOfInterest()
+        assert roi.is_unrestricted
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            RegionOfInterest(ranges=[(10, 10)])
+
+    def test_range_budget_enforced(self):
+        ranges = [(i * 100, i * 100 + 10) for i in range(MAX_GUARD_RANGES + 1)]
+        with pytest.raises(ValueError):
+            RegionOfInterest(ranges=ranges)
+
+    def test_contains(self):
+        roi = RegionOfInterest(ranges=[(100, 200), (500, 600)])
+        ips = np.array([99, 100, 199, 200, 550, 999])
+        assert list(roi.contains(ips)) == [False, True, True, False, True, False]
+
+    def test_from_functions_coalesces(self):
+        fn_ranges = {"a": (0, 100), "b": (100, 200), "c": (500, 600)}
+        roi = RegionOfInterest.from_functions(["a", "b", "c"], fn_ranges)
+        assert roi.ranges == [(0, 200), (500, 600)]
+
+    def test_from_functions_unknown(self):
+        with pytest.raises(KeyError):
+            RegionOfInterest.from_functions(["ghost"], {})
+
+
+class TestApplyGuards:
+    def test_unrestricted_passthrough(self):
+        ev = make_events(ip=[1, 2], addr=[1, 2])
+        out, suppressed = apply_guards(ev, RegionOfInterest())
+        assert len(out) == 2 and suppressed == 0
+
+    def test_filters_by_ip(self):
+        ev = make_events(ip=[100, 300, 150], addr=[1, 2, 3])
+        out, suppressed = apply_guards(ev, RegionOfInterest(ranges=[(100, 200)]))
+        assert list(out["ip"]) == [100, 150]
+        assert suppressed == 1
+
+    def test_timestamps_preserved(self):
+        """The load counter runs outside the ROI: t is untouched."""
+        ev = make_events(ip=[100, 300, 150], addr=[1, 2, 3])
+        out, _ = apply_guards(ev, RegionOfInterest(ranges=[(100, 200)]))
+        assert list(out["t"]) == [0, 2]
+
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            apply_guards(np.zeros(3), RegionOfInterest())

@@ -1,0 +1,81 @@
+"""Tests for the analytic overhead model (Fig. 7 mechanisms)."""
+
+import pytest
+
+from repro.trace.overhead import ExecCounts, OverheadModel, PTMode
+from repro.trace.sampler import SamplingConfig
+
+
+@pytest.fixture
+def counts():
+    return ExecCounts(n_instrs=1_000_000, n_loads=300_000, n_stores=50_000, n_ptwrites=100_000)
+
+
+@pytest.fixture
+def model():
+    return OverheadModel()
+
+
+@pytest.fixture
+def sampling():
+    return SamplingConfig(period=10_000, buffer_capacity=512, fill_mean=0.5, fill_jitter=0.0)
+
+
+class TestExecCounts:
+    def test_ratios(self, counts):
+        assert counts.ptwrite_ratio == 0.1
+        assert counts.store_ratio == 0.05
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecCounts(n_instrs=-1, n_loads=0, n_stores=0, n_ptwrites=0)
+
+    def test_zero_instrs(self):
+        c = ExecCounts(0, 0, 0, 0)
+        assert c.ptwrite_ratio == 0.0
+
+
+class TestModes:
+    def test_off_mode_near_baseline(self, model, counts):
+        rep = model.report("p", counts, PTMode.OFF)
+        # masked ptwrites retire like cheap instructions
+        assert rep.overhead_pct < 15
+
+    def test_continuous_much_slower_than_opt(self, model, counts, sampling):
+        cont = model.report("p", counts, PTMode.CONTINUOUS, sampling)
+        opt = model.report("p", counts, PTMode.SAMPLED_ONLY, sampling)
+        assert cont.overhead_pct > 2 * opt.overhead_pct
+        assert opt.overhead_pct > 0
+
+    def test_sampled_only_requires_config(self, model, counts):
+        with pytest.raises(ValueError):
+            model.traced_time(counts, PTMode.SAMPLED_ONLY)
+
+    def test_overhead_increases_with_ptwrite_ratio(self, model, sampling):
+        lo = ExecCounts(1_000_000, 300_000, 0, 20_000)
+        hi = ExecCounts(1_000_000, 300_000, 0, 200_000)
+        r_lo = model.report("p", lo, PTMode.CONTINUOUS, sampling)
+        r_hi = model.report("p", hi, PTMode.CONTINUOUS, sampling)
+        assert r_hi.overhead_pct > r_lo.overhead_pct
+
+    def test_store_interference_raises_overhead(self, model, sampling):
+        low_store = ExecCounts(1_000_000, 300_000, 10_000, 100_000)
+        high_store = ExecCounts(1_000_000, 300_000, 400_000, 100_000)
+        r_low = model.report("p", low_store, PTMode.CONTINUOUS, sampling)
+        r_high = model.report("p", high_store, PTMode.CONTINUOUS, sampling)
+        assert r_high.overhead_pct > r_low.overhead_pct
+
+    def test_kappa_scales_active_fraction(self, model, counts, sampling):
+        t1 = model.traced_time(counts, PTMode.SAMPLED_ONLY, sampling, kappa=1.0)
+        t2 = model.traced_time(counts, PTMode.SAMPLED_ONLY, sampling, kappa=2.0)
+        assert t2 > t1
+
+
+class TestReport:
+    def test_slowdown_and_pct_consistent(self, model, counts, sampling):
+        rep = model.report("phase", counts, PTMode.CONTINUOUS, sampling)
+        assert rep.slowdown == pytest.approx(1 + rep.overhead_pct / 100)
+        assert rep.phase == "phase"
+
+    def test_baseline_excludes_ptwrites(self, model, counts):
+        assert model.baseline_time(counts) == counts.n_instrs - counts.n_ptwrites

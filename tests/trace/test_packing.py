@@ -1,0 +1,139 @@
+"""Tests for strided-run trace packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.event import LoadClass, make_events
+from repro.trace.packing import (
+    pack_strided_runs,
+    packed_bytes,
+    unpack_strided_runs,
+)
+
+
+def _strided(n, stride=8, ip=5):
+    return make_events(ip=ip, addr=np.arange(n) * stride, cls=LoadClass.STRIDED)
+
+
+class TestPack:
+    def test_long_run_collapses(self):
+        packed = pack_strided_runs(_strided(100))
+        assert packed.n_records == 1
+        assert packed.runs["length"][0] == 100
+        assert packed.runs["stride"][0] == 8
+        assert packed.packing_ratio == 100.0
+
+    def test_irregular_never_packs(self):
+        ev = make_events(ip=5, addr=np.arange(50) * 8, cls=LoadClass.IRREGULAR)
+        packed = pack_strided_runs(ev)
+        assert packed.n_records == 50
+
+    def test_different_ips_break_runs(self):
+        ev = _strided(10)
+        ev["ip"][5] = 99
+        packed = pack_strided_runs(ev)
+        assert packed.n_records >= 2
+
+    def test_stride_change_breaks_run(self):
+        addr = np.concatenate([np.arange(10) * 8, 80 + np.arange(10) * 16])
+        ev = make_events(ip=5, addr=addr, cls=LoadClass.STRIDED)
+        packed = pack_strided_runs(ev)
+        assert packed.n_records == 2
+
+    def test_short_runs_stay_singletons(self):
+        packed = pack_strided_runs(_strided(2), min_run=3)
+        assert packed.n_records == 2
+        assert np.all(packed.runs["length"] == 1)
+
+    def test_repeated_address_not_a_run(self):
+        ev = make_events(ip=5, addr=np.zeros(20), cls=LoadClass.STRIDED)
+        packed = pack_strided_runs(ev)
+        assert packed.n_records == 20
+
+    def test_proxy_records_never_pack(self):
+        ev = _strided(10)
+        ev["n_const"] = 1
+        packed = pack_strided_runs(ev)
+        assert packed.n_records == 10
+
+    def test_timestamp_gap_breaks_run(self):
+        ev = _strided(10)
+        ev["t"] = np.arange(10) * 2  # non-consecutive loads
+        packed = pack_strided_runs(ev)
+        assert packed.n_records == 10
+
+    def test_bad_args(self):
+        with pytest.raises(TypeError):
+            pack_strided_runs(np.zeros(3))
+        with pytest.raises(ValueError):
+            pack_strided_runs(_strided(5), min_run=1)
+
+    def test_empty(self):
+        packed = pack_strided_runs(_strided(0))
+        assert packed.n_records == 0
+        assert unpack_strided_runs(packed).size == 0
+
+
+class TestRoundTrip:
+    def test_pure_strided(self):
+        ev = _strided(64)
+        assert np.array_equal(unpack_strided_runs(pack_strided_runs(ev)), ev)
+
+    def test_mixed_stream(self):
+        rng = np.random.default_rng(0)
+        parts = []
+        t = 0
+        for k in range(6):
+            n = int(rng.integers(2, 30))
+            if k % 2 == 0:
+                p = make_events(ip=7, addr=1000 * k + np.arange(n) * 8, cls=LoadClass.STRIDED)
+            else:
+                p = make_events(ip=9, addr=rng.integers(0, 4096, n), cls=LoadClass.IRREGULAR)
+            p["t"] = t + np.arange(n)
+            t += n
+            parts.append(p)
+        ev = np.concatenate(parts)
+        assert np.array_equal(unpack_strided_runs(pack_strided_runs(ev)), ev)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.sampled_from([1, 2]),  # class
+            st.integers(1, 20),  # length
+            st.sampled_from([4, 8, 64]),  # stride
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_roundtrip_property(segments):
+    """Property: pack -> unpack is the identity on any segment mix."""
+    parts = []
+    t = 0
+    base = 0
+    for cls, n, stride in segments:
+        p = make_events(ip=cls * 13, addr=base + np.arange(n) * stride, cls=cls)
+        p["t"] = t + np.arange(n)
+        t += n
+        base += n * stride + 4096
+        parts.append(p)
+    ev = np.concatenate(parts)
+    packed = pack_strided_runs(ev)
+    assert np.array_equal(unpack_strided_runs(packed), ev)
+    assert packed.n_records <= len(ev)
+    assert int(packed.runs["length"].sum()) == len(ev)
+
+
+class TestPackedBytes:
+    def test_savings_on_strided(self):
+        ev = _strided(1000)
+        packed = pack_strided_runs(ev)
+        assert packed_bytes(packed) < 8 * len(ev) / 10
+
+    def test_payload32_halves_singletons(self):
+        ev = make_events(ip=5, addr=np.arange(10), cls=LoadClass.IRREGULAR)
+        packed = pack_strided_runs(ev)
+        assert packed_bytes(packed, payload32=True) == packed_bytes(packed) // 2

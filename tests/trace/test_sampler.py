@@ -1,0 +1,56 @@
+"""Tests for sampling configuration and window geometry."""
+
+import numpy as np
+import pytest
+
+from repro.trace.sampler import SamplingConfig, sample_bounds
+
+
+class TestSamplingConfig:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(period=0, buffer_capacity=8)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(period=10, buffer_capacity=0)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(period=10, buffer_capacity=8, fill_mean=0.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(period=10, buffer_capacity=8, fill_jitter=-1)
+
+    def test_rejects_bad_trigger(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(period=10, buffer_capacity=8, trigger="cycles")
+
+
+class TestSampleBounds:
+    def test_trigger_spacing(self):
+        cfg = SamplingConfig(period=100, buffer_capacity=16, fill_jitter=0.0)
+        triggers, budgets = sample_bounds(1000, cfg)
+        assert np.array_equal(triggers, np.arange(1, 11) * 100)
+        assert len(budgets) == 10
+
+    def test_deterministic_fill(self):
+        cfg = SamplingConfig(period=100, buffer_capacity=100, fill_mean=0.5, fill_jitter=0.0)
+        _, budgets = sample_bounds(500, cfg)
+        assert np.all(budgets == 50)
+
+    def test_jitter_varies_budgets_but_is_seeded(self):
+        cfg = SamplingConfig(period=10, buffer_capacity=1000, fill_jitter=0.2, seed=1)
+        _, b1 = sample_bounds(10_000, cfg)
+        _, b2 = sample_bounds(10_000, cfg)
+        assert np.array_equal(b1, b2)
+        assert len(np.unique(b1)) > 1
+
+    def test_budgets_at_least_one(self):
+        cfg = SamplingConfig(period=10, buffer_capacity=1, fill_mean=0.2, fill_jitter=0.0)
+        _, budgets = sample_bounds(100, cfg)
+        assert np.all(budgets >= 1)
+
+    def test_short_run_no_triggers(self):
+        cfg = SamplingConfig(period=1000, buffer_capacity=8)
+        triggers, _ = sample_bounds(999, cfg)
+        assert len(triggers) == 0

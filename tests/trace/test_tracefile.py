@@ -1,0 +1,72 @@
+"""Tests for the on-disk trace format."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import make_events
+from repro.trace.tracefile import TraceMeta, packet_bytes, read_trace, write_trace
+
+
+@pytest.fixture
+def events():
+    return make_events(ip=[1, 2, 3], addr=[10, 20, 30], cls=[0, 1, 2], n_const=[0, 1, 2])
+
+
+class TestRoundTrip:
+    def test_events_roundtrip(self, tmp_path, events):
+        meta = TraceMeta(module="m", period=100, buffer_capacity=8)
+        size = write_trace(tmp_path / "t.npz", events, meta)
+        assert size > 0
+        back, meta2, sid = read_trace(tmp_path / "t.npz")
+        assert np.array_equal(back, events)
+        assert meta2.module == "m"
+        assert meta2.period == 100
+        assert sid is None
+
+    def test_sample_id_roundtrip(self, tmp_path, events):
+        sid = np.array([0, 0, 1], dtype=np.int32)
+        write_trace(tmp_path / "t.npz", events, TraceMeta(), sample_id=sid)
+        _, _, sid2 = read_trace(tmp_path / "t.npz")
+        assert np.array_equal(sid, sid2)
+
+    def test_source_map_roundtrip(self, tmp_path, events):
+        meta = TraceMeta(source_map={17: ("f", "file.c", 3)})
+        write_trace(tmp_path / "t.npz", events, meta)
+        _, meta2, _ = read_trace(tmp_path / "t.npz")
+        assert meta2.source_map[17] == ("f", "file.c", 3)
+
+    def test_extension_appended(self, tmp_path, events):
+        size = write_trace(tmp_path / "noext", events, TraceMeta())
+        assert (tmp_path / "noext.npz").exists()
+        assert size == (tmp_path / "noext.npz").stat().st_size
+
+    def test_sample_id_length_checked(self, tmp_path, events):
+        with pytest.raises(ValueError):
+            write_trace(tmp_path / "t.npz", events, TraceMeta(), sample_id=np.zeros(99, np.int32))
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_trace(tmp_path / "t.npz", np.zeros(4), TraceMeta())
+
+
+class TestMetaJson:
+    def test_version_checked(self):
+        bad = TraceMeta().to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            TraceMeta.from_json(bad)
+
+    def test_extra_dict_roundtrips(self):
+        meta = TraceMeta(extra={"spec": "str4", "opt": "O3"})
+        assert TraceMeta.from_json(meta.to_json()).extra == meta.extra
+
+
+class TestPacketBytes:
+    def test_base_size(self, events):
+        assert packet_bytes(events) == 8 * len(events)
+
+    def test_two_reg_fraction(self, events):
+        assert packet_bytes(events, two_reg_fraction=1.0) == 16 * len(events)
+
+    def test_fraction_validated(self, events):
+        with pytest.raises(ValueError):
+            packet_bytes(events, two_reg_fraction=1.5)

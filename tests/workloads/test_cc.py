@@ -1,0 +1,70 @@
+"""Tests for the GAP Connected Components workload."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.workloads.gap.cc import run_cc
+from repro.workloads.gap.graphs import kronecker_edges
+
+
+@pytest.fixture(scope="module")
+def both():
+    return {alg: run_cc(alg, scale=8, edge_factor=4, seed=0) for alg in ("cc", "cc-sv")}
+
+
+def _true_components(scale, edge_factor, seed):
+    n, edges = kronecker_edges(scale, edge_factor, seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(map(tuple, edges[edges[:, 0] != edges[:, 1]]))
+    return {frozenset(c) for c in nx.connected_components(g)}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("alg", ["cc", "cc-sv"])
+    def test_matches_networkx(self, both, alg):
+        truth = _true_components(8, 4, 0)
+        got: dict[int, set[int]] = {}
+        for v, label in enumerate(both[alg].components):
+            got.setdefault(int(label), set()).add(v)
+        assert {frozenset(s) for s in got.values()} == truth
+
+    def test_labels_are_representatives(self, both):
+        comp = both["cc"].components
+        # every label is itself labelled with itself (fully compressed)
+        assert np.all(comp[comp] == comp)
+
+    def test_algorithms_agree_on_partition(self, both):
+        a = both["cc"].components
+        b = both["cc-sv"].components
+        # same partition even if label choices differ
+        relabel = {}
+        for x, y in zip(a, b):
+            assert relabel.setdefault(int(x), int(y)) == int(y)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_cc("bogus", scale=6)
+
+
+class TestShapes:
+    def test_afforest_cheaper_overall(self, both):
+        """The paper's headline: cc (Afforest) is much faster than cc-sv."""
+        assert both["cc"].sim_time < both["cc-sv"].sim_time
+        assert both["cc"].n_loads < both["cc-sv"].n_loads
+
+    def test_sv_iterates(self, both):
+        assert both["cc-sv"].n_iterations >= 1
+        assert both["cc"].n_iterations == 1
+
+    def test_cc_region_extent(self, both):
+        for r in both.values():
+            lo, hi = r.region_extents["cc"]
+            assert hi - lo >= 256 * 8
+
+    def test_deterministic(self):
+        a = run_cc("cc", scale=6, edge_factor=4, seed=3)
+        b = run_cc("cc", scale=6, edge_factor=4, seed=3)
+        assert np.array_equal(a.components, b.components)
+        assert len(a.events) == len(b.events)

@@ -1,0 +1,35 @@
+"""Tests for the memory-access cost model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import make_events
+from repro.workloads.cost import MemoryCostModel
+
+
+class TestMemoryCostModel:
+    def test_irregular_costs_more(self):
+        model = MemoryCostModel()
+        strided = make_events(ip=1, addr=np.arange(100), cls=1)
+        irregular = make_events(ip=1, addr=np.arange(100), cls=2)
+        assert model.runtime(irregular) > model.runtime(strided)
+
+    def test_suppressed_constants_counted(self):
+        model = MemoryCostModel()
+        plain = make_events(ip=1, addr=[1], cls=1)
+        proxy = make_events(ip=1, addr=[1], cls=1, n_const=10)
+        assert model.runtime(proxy) > model.runtime(plain)
+
+    def test_linear_in_length(self):
+        model = MemoryCostModel()
+        one = make_events(ip=1, addr=np.arange(100), cls=1)
+        two = make_events(ip=1, addr=np.arange(200), cls=1)
+        assert model.runtime(two) == pytest.approx(2 * model.runtime(one))
+
+    def test_empty(self):
+        model = MemoryCostModel()
+        assert model.runtime(make_events(ip=1, addr=np.arange(0))) == 0.0
+
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            MemoryCostModel().runtime(np.zeros(3))

@@ -1,0 +1,74 @@
+"""Tests for the Darknet-style inference workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import code_windows
+from repro.trace.event import LoadClass
+from repro.workloads.darknet import MODELS, LayerSpec, run_darknet
+
+
+@pytest.fixture(scope="module")
+def both():
+    return {m: run_darknet(m) for m in ("alexnet", "resnet152")}
+
+
+class TestLayerSpec:
+    def test_dims_validated(self):
+        with pytest.raises(ValueError):
+            LayerSpec(m=0, k=1, n=1)
+
+    def test_models_defined(self):
+        assert set(MODELS) == {"alexnet", "resnet152"}
+        assert len(MODELS["resnet152"]) > len(MODELS["alexnet"])
+
+
+class TestRun:
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            run_darknet("vgg")
+
+    def test_event_counts_match_gemm_math(self, both):
+        for name, r in both.items():
+            expected = 0
+            for l in MODELS[name]:
+                expected += l.k * l.n  # im2col reads
+                expected += l.m * l.k * (1 + 2 * l.n)  # gemm A + B row + C row
+            # plus touch_const proxies; allow small slack
+            assert abs(len(r.events) - expected) / expected < 0.02
+
+    def test_layer_bounds_cover_trace(self, both):
+        r = both["alexnet"]
+        assert r.layer_bounds[0][0] >= 0
+        assert r.layer_bounds[-1][1] == len(r.events)
+        for (a0, a1), (b0, b1) in zip(r.layer_bounds, r.layer_bounds[1:]):
+            assert a1 == b0
+
+    def test_deterministic(self):
+        a = run_darknet("alexnet", seed=1)
+        b = run_darknet("alexnet", seed=1)
+        assert np.array_equal(a.events["addr"], b.events["addr"])
+
+
+class TestPaperShapes:
+    def test_all_strided(self, both):
+        for r in both.values():
+            nc = r.events[r.events["cls"] != int(LoadClass.CONSTANT)]
+            assert np.all(nc["cls"] == int(LoadClass.STRIDED))
+
+    def test_gemm_dominates_footprint(self, both):
+        for r in both.values():
+            cw = code_windows(r.events, fn_names=r.fn_names)
+            assert cw["gemm"].F > 3 * cw["im2col"].F
+            assert cw["gemm"].A_implied > 10 * cw["im2col"].A_implied
+
+    def test_resnet_bigger_than_alexnet(self, both):
+        cw_a = code_windows(both["alexnet"].events, fn_names=both["alexnet"].fn_names)
+        cw_r = code_windows(both["resnet152"].events, fn_names=both["resnet152"].fn_names)
+        assert cw_r["gemm"].F > 2 * cw_a["gemm"].F
+        assert both["resnet152"].n_loads > 2 * both["alexnet"].n_loads
+
+    def test_high_store_rate(self, both):
+        """Darknet's signature: stores rival loads (drives Fig. 7's 5-7x)."""
+        for r in both.values():
+            assert r.n_stores > 0.3 * r.n_loads

@@ -1,0 +1,74 @@
+"""Tests for graph generators and instrumented CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.recorder import AccessRecorder
+from repro.workloads.gap.graphs import build_csr, kronecker_edges, uniform_edges
+
+
+class TestKronecker:
+    def test_shape(self):
+        n, edges = kronecker_edges(scale=8, edge_factor=4, seed=0)
+        assert n == 256
+        assert edges.shape == (1024, 2)
+        assert edges.min() >= 0 and edges.max() < n
+
+    def test_deterministic(self):
+        _, a = kronecker_edges(8, 4, seed=1)
+        _, b = kronecker_edges(8, 4, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_skewed_degrees(self):
+        """RMAT graphs have heavy-tailed degree distributions."""
+        n, edges = kronecker_edges(scale=10, edge_factor=8, seed=0)
+        deg = np.bincount(edges[:, 0], minlength=n)
+        assert deg.max() > 5 * deg.mean()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            kronecker_edges(0)
+        with pytest.raises(ValueError):
+            kronecker_edges(4, edge_factor=0)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        edges = uniform_edges(100, avg_degree=4, seed=0)
+        assert edges.shape == (400, 2)
+        assert edges.max() < 100
+
+    def test_flat_degrees(self):
+        edges = uniform_edges(1024, avg_degree=16, seed=0)
+        deg = np.bincount(edges[:, 0], minlength=1024)
+        assert deg.max() < 4 * deg.mean()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform_edges(1)
+
+
+class TestBuildCsr:
+    def test_structure_correct(self):
+        space, rec = AddressSpace(), AccessRecorder()
+        edges = np.array([[0, 1], [1, 2], [0, 2]])
+        g = build_csr(space, rec, 3, edges, symmetrize=True)
+        assert sorted(g.neighbors(0, record=False)) == [1, 2]
+        assert sorted(g.neighbors(2, record=False)) == [0, 1]
+
+    def test_records_build_phase(self):
+        space, rec = AddressSpace(), AccessRecorder()
+        _, edges = kronecker_edges(6, 4, 0)
+        build_csr(space, rec, 64, edges)
+        ev = rec.finalize()
+        assert len(ev) > 0
+        assert "graph_build" in rec.function_names.values()
+
+    def test_temp_buffers_freed(self):
+        space, rec = AddressSpace(), AccessRecorder()
+        edges = np.array([[0, 1]])
+        build_csr(space, rec, 2, edges)
+        names = {r.name for r in space.regions}
+        assert "edge-buffer" not in names
+        assert "degree-counters" not in names

@@ -1,0 +1,105 @@
+"""Tests for the ISA-authored classic kernels."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import LoadClass
+from repro.workloads.kernels import KERNELS, build_kernel, run_kernel
+
+
+class TestBuild:
+    def test_all_kernels_build(self):
+        for name in KERNELS:
+            m = build_kernel(name, repeats=1)
+            assert "main" in m.procedures
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            build_kernel("fft")
+        with pytest.raises(ValueError):
+            run_kernel("fft")
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            build_kernel("reduction", repeats=0)
+
+
+class TestClassification:
+    def test_matmul_all_strided(self):
+        r = run_kernel("matmul", n=8, repeats=1)
+        kernel_loads = [
+            i for a, i in r.classes.items() if i.proc == "matmul"
+        ]
+        assert all(i.cls is LoadClass.STRIDED for i in kernel_loads)
+        # A and C walk rows (8 B per k/j step); B walks columns — wait,
+        # ikj order: B[k,j] moves 8 B per j. All unit-row strides here;
+        # the outer-IV dependence is what matters.
+        assert len(kernel_loads) == 3
+
+    def test_stencil_offsets_all_strided_same_stride(self):
+        r = run_kernel("stencil", n=128, repeats=1)
+        kernel_loads = [i for i in r.classes.values() if i.proc == "stencil"]
+        assert all(i.cls is LoadClass.STRIDED for i in kernel_loads)
+        assert {i.stride for i in kernel_loads} == {8}
+        assert len(kernel_loads) == 5  # radius 2 -> 5 taps
+
+    def test_gather_split(self):
+        r = run_kernel("gather", n=128, repeats=1)
+        loads = [i for i in r.classes.values() if i.proc == "gather"]
+        by_cls = {i.cls for i in loads}
+        assert by_cls == {LoadClass.STRIDED, LoadClass.IRREGULAR}
+
+    def test_reduction_strided(self):
+        r = run_kernel("reduction", n=128, repeats=1)
+        loads = [i for i in r.classes.values() if i.proc == "reduction"]
+        assert [i.cls for i in loads] == [LoadClass.STRIDED]
+
+
+class TestExecution:
+    def test_matmul_load_count(self):
+        n, reps = 8, 2
+        r = run_kernel("matmul", n=n, repeats=reps)
+        # A loaded n*n times, B and C n^3 times each, per repeat
+        assert r.counts.n_loads == reps * (n * n + 2 * n ** 3)
+
+    def test_gather_addresses_match_indices(self):
+        r = run_kernel("gather", n=64, repeats=1)
+        irr = r.events_full[r.events_full["cls"] == int(LoadClass.IRREGULAR)]
+        table = r.regions["table"]
+        assert np.all(irr["addr"] >= table.base)
+        assert np.all(irr["addr"] < table.base + table.size)
+
+    def test_reduction_computes_sum(self):
+        r = run_kernel("reduction", n=32, repeats=1)
+        # memory is zero-initialised -> sum 0; the plumbing is the test
+        assert r.rv == 0
+
+    def test_observed_matches_oracle(self):
+        for name in ("stencil", "gather"):
+            r = run_kernel(name, n=64, repeats=1)
+            nc = r.events_full[r.events_full["cls"] != int(LoadClass.CONSTANT)]
+            assert np.array_equal(nc["addr"], r.events_observed["addr"]), name
+
+    def test_deterministic(self):
+        a = run_kernel("gather", n=64, repeats=1, seed=9)
+        b = run_kernel("gather", n=64, repeats=1, seed=9)
+        assert np.array_equal(a.events_full["addr"], b.events_full["addr"])
+
+
+class TestDiagnostics:
+    def test_stencil_footprint_tight(self):
+        from repro.core.diagnostics import compute_diagnostics
+
+        r = run_kernel("stencil", n=256, repeats=1)
+        d = compute_diagnostics(r.events_observed)
+        # 5 taps over the same array: footprint ~ n*8 bytes, accesses 5x
+        assert d.F < 256 * 8 + 64
+        assert d.dF < 0.25
+
+    def test_gather_mixes_growth(self):
+        from repro.core.diagnostics import compute_diagnostics
+
+        r = run_kernel("gather", n=512, repeats=1)
+        d = compute_diagnostics(r.events_observed)
+        assert 0 < d.F_irr_pct < 100
+        assert 0 < d.F_str_pct < 100

@@ -1,0 +1,106 @@
+"""Tests for the composable microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.trace.event import LoadClass
+from repro.workloads.microbench import (
+    MICROBENCH_SPECS,
+    build_microbench,
+    parse_spec,
+    run_microbench,
+)
+
+
+class TestParse:
+    def test_single(self):
+        assert parse_spec("str4") == [("str4",)]
+        assert parse_spec("irr") == [("irr",)]
+
+    def test_series(self):
+        assert parse_spec("str1|irr") == [("str1",), ("irr",)]
+
+    def test_conditional(self):
+        assert parse_spec("str4/irr") == [("str4", "irr")]
+
+    def test_mixed(self):
+        assert parse_spec("str2|str8/irr") == [("str2",), ("str8", "irr")]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_spec("")
+        with pytest.raises(ValueError):
+            parse_spec("walk7")
+        with pytest.raises(ValueError):
+            parse_spec("a/b/c")
+
+    def test_suite_specs_all_parse(self):
+        for spec in MICROBENCH_SPECS:
+            assert parse_spec(spec)
+
+
+class TestBuild:
+    def test_one_proc_per_segment_plus_main(self):
+        m = build_microbench("str1|irr|str4", n_elems=256, repeats=2)
+        assert len(m.procedures) == 4
+        assert "main" in m.procedures
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            build_microbench("str1", n_elems=100)  # not a power of two
+        with pytest.raises(ValueError):
+            build_microbench("str1", repeats=0)
+        with pytest.raises(ValueError):
+            build_microbench("str1", opt_level="O2")
+
+
+class TestRun:
+    def test_strided_spec_classified_strided(self):
+        r = run_microbench("str4", n_elems=512, repeats=2)
+        nc = r.events_full[r.events_full["cls"] != int(LoadClass.CONSTANT)]
+        assert np.all(nc["cls"] == int(LoadClass.STRIDED))
+
+    def test_irr_spec_classified_irregular(self):
+        r = run_microbench("irr", n_elems=512, repeats=2)
+        nc = r.events_full[r.events_full["cls"] != int(LoadClass.CONSTANT)]
+        assert np.all(nc["cls"] == int(LoadClass.IRREGULAR))
+
+    def test_chase_visits_every_element(self):
+        r = run_microbench("irr", n_elems=256, repeats=1)
+        irr = r.events_full[r.events_full["cls"] == int(LoadClass.IRREGULAR)]
+        # a Sattolo cycle of 256 elements visited 256 times touches all
+        assert len(np.unique(irr["addr"])) == 256
+
+    def test_conditional_mixes_classes(self):
+        r = run_microbench("str4/irr", n_elems=512, repeats=2)
+        classes = set(r.events_full["cls"])
+        assert int(LoadClass.STRIDED) in classes
+        assert int(LoadClass.IRREGULAR) in classes
+
+    def test_observed_matches_oracle_nonconstant(self):
+        r = run_microbench("str2|irr", n_elems=256, repeats=2)
+        nc = r.events_full[r.events_full["cls"] != int(LoadClass.CONSTANT)]
+        assert np.array_equal(nc["addr"], r.events_observed["addr"])
+
+    def test_o0_compresses_more_than_o3(self):
+        k = {}
+        for opt in ("O0", "O3"):
+            r = run_microbench("str1", n_elems=256, repeats=2, opt_level=opt)
+            k[opt] = 1 + r.events_observed["n_const"].sum() / len(r.events_observed)
+        assert k["O0"] > k["O3"] > 1.0
+
+    def test_counts_structure(self):
+        r = run_microbench("str1", n_elems=256, repeats=2)
+        assert r.counts.n_ptwrites > 0
+        assert r.counts_baseline.n_ptwrites == 0
+        assert r.counts.n_loads == r.counts_baseline.n_loads
+
+    def test_deterministic_given_seed(self):
+        a = run_microbench("irr", n_elems=256, repeats=1, seed=5)
+        b = run_microbench("irr", n_elems=256, repeats=1, seed=5)
+        assert np.array_equal(a.events_full["addr"], b.events_full["addr"])
+
+    def test_repeats_scale_loads(self):
+        a = run_microbench("str1", n_elems=256, repeats=1)
+        b = run_microbench("str1", n_elems=256, repeats=4)
+        assert b.n_loads == 4 * a.n_loads

@@ -1,0 +1,125 @@
+"""Tests for the miniVite Louvain workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import code_windows
+from repro.workloads.minivite import MINIVITE_VARIANTS, modularity, run_minivite
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        v: run_minivite(v, scale=7, edge_factor=8, seed=0, max_iters=2)
+        for v in MINIVITE_VARIANTS
+    }
+
+
+class TestModularityFunction:
+    def test_singletons_near_zero_or_negative(self):
+        edges = np.array([[0, 1], [1, 0], [1, 2], [2, 1]])
+        q = modularity(3, edges, np.arange(3))
+        assert q <= 0.0
+
+    def test_perfect_split_positive(self):
+        # two triangles
+        tri = lambda base: [
+            [base, base + 1],
+            [base + 1, base],
+            [base + 1, base + 2],
+            [base + 2, base + 1],
+            [base + 2, base],
+            [base, base + 2],
+        ]
+        edges = np.array(tri(0) + tri(3))
+        comm = np.array([0, 0, 0, 1, 1, 1])
+        assert modularity(6, edges, comm) > 0.4
+
+    def test_empty_graph(self):
+        assert modularity(3, np.empty((0, 2)), np.arange(3)) == 0.0
+
+
+class TestLouvain:
+    def test_improves_modularity(self, results):
+        for v, r in results.items():
+            singleton_q = 0.0  # singleton partition has Q <= 0 for these graphs
+            assert r.modularity > singleton_q, v
+
+    def test_all_variants_agree_roughly(self, results):
+        qs = [r.modularity for r in results.values()]
+        assert max(qs) - min(qs) < 0.2
+
+    def test_moves_happened(self, results):
+        assert all(r.n_moves > 0 for r in results.values())
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            run_minivite("v9", scale=6)
+
+
+class TestAccessShapes:
+    def test_v1_insert_irregular_v23_strided(self, results):
+        pct = {}
+        for v, r in results.items():
+            cw = code_windows(r.events, fn_names=r.fn_names)
+            pct[v] = cw["map.insert"].F_str_pct
+        assert pct["v1"] < 10
+        assert pct["v2"] > 40
+        assert pct["v3"] > 40
+
+    def test_v2_has_most_map_accesses(self, results):
+        a = {}
+        for v, r in results.items():
+            cw = code_windows(r.events, fn_names=r.fn_names)
+            a[v] = cw["map.insert"].A_implied
+        assert a["v2"] > a["v3"]
+        assert a["v2"] > a["v1"]
+
+    def test_getmax_strided_only_for_hopscotch(self, results):
+        cw1 = code_windows(results["v1"].events, fn_names=results["v1"].fn_names)
+        cw3 = code_windows(results["v3"].events, fn_names=results["v3"].fn_names)
+        assert cw1["getMax"].F_str_pct < cw3["getMax"].F_str_pct
+
+    def test_sim_time_ordering(self, results):
+        """The memory-cost model makes v1 (irregular) slowest per access."""
+        per_access = {
+            v: r.sim_time / max(1, r.n_loads) for v, r in results.items()
+        }
+        assert per_access["v1"] > per_access["v2"]
+        assert per_access["v1"] > per_access["v3"]
+
+    def test_phases_partition_trace(self, results):
+        r = results["v1"]
+        (g0, g1), (m0, m1) = r.phase_bounds["graph_gen"], r.phase_bounds["modularity"]
+        assert g0 == 0 and g1 == m0 and m1 == len(r.events)
+
+    def test_region_extents_present(self, results):
+        r = results["v2"]
+        assert "map" in r.region_extents
+        assert "graph-targets" in r.region_extents
+        lo, hi = r.region_extents["map"]
+        assert hi > lo
+
+    def test_phase_detection_separates_gen_from_modularity(self, results):
+        """graph generation (mixed strided build) and modularity (map
+        traffic) have different access mixes the detector can see."""
+        from repro.core.phases import detect_phases
+        from repro.trace.collector import collect_sampled_trace
+        from repro.trace.sampler import SamplingConfig
+
+        r = results["v1"]
+        cfg = SamplingConfig(period=997, buffer_capacity=128, fill_jitter=0.0)
+        col = collect_sampled_trace(r.events, r.n_loads, cfg)
+        phases = detect_phases(col, threshold=0.3)
+        assert len(phases) >= 2
+        # the first phase covers the graph-generation prefix
+        gen_end_t = r.events["t"][r.phase_bounds["graph_gen"][1] - 1]
+        assert phases[0].t_start <= int(gen_end_t)
+
+    def test_map_region_recycled(self, results):
+        """Per-vertex maps reuse freed blocks: the extent stays compact."""
+        r = results["v3"]
+        lo, hi = r.region_extents["map"]
+        # thousands of per-vertex tables would otherwise spread over
+        # hundreds of MB of address space
+        assert hi - lo < 64 * 1024 * 1024

@@ -1,0 +1,71 @@
+"""Tests for the GAP PageRank workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.gap.graphs import kronecker_edges
+from repro.workloads.gap.pagerank import run_pagerank
+
+
+@pytest.fixture(scope="module")
+def both():
+    return {
+        alg: run_pagerank(alg, scale=8, edge_factor=8, seed=0, max_iters=30)
+        for alg in ("pr", "pr-spmv")
+    }
+
+
+def _reference_scores(scale, edge_factor, seed, iters=100):
+    n, edges = kronecker_edges(scale, edge_factor, seed)
+    sym = np.concatenate([edges, edges[:, ::-1]])
+    sym = sym[sym[:, 0] != sym[:, 1]]
+    order = np.lexsort((sym[:, 1], sym[:, 0]))
+    sym = sym[order]
+    keep = np.ones(len(sym), bool)
+    keep[1:] = np.any(sym[1:] != sym[:-1], axis=1)
+    sym = sym[keep]
+    deg = np.maximum(np.bincount(sym[:, 0], minlength=n), 1).astype(float)
+    s = np.full(n, 1.0 / n)
+    for _ in range(iters):
+        contrib = s / deg
+        acc = np.zeros(n)
+        np.add.at(acc, sym[:, 1], contrib[sym[:, 0]])
+        s = (1 - 0.85) / n + 0.85 * acc
+    return s
+
+
+class TestCorrectness:
+    def test_scores_close_to_fixed_point(self, both):
+        ref = _reference_scores(8, 8, 0)
+        for alg, r in both.items():
+            err = np.abs(r.scores - ref).sum()
+            assert err < 0.05, alg
+
+    def test_scores_positive(self, both):
+        for r in both.values():
+            assert np.all(r.scores > 0)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_pagerank("pr-bogus", scale=6)
+
+
+class TestShapes:
+    def test_pr_converges_in_fewer_or_equal_iterations(self, both):
+        assert both["pr"].n_iterations <= both["pr-spmv"].n_iterations
+
+    def test_pr_fewer_accesses(self, both):
+        assert both["pr"].n_loads < both["pr-spmv"].n_loads
+
+    def test_pr_faster_simulated(self, both):
+        assert both["pr"].sim_time < both["pr-spmv"].sim_time
+
+    def test_oscore_extent_recorded(self, both):
+        for r in both.values():
+            lo, hi = r.region_extents["o-score"]
+            assert hi - lo >= 256 * 8
+
+    def test_phase_bounds(self, both):
+        r = both["pr"]
+        (g0, g1), (r0, r1) = r.phase_bounds["graph_gen"], r.phase_bounds["rank"]
+        assert g0 == 0 and g1 == r0 and r1 == len(r.events)
