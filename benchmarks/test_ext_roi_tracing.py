@@ -13,8 +13,6 @@ selection, guarded collection — and measures both sides of the trade:
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import APP_SAMPLING, once, save_result
 from repro._util.tables import format_table
 from repro.core.hotspot import find_hotspots, roi_from_hotspots

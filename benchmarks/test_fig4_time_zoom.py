@@ -17,8 +17,6 @@ the figure's structural claims:
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import APP_SAMPLING, once, save_result
 from repro._util.tables import format_table
 from repro.core.interval_tree import ExecutionIntervalTree

@@ -1,0 +1,124 @@
+"""Performance: parallel sharded analysis engine scaling and exactness.
+
+Two claims are pinned here:
+
+1. **exactness** — on a large synthetic trace, the sharded parallel
+   path produces *bit-identical* merged metrics (diagnostics,
+   captures/survivals, reuse histogram) for every worker count;
+2. **scaling** — with 4 workers the full diagnostic suite runs >= 2x
+   faster than the serial path on a >= 10M-event trace. The speedup
+   assertion needs real cores, so it skips on machines with fewer than
+   4 CPUs (the exactness assertions always run).
+
+Trace size is tunable via ``MEMGAZE_BENCH_EVENTS`` (default 10M for the
+timed test; the exactness tests use a smaller trace so the Fenwick
+reuse pass stays affordable in CI).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_result
+from repro._util.timers import Timer
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.metrics import captures_survivals
+from repro.core.parallel import ParallelEngine
+from repro.core.reuse import reuse_histogram
+from repro.trace.event import make_events
+
+N_TIMED = int(os.environ.get("MEMGAZE_BENCH_EVENTS", 10_000_000))
+N_EXACT = min(N_TIMED, 500_000)
+
+
+def _synthetic_trace(n: int, seed: int = 0):
+    """A mixed-pattern trace: strided sweeps + irregular accesses + proxies."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n, dtype=np.uint64)
+    strided = 0x10_0000 + (idx * 8) % (1 << 24)
+    irregular = 0x200_0000 + rng.integers(0, 1 << 22, n).astype(np.uint64) * 8
+    cls = rng.choice([0, 1, 2], n, p=[0.1, 0.5, 0.4]).astype(np.uint8)
+    addr = np.where(cls == 1, strided, irregular)
+    ev = make_events(
+        ip=(idx % 64) + 1,
+        addr=addr,
+        cls=cls,
+        n_const=np.where(rng.random(n) < 0.05, 3, 0).astype(np.uint16),
+        fn=(idx % 8).astype(np.uint32),
+    )
+    # ~1K-record samples: the window geometry real sampled traces have
+    sid = (np.arange(n, dtype=np.int64) // 1024).astype(np.int32)
+    return ev, sid
+
+
+def _serial_suite(ev, sid, block=64):
+    d = compute_diagnostics(ev, rho=2.0, block=block)
+    cs = captures_survivals(ev, block)
+    h = reuse_histogram(ev, block, sid)
+    return d, cs, h
+
+
+def _parallel_suite(eng, ev, sid, block=64):
+    d = eng.diagnostics(ev, rho=2.0, block=block, sample_id=sid)
+    cs = eng.captures_survivals(ev, block, sample_id=sid)
+    h = eng.reuse_histogram(ev, block, sid)
+    return d, cs, h
+
+
+@pytest.fixture(scope="module")
+def exact_trace():
+    return _synthetic_trace(N_EXACT)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_bit_identical(exact_trace, workers):
+    ev, sid = exact_trace
+    ds, css, hs = _serial_suite(ev, sid)
+    with ParallelEngine(workers=workers) as eng:
+        dp, csp, hp = _parallel_suite(eng, ev, sid)
+    assert dp == ds  # dataclass of ints/floats: exact equality
+    assert csp == css
+    assert np.array_equal(hp.counts, hs.counts)
+    assert (hp.n_cold, hp.n_reuse, hp.d_sum, hp.d_max) == (
+        hs.n_cold, hs.n_reuse, hs.d_sum, hs.d_max,
+    )
+    assert hp.mean == hs.mean
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup measurement needs >= 4 CPUs",
+)
+def test_parallel_scaling_4_workers(benchmark):
+    ev, sid = _synthetic_trace(N_TIMED)
+
+    with Timer() as t_serial:
+        serial = _serial_suite(ev, sid)
+
+    eng = ParallelEngine(workers=4)
+    try:
+        eng.footprint(ev[:200_000], sample_id=sid[:200_000])  # warm the pool up
+        with Timer() as t_parallel:
+            parallel = benchmark.pedantic(
+                _parallel_suite, args=(eng, ev, sid), rounds=1, iterations=1
+            )
+    finally:
+        eng.close()
+
+    assert parallel[0] == serial[0]
+    assert parallel[1] == serial[1]
+    assert np.array_equal(parallel[2].counts, serial[2].counts)
+
+    speedup = t_serial.elapsed / max(t_parallel.elapsed, 1e-9)
+    save_result(
+        "perf_parallel_scaling",
+        "parallel sharded analysis engine, synthetic trace\n"
+        f"events:            {len(ev):,}\n"
+        f"serial suite:      {t_serial.elapsed:8.2f} s\n"
+        f"4-worker suite:    {t_parallel.elapsed:8.2f} s\n"
+        f"speedup:           {speedup:8.2f}x",
+    )
+    assert speedup >= 2.0, f"expected >= 2x with 4 workers, got {speedup:.2f}x"

@@ -11,8 +11,6 @@ Run:  python examples/graph_analytics_reuse.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import SamplingConfig, access_heatmap, collect_sampled_trace
 from repro.core.heatmap import render_heatmap_ascii
 from repro.core.reuse import region_reuse

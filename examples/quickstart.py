@@ -12,8 +12,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import AnalysisConfig, MemGaze, SamplingConfig, mape, window_histogram
 from repro.workloads.microbench import run_microbench
 
@@ -32,14 +30,14 @@ def main() -> None:
         bench.events_observed, n_loads_total=bench.n_loads, fn_names=bench.fn_names
     )
     col = result.collection
-    print(f"\n== sampled trace ==")
+    print("\n== sampled trace ==")
     print(f"samples:                {col.n_samples} (mean w = {col.mean_w:.0f})")
     print(f"sampled fraction:       {len(col.events) / len(bench.events_observed):.1%}")
     print(f"sample ratio rho:       {result.rho:.1f}")
     print(f"compression kappa:      {result.kappa:.2f}")
 
     d = result.diagnostics
-    print(f"\n== footprint access diagnostics (whole trace) ==")
+    print("\n== footprint access diagnostics (whole trace) ==")
     print(f"estimated accesses:     {d.A_est:,.0f}")
     print(f"estimated footprint:    {d.F_est:,.0f} bytes touched")
     print(f"footprint growth dF:    {d.dF:.3f} new bytes/access")
@@ -47,7 +45,7 @@ def main() -> None:
     print(f"irregular footprint:    {d.F_irr_pct:.1f}%  (cache-hostile)")
     print(f"constant accesses:      {d.A_const_pct:.1f}%")
 
-    print(f"\n== per-function code windows ==")
+    print("\n== per-function code windows ==")
     for fn, diag in sorted(result.per_function.items(), key=lambda kv: -kv[1].A_est):
         print(
             f"  {fn:<22} A={diag.A_est:>12,.0f}  dF={diag.dF:.3f}  "
@@ -57,10 +55,10 @@ def main() -> None:
     sizes = [8, 16, 32, 64, 128, 256]
     _, sampled = window_histogram(col.events, "F", sizes=sizes, sample_id=col.sample_id)
     _, full = window_histogram(bench.events_observed, "F", sizes=sizes)
-    print(f"\n== windowed footprint histogram: sampled vs full trace ==")
-    print(f"  window:  " + "  ".join(f"{s:>6}" for s in sizes))
-    print(f"  sampled: " + "  ".join(f"{v:6.1f}" for v in sampled))
-    print(f"  full:    " + "  ".join(f"{v:6.1f}" for v in full))
+    print("\n== windowed footprint histogram: sampled vs full trace ==")
+    print("  window:  " + "  ".join(f"{s:>6}" for s in sizes))
+    print("  sampled: " + "  ".join(f"{v:6.1f}" for v in sampled))
+    print("  full:    " + "  ".join(f"{v:6.1f}" for v in full))
     print(f"  MAPE:    {mape(sampled, full):.1f}%  (paper bound: <25%)")
 
 

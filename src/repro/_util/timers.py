@@ -1,11 +1,21 @@
-"""Wall-clock timing helper used by the toolchain-time benchmarks."""
+"""Wall-clock timing helpers: one-shot timers and per-stage counters.
+
+:class:`Timer` measures a single region (used by the toolchain-time
+benchmarks). :class:`StageTimers` is an accumulating registry for
+pipeline instrumentation: each named stage collects total elapsed time,
+call count, and an optional item count, from which it reports
+throughput (items/s). The parallel analysis engine records its
+plan/scatter/compute/merge stages here, and ``memgaze report --stats``
+prints the rendered table.
+"""
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from types import TracebackType
 
-__all__ = ["Timer"]
+__all__ = ["Timer", "StageStats", "StageTimers"]
 
 
 class Timer:
@@ -38,3 +48,92 @@ class Timer:
         """Reset the start point for reuse of the same object."""
         self._start = time.perf_counter()
         self.elapsed = 0.0
+
+
+@dataclass
+class StageStats:
+    """Accumulated statistics for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    items: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Items per second (0.0 when no time has accumulated)."""
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+
+class _StageRegion:
+    """Context manager that adds its elapsed time to a stage on exit."""
+
+    def __init__(self, timers: "StageTimers", name: str, items: int) -> None:
+        self._timers = timers
+        self._name = name
+        self._items = items
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageRegion":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._timers.add(
+            self._name, time.perf_counter() - self._start, items=self._items
+        )
+
+
+@dataclass
+class StageTimers:
+    """Accumulating per-stage timing registry.
+
+    >>> timers = StageTimers()
+    >>> with timers.stage("merge", items=100):
+    ...     pass
+    >>> timers.stats["merge"].calls
+    1
+    """
+
+    stats: dict[str, StageStats] = field(default_factory=dict)
+
+    def stage(self, name: str, items: int = 0) -> _StageRegion:
+        """Time a region; elapsed seconds accumulate under ``name``."""
+        return _StageRegion(self, name, items)
+
+    def add(self, name: str, seconds: float, items: int = 0) -> None:
+        """Record ``seconds`` (and ``items`` processed) against ``name``."""
+        s = self.stats.setdefault(name, StageStats())
+        s.seconds += seconds
+        s.calls += 1
+        s.items += items
+
+    def merge(self, other: "StageTimers") -> None:
+        """Fold another registry's accumulated stats into this one."""
+        for name, s in other.stats.items():
+            mine = self.stats.setdefault(name, StageStats())
+            mine.seconds += s.seconds
+            mine.calls += s.calls
+            mine.items += s.items
+
+    def reset(self) -> None:
+        """Drop all accumulated statistics."""
+        self.stats.clear()
+
+    def report(self, title: str = "stage timings") -> str:
+        """Render the accumulated stages as an aligned text table."""
+        lines = [f"== {title} =="]
+        if not self.stats:
+            lines.append("  (no stages recorded)")
+            return "\n".join(lines)
+        width = max(len(n) for n in self.stats)
+        for name, s in self.stats.items():
+            row = f"  {name:<{width}}  {s.seconds * 1e3:10.2f} ms  x{s.calls}"
+            if s.items:
+                row += f"  {s.items:>12,} items  {s.throughput:14,.0f} items/s"
+            lines.append(row)
+        return "\n".join(lines)

@@ -10,6 +10,10 @@ Three subcommands mirror the tool's workflow:
     Read a trace archive and print the analyses: whole-trace footprint
     diagnostics, per-function code windows, hot memory regions (zoom),
     locality over time, working-set curve, and sampling confidence.
+    ``--workers N`` shards the window analyses over a process pool
+    (bit-identical results; see :mod:`repro.core.parallel`),
+    ``--chunk-size`` overrides the shard size, and ``--stats`` prints
+    per-stage timings, throughput, and cache hit rates.
 
 ``memgaze info``
     Show a trace archive's collection metadata.
@@ -26,6 +30,7 @@ Example::
 
     memgaze trace --workload minivite:v2 --period 12000 --buffer 1024 -o v2.npz
     memgaze report v2.npz --functions --regions --working-set
+    memgaze report v2.npz --workers 4 --stats
 """
 
 from __future__ import annotations
@@ -36,16 +41,15 @@ import sys
 import numpy as np
 
 from repro.core.confidence import code_window_confidence
-from repro.core.diagnostics import compute_diagnostics
 from repro.core.hotspot import find_hotspots
 from repro.core.interval_tree import access_interval_metrics
+from repro.core.parallel import ParallelEngine
 from repro.core.report import (
     format_quantity,
     render_function_table,
     render_interval_table,
     render_region_table,
 )
-from repro.core.windows import code_windows
 from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
 from repro.core.workingset import working_set_curve
 from repro.trace.collector import CollectionResult, collect_sampled_trace
@@ -161,6 +165,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("trace is empty")
         return 1
     rho = sample_ratio_from(col)
+    engine = ParallelEngine(workers=args.workers, chunk_size=args.chunk_size)
+    token = engine.window_token()
     everything = not (
         args.functions
         or args.regions
@@ -171,7 +177,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         or args.phases
     )
 
-    d = compute_diagnostics(col.events, rho=rho)
+    d = engine.diagnostics(
+        col.events, rho=rho, sample_id=col.sample_id, window_id=(token, "whole")
+    )
     print(f"== {meta.module}: footprint access diagnostics ==")
     print(f"A (est):   {format_quantity(d.A_est)}    F (est): {format_quantity(d.F_est)}")
     print(f"dF:        {d.dF:.3f}   F_str%: {d.F_str_pct:.1f}   A_const%: {d.A_const_pct:.1f}")
@@ -185,7 +193,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print(
             render_function_table(
-                code_windows(col.events, rho=rho, fn_names=fn_names),
+                engine.code_windows(col.events, rho=rho, fn_names=fn_names),
                 title="code windows (per-function locality)",
             )
         )
@@ -209,7 +217,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.intervals or everything:
         n = args.intervals or 8
         rows = access_interval_metrics(
-            col.events, n, rho=rho, reuse_block=64, sample_id=col.sample_id
+            col.events,
+            n,
+            rho=rho,
+            reuse_block=64,
+            sample_id=col.sample_id,
+            engine=engine,
+            cache_token=token,
         )
         print()
         print(render_interval_table(rows, title=f"locality over {n} access intervals"))
@@ -244,6 +258,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 f"CI95 [{format_quantity(lo)}, {format_quantity(hi)}]  "
                 f"{c.n_samples_present}/{c.n_samples_total} samples{flag}"
             )
+
+    if args.stats:
+        print()
+        print(engine.timers.report(title="analysis stage timings"))
+        print(
+            f"  cache: {engine.cache.hits} hits / {engine.cache.misses} misses "
+            f"({len(engine.cache)} entries)"
+        )
+    engine.close()
     return 0
 
 
@@ -325,6 +348,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--hot-threshold", type=float, default=0.10)
     p_report.add_argument("--min-region-pct", type=float, default=2.0)
     p_report.add_argument("--max-regions", type=int, default=10)
+    p_report.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis worker processes (>1 shards windows across a pool)",
+    )
+    p_report.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="events per shard (default: auto from trace size and workers)",
+    )
+    p_report.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage analysis timings, throughput, and cache hits",
+    )
     p_report.set_defaults(fn=_cmd_report)
 
     p_diff = sub.add_parser("diff", help="compare two trace archives per function")

@@ -19,6 +19,8 @@ sampled, compressed traces:
 * :mod:`repro.core.heatmap` — (region page x time) access and reuse
   heatmaps (Fig. 8);
 * :mod:`repro.core.report` — paper-style table rendering;
+* :mod:`repro.core.parallel` — the sharded parallel analysis engine
+  (mergeable window partials, bit-identical to the serial path);
 * :mod:`repro.core.pipeline` — the end-to-end MemGaze driver.
 """
 
@@ -32,12 +34,21 @@ from repro.core.metrics import (
 )
 from repro.core.growth import footprint_growth
 from repro.core.reuse import (
+    ReuseHistogram,
     inter_sample_distance,
     max_reuse_distance,
     mean_reuse_distance,
     region_reuse,
     reuse_distances,
+    reuse_histogram,
     reuse_intervals,
+)
+from repro.core.parallel import (
+    CapturesPartial,
+    DiagnosticsPartial,
+    LRUCache,
+    ParallelEngine,
+    plan_shards,
 )
 from repro.core.diagnostics import FootprintDiagnostics, compute_diagnostics
 from repro.core.windows import code_windows, trace_window_metrics
@@ -87,7 +98,14 @@ __all__ = [
     "mean_reuse_distance",
     "region_reuse",
     "reuse_distances",
+    "reuse_histogram",
     "reuse_intervals",
+    "ReuseHistogram",
+    "CapturesPartial",
+    "DiagnosticsPartial",
+    "LRUCache",
+    "ParallelEngine",
+    "plan_shards",
     "FootprintDiagnostics",
     "compute_diagnostics",
     "code_windows",

@@ -12,11 +12,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.metrics import nonconstant
+from repro._util.validate import check_power_of_two
 from repro.core.reuse import reuse_distances
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
-__all__ = ["HeatmapResult", "access_heatmap", "render_heatmap_ascii"]
+__all__ = [
+    "HeatmapResult",
+    "heatmap_geometry",
+    "accumulate_heatmap",
+    "finalize_heatmap",
+    "access_heatmap",
+    "render_heatmap_ascii",
+]
 
 
 @dataclass
@@ -40,6 +47,72 @@ class HeatmapResult:
         return self.counts.shape[1]
 
 
+def heatmap_geometry(
+    nc: np.ndarray, size: int, n_pages: int, n_bins: int
+) -> tuple[int, np.ndarray]:
+    """(page_size, t_edges) shared by every shard of one heatmap.
+
+    ``nc`` is the whole trace's non-Constant record stream; the geometry
+    must be fixed *before* sharding so partial matrices line up.
+    """
+    page_size = max(1, size // n_pages)
+    t_lo = int(nc["t"][0]) if len(nc) else 0
+    t_hi = int(nc["t"][-1]) + 1 if len(nc) else 1
+    return page_size, np.linspace(t_lo, t_hi, n_bins + 1)
+
+
+def accumulate_heatmap(
+    addr: np.ndarray,
+    t: np.ndarray,
+    d: np.ndarray,
+    *,
+    base: int,
+    page_size: int,
+    t_edges: np.ndarray,
+    n_pages: int,
+    n_bins: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(counts, dsum, dcnt) partial matrices for one shard of accesses.
+
+    ``addr``/``t``/``d`` are the shard's region-filtered addresses, times,
+    and reuse distances. Partials from different shards merge by matrix
+    addition: counts and dcnt are integer, and dsum accumulates
+    integer-valued distances below 2**53, so float addition is exact and
+    the merged result is bit-identical to a single-pass accumulation.
+    """
+    counts = np.zeros((n_pages, n_bins), dtype=np.int64)
+    dsum = np.zeros((n_pages, n_bins), dtype=np.float64)
+    dcnt = np.zeros((n_pages, n_bins), dtype=np.int64)
+    if len(addr):
+        rows = np.minimum((addr - base) // page_size, n_pages - 1)
+        cols = np.minimum(
+            np.searchsorted(t_edges, t, side="right") - 1, n_bins - 1
+        )
+        cols = np.maximum(cols, 0)
+        np.add.at(counts, (rows, cols), 1)
+        reusing = d >= 0
+        np.add.at(dsum, (rows[reusing], cols[reusing]), d[reusing])
+        np.add.at(dcnt, (rows[reusing], cols[reusing]), 1)
+    return counts, dsum, dcnt
+
+
+def finalize_heatmap(
+    counts: np.ndarray,
+    dsum: np.ndarray,
+    dcnt: np.ndarray,
+    *,
+    base: int,
+    page_size: int,
+    t_edges: np.ndarray,
+) -> HeatmapResult:
+    """Turn merged partial matrices into a :class:`HeatmapResult`."""
+    with np.errstate(invalid="ignore"):
+        reuse = np.where(dcnt > 0, dsum / np.maximum(dcnt, 1), np.nan)
+    return HeatmapResult(
+        counts=counts, reuse=reuse, base=base, page_size=page_size, t_edges=t_edges
+    )
+
+
 def access_heatmap(
     events: np.ndarray,
     base: int,
@@ -60,6 +133,7 @@ def access_heatmap(
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     if size <= 0 or n_pages <= 0 or n_bins <= 0:
         raise ValueError("size, n_pages and n_bins must be > 0")
+    check_power_of_two("block", access_block)
 
     mask = events["cls"] != int(LoadClass.CONSTANT)
     nc = events[mask]
@@ -71,28 +145,19 @@ def access_heatmap(
     in_region = (addr >= base) & (addr < base + size)
     addr, t, d = addr[in_region], t[in_region], d[in_region]
 
-    page_size = max(1, size // n_pages)
-    t_lo = int(nc["t"][0]) if len(nc) else 0
-    t_hi = int(nc["t"][-1]) + 1 if len(nc) else 1
-    t_edges = np.linspace(t_lo, t_hi, n_bins + 1)
-
-    counts = np.zeros((n_pages, n_bins), dtype=np.int64)
-    dsum = np.zeros((n_pages, n_bins), dtype=np.float64)
-    dcnt = np.zeros((n_pages, n_bins), dtype=np.int64)
-    if len(addr):
-        rows = np.minimum((addr - base) // page_size, n_pages - 1)
-        cols = np.minimum(
-            np.searchsorted(t_edges, t, side="right") - 1, n_bins - 1
-        )
-        cols = np.maximum(cols, 0)
-        np.add.at(counts, (rows, cols), 1)
-        reusing = d >= 0
-        np.add.at(dsum, (rows[reusing], cols[reusing]), d[reusing])
-        np.add.at(dcnt, (rows[reusing], cols[reusing]), 1)
-    with np.errstate(invalid="ignore"):
-        reuse = np.where(dcnt > 0, dsum / np.maximum(dcnt, 1), np.nan)
-    return HeatmapResult(
-        counts=counts, reuse=reuse, base=base, page_size=page_size, t_edges=t_edges
+    page_size, t_edges = heatmap_geometry(nc, size, n_pages, n_bins)
+    counts, dsum, dcnt = accumulate_heatmap(
+        addr,
+        t,
+        d,
+        base=base,
+        page_size=page_size,
+        t_edges=t_edges,
+        n_pages=n_pages,
+        n_bins=n_bins,
+    )
+    return finalize_heatmap(
+        counts, dsum, dcnt, base=base, page_size=page_size, t_edges=t_edges
     )
 
 

@@ -181,6 +181,8 @@ def access_interval_metrics(
     block: int = 1,
     reuse_block: int = 64,
     sample_id: np.ndarray | None = None,
+    engine=None,
+    cache_token=None,
 ) -> list[dict]:
     """Equal-count access intervals over time (Table VIII / Fig. 9 rows).
 
@@ -188,6 +190,12 @@ def access_interval_metrics(
     equal record count and reports per interval: estimated footprint ``F``,
     growth ``dF``, intra-sample mean reuse distance ``D``, and estimated
     accesses ``A``.
+
+    With a :class:`~repro.core.parallel.ParallelEngine` passed as
+    ``engine``, interval windows are computed through it — sharded when
+    large, and memoized under ``(window_id, block, metric)`` so repeated
+    zoom queries at the same interval geometry are free (``cache_token``
+    namespaces the windows; pass the owning result's token).
     """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
@@ -204,9 +212,18 @@ def access_interval_metrics(
                 {"interval": k, "F": 0.0, "dF": 0.0, "D": 0.0, "A": 0.0, "A_obs": 0}
             )
             continue
-        diag = compute_diagnostics(part, rho=rho, block=block)
         sid = sample_id[lo:hi] if sample_id is not None else None
-        d = mean_reuse_distance(part, block=reuse_block, sample_id=sid)
+        if engine is not None:
+            window_id = (cache_token, lo, hi) if cache_token is not None else None
+            diag = engine.diagnostics(
+                part, rho=rho, block=block, sample_id=sid, window_id=window_id
+            )
+            d = engine.reuse_histogram(
+                part, block=reuse_block, sample_id=sid, window_id=window_id
+            ).mean
+        else:
+            diag = compute_diagnostics(part, rho=rho, block=block)
+            d = mean_reuse_distance(part, block=reuse_block, sample_id=sid)
         rows.append(
             {
                 "interval": k,

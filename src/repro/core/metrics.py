@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util.validate import check_power_of_two
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
 __all__ = [
@@ -42,8 +43,7 @@ def _check(events: np.ndarray) -> None:
 
 
 def _check_block(block: int) -> None:
-    if block <= 0 or (block & (block - 1)) != 0:
-        raise ValueError(f"block must be a positive power of two, got {block}")
+    check_power_of_two("block", block)
 
 
 def block_ids(events: np.ndarray, block: int = 1) -> np.ndarray:

@@ -1,0 +1,782 @@
+"""Parallel sharded analysis engine with mergeable window partials.
+
+The paper's analysis stage (SS:IV-V) is embarrassingly parallel across
+trace windows: footprint is a set cardinality, captures/survivals a
+saturating per-block count, the reuse histogram an integer tally that
+resets at sample boundaries, and heatmaps are matrix sums. This module
+exploits that by
+
+1. **sharding** a trace into sample-aligned chunks (:func:`plan_shards` —
+   a shard never splits a sample, so intra-sample computations are
+   unaffected by the cut);
+2. **fanning out** per-shard partial computation across a
+   ``concurrent.futures`` process pool; and
+3. **merging** partials with explicit associative operators
+   (:class:`DiagnosticsPartial.merge`, :class:`CapturesPartial.merge`,
+   :meth:`~repro.core.reuse.ReuseHistogram.merge`, matrix addition for
+   heatmaps) whose results are **bit-identical** to the serial path.
+
+Exactness argument, per metric:
+
+* *footprint / per-class footprint* — unique block ids are kept as
+  sorted ``uint64`` arrays; ``union`` of sorted sets is associative and
+  order-independent, so ``|union|`` equals the serial ``np.unique``
+  count for any shard split (sample alignment not even required).
+* *captures/survivals* — a block's observed count saturates at 2; the
+  (once, multi) set pair forms a commutative monoid under
+  :meth:`CapturesPartial.merge`.
+* *reuse histogram* — distances reset at sample boundaries, so a
+  sample-aligned shard computes exactly the distances the serial pass
+  assigns to its events; all tallies are integers and integer addition
+  is exact.
+* *heatmaps* — bin geometry is fixed globally before sharding; count
+  matrices are integers, and the ``dsum`` float matrix accumulates
+  integer-valued distances far below 2**53, so float addition is exact.
+* *derived floats* (``dF``, ``A_est``, mean D, cell means) are computed
+  once, from merged integer totals, by the same expressions the serial
+  code uses — identical operands, identical results.
+
+The engine also memoizes merged partials in an LRU cache keyed by
+``(window_id, block, metric)`` so repeated zoom/interval queries over
+the same window are free, and records per-stage wall-clock and
+throughput in a :class:`~repro._util.timers.StageTimers` (surfaced by
+``memgaze report --stats``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import OrderedDict
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.timers import StageTimers
+from repro._util.validate import check_power_of_two
+from repro.core.diagnostics import FootprintDiagnostics
+from repro.core.heatmap import (
+    HeatmapResult,
+    accumulate_heatmap,
+    finalize_heatmap,
+    heatmap_geometry,
+)
+from repro.core.metrics import block_ids
+from repro.core.reuse import _HIST_MAX_EXP, ReuseHistogram, reuse_histogram
+from repro.trace.event import EVENT_DTYPE, LoadClass
+
+__all__ = [
+    "plan_shards",
+    "DiagnosticsPartial",
+    "CapturesPartial",
+    "LRUCache",
+    "ParallelEngine",
+]
+
+#: below this many events a single shard is used — pool overhead would
+#: dominate any gain.
+_MIN_PARALLEL_EVENTS = 16_384
+#: shards per worker when no explicit chunk size is given (load balance).
+_CHUNKS_PER_WORKER = 4
+
+
+# -- shard planning -----------------------------------------------------------
+
+
+def plan_shards(
+    n: int,
+    sample_id: np.ndarray | None = None,
+    *,
+    n_shards: int | None = None,
+    chunk_size: int | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into contiguous shards that never cut a sample.
+
+    Exactly one of ``n_shards`` / ``chunk_size`` picks the target shard
+    size; with ``sample_id`` given, each cut is moved forward to the next
+    sample boundary so every sample lands whole in one shard.
+    """
+    if n_shards is None and chunk_size is None:
+        raise ValueError("pass n_shards or chunk_size")
+    if n_shards is not None and chunk_size is not None:
+        raise ValueError("pass only one of n_shards / chunk_size")
+    if n <= 0:
+        return []
+    if chunk_size is None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be > 0, got {n_shards}")
+        chunk_size = -(-n // n_shards)  # ceil
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+
+    if sample_id is None:
+        cuts = list(range(0, n, chunk_size)) + [n]
+        return list(zip(cuts[:-1], cuts[1:]))
+
+    if len(sample_id) != n:
+        raise ValueError("sample_id length must match events")
+    # sample start indices (always includes 0)
+    starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(np.asarray(sample_id))) + 1, [n]]
+    ).astype(np.int64)
+    shards: list[tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        target = lo + chunk_size
+        if target >= n:
+            hi = n
+        else:
+            # first sample boundary at or after the target; a sample
+            # longer than chunk_size lands whole in one oversized shard
+            hi = int(starts[np.searchsorted(starts, target, side="left")])
+        shards.append((lo, hi))
+        lo = hi
+    return shards
+
+
+# -- mergeable partials -------------------------------------------------------
+
+
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    return np.unique(a)
+
+
+@dataclass
+class DiagnosticsPartial:
+    """Mergeable state behind footprint + diagnostics for one shard.
+
+    Unique block ids are sorted ``uint64`` arrays (set semantics); the
+    counters are plain integers. :meth:`merge` is associative and
+    commutative, and :meth:`finalize` evaluates the exact expressions of
+    :func:`repro.core.diagnostics.compute_diagnostics` on the merged
+    integer totals.
+    """
+
+    blocks: np.ndarray  # sorted unique non-Constant block ids
+    strided: np.ndarray  # sorted unique Strided block ids
+    irregular: np.ndarray  # sorted unique Irregular block ids
+    has_const: bool
+    a_obs: int  # observed records
+    n_suppressed: int  # suppressed Constant loads (sum of n_const)
+    n_const_records: int  # records with cls == CONSTANT
+
+    @classmethod
+    def identity(cls) -> "DiagnosticsPartial":
+        """The merge identity (an empty shard)."""
+        z = np.empty(0, dtype=np.uint64)
+        return cls(z, z, z, False, 0, 0, 0)
+
+    @classmethod
+    def from_events(cls, events: np.ndarray, block: int = 1) -> "DiagnosticsPartial":
+        """Compute the partial for one shard of records."""
+        if events.dtype != EVENT_DTYPE:
+            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+        check_power_of_two("block", block)
+        ids = block_ids(events, block)
+        cls_col = events["cls"]
+        const_mask = cls_col == int(LoadClass.CONSTANT)
+        n_suppressed = int(events["n_const"].sum())
+        return cls(
+            blocks=_sorted_unique(ids[~const_mask]),
+            strided=_sorted_unique(ids[cls_col == int(LoadClass.STRIDED)]),
+            irregular=_sorted_unique(ids[cls_col == int(LoadClass.IRREGULAR)]),
+            has_const=bool(const_mask.any() or n_suppressed > 0),
+            a_obs=len(events),
+            n_suppressed=n_suppressed,
+            n_const_records=int(const_mask.sum()),
+        )
+
+    def merge(self, other: "DiagnosticsPartial") -> "DiagnosticsPartial":
+        """Associative merge: set unions plus counter sums."""
+        return DiagnosticsPartial(
+            blocks=np.union1d(self.blocks, other.blocks),
+            strided=np.union1d(self.strided, other.strided),
+            irregular=np.union1d(self.irregular, other.irregular),
+            has_const=self.has_const or other.has_const,
+            a_obs=self.a_obs + other.a_obs,
+            n_suppressed=self.n_suppressed + other.n_suppressed,
+            n_const_records=self.n_const_records + other.n_const_records,
+        )
+
+    # -- finalizers (the only place floats appear) --
+
+    @property
+    def footprint(self) -> int:
+        """Observed footprint F of the merged window."""
+        if self.a_obs == 0:
+            return 0
+        return len(self.blocks) + (1 if self.has_const else 0)
+
+    @property
+    def footprint_by_class(self) -> dict[LoadClass, int]:
+        """Per-class footprint decomposition of the merged window."""
+        return {
+            LoadClass.CONSTANT: 1 if self.has_const else 0,
+            LoadClass.STRIDED: len(self.strided),
+            LoadClass.IRREGULAR: len(self.irregular),
+        }
+
+    def finalize(self, rho: float = 1.0) -> FootprintDiagnostics:
+        """The diagnostic bundle, identical to the serial computation."""
+        if rho < 1.0:
+            raise ValueError(f"rho must be >= 1, got {rho}")
+        a_implied = self.a_obs + self.n_suppressed
+        f = self.footprint
+        f_str = len(self.strided)
+        f_irr = len(self.irregular)
+        window = a_implied if a_implied else 1
+        n_const_accesses = self.n_suppressed + self.n_const_records
+        return FootprintDiagnostics(
+            A_obs=self.a_obs,
+            A_implied=a_implied,
+            A_est=rho * a_implied,
+            F=f,
+            F_est=rho * f,
+            F_str=f_str,
+            F_irr=f_irr,
+            dF=f / window if a_implied else 0.0,
+            dF_str=f_str / window if a_implied else 0.0,
+            dF_irr=f_irr / window if a_implied else 0.0,
+            A_const_pct=100.0 * n_const_accesses / window if a_implied else 0.0,
+        )
+
+
+@dataclass
+class CapturesPartial:
+    """Mergeable captures/survivals state: per-block counts saturated at 2.
+
+    ``once`` holds blocks seen exactly once so far, ``multi`` blocks seen
+    two or more times (both sorted unique arrays of non-Constant block
+    ids). Saturated counting forms a commutative monoid, so the merge is
+    associative and shard order cannot change the result.
+    """
+
+    once: np.ndarray
+    multi: np.ndarray
+
+    @classmethod
+    def identity(cls) -> "CapturesPartial":
+        """The merge identity (an empty shard)."""
+        z = np.empty(0, dtype=np.uint64)
+        return cls(z, z)
+
+    @classmethod
+    def from_events(cls, events: np.ndarray, block: int = 1) -> "CapturesPartial":
+        """Compute the partial for one shard of records."""
+        if events.dtype != EVENT_DTYPE:
+            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+        check_power_of_two("block", block)
+        nc = events[events["cls"] != int(LoadClass.CONSTANT)]
+        if len(nc) == 0:
+            return cls.identity()
+        ids, counts = np.unique(block_ids(nc, block), return_counts=True)
+        return cls(once=ids[counts == 1], multi=ids[counts >= 2])
+
+    def merge(self, other: "CapturesPartial") -> "CapturesPartial":
+        """Associative merge of saturated counts."""
+        # seen >= 2 total: already multi on either side, or once on both
+        multi = np.union1d(
+            np.union1d(self.multi, other.multi),
+            np.intersect1d(self.once, other.once),
+        )
+        # seen exactly once total: once on exactly one side, never multi
+        once = np.setdiff1d(
+            np.setxor1d(self.once, other.once), multi, assume_unique=True
+        )
+        return CapturesPartial(once=once, multi=multi)
+
+    def finalize(self) -> tuple[int, int]:
+        """(C, S): blocks with and without reuse in the merged window."""
+        return len(self.multi), len(self.once)
+
+
+# -- worker-side shard evaluation --------------------------------------------
+#
+# One worker call evaluates every requested task for its shard, so a
+# shard's records cross the process boundary once. Task specs are plain
+# tuples (picklable): ("diagnostics"|"captures", block) or
+# ("reuse", block, max_exp) or
+# ("heatmap", base, size, page_size, t_edges, n_pages, n_bins, access_block).
+
+
+def _eval_shard(
+    events: np.ndarray, sample_id: np.ndarray | None, tasks: tuple
+) -> list:
+    """Evaluate every task's partial for one shard (runs in a worker)."""
+    out: list = []
+    for task in tasks:
+        kind = task[0]
+        if kind == "diagnostics":
+            out.append(DiagnosticsPartial.from_events(events, task[1]))
+        elif kind == "captures":
+            out.append(CapturesPartial.from_events(events, task[1]))
+        elif kind == "reuse":
+            out.append(reuse_histogram(events, task[1], sample_id, max_exp=task[2]))
+        elif kind == "heatmap":
+            _, base, size, page_size, t_edges, n_pages, n_bins, access_block = task
+            mask = events["cls"] != int(LoadClass.CONSTANT)
+            nc = events[mask]
+            sid = sample_id[mask] if sample_id is not None else None
+            from repro.core.reuse import reuse_distances
+
+            d = reuse_distances(nc, access_block, sid)
+            addr = nc["addr"].astype(np.int64)
+            t = nc["t"].astype(np.int64)
+            in_region = (addr >= base) & (addr < base + size)
+            out.append(
+                accumulate_heatmap(
+                    addr[in_region],
+                    t[in_region],
+                    d[in_region],
+                    base=base,
+                    page_size=page_size,
+                    t_edges=t_edges,
+                    n_pages=n_pages,
+                    n_bins=n_bins,
+                )
+            )
+        else:  # pragma: no cover - internal protocol
+            raise ValueError(f"unknown shard task {kind!r}")
+    return out
+
+
+def _merge_partials(a: list, b: list, tasks: tuple) -> list:
+    """Merge two aligned partial lists task-by-task."""
+    merged: list = []
+    for pa, pb, task in zip(a, b, tasks):
+        if task[0] == "heatmap":
+            merged.append(tuple(x + y for x, y in zip(pa, pb)))
+        else:
+            merged.append(pa.merge(pb))
+    return merged
+
+
+def _fn_window_worker(
+    events: np.ndarray, rho: float, block: int
+) -> FootprintDiagnostics:
+    """Per-function code-window diagnostics (runs in a worker)."""
+    from repro.core.diagnostics import compute_diagnostics
+
+    return compute_diagnostics(events, rho=rho, block=block)
+
+
+# -- LRU memoization ----------------------------------------------------------
+
+
+class LRUCache:
+    """A small LRU map used to memoize merged partials per window.
+
+    Keys are ``(window_id, block, metric)`` tuples; values are merged
+    partials (not finalized bundles), so the same cached entry serves
+    queries at different ``rho``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value for ``key``, or None (marks it most recent)."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class ParallelEngine:
+    """Shard-map-merge executor for the analysis layer.
+
+    ``workers <= 1`` runs the identical shard+merge path inline (useful
+    for testing the merge operators and as the no-pool fallback);
+    ``workers > 1`` fans shards out over a process pool. Either way the
+    output is bit-identical to the serial functions in
+    :mod:`repro.core.metrics` / :mod:`repro.core.reuse` /
+    :mod:`repro.core.heatmap`.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        *,
+        cache_size: int = 256,
+        timers: StageTimers | None = None,
+    ) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        self.chunk_size = chunk_size
+        self.cache = LRUCache(cache_size)
+        self.timers = timers if timers is not None else StageTimers()
+        self._pool: Executor | None = None
+        self._tokens = itertools.count()
+
+    def window_token(self) -> int:
+        """A fresh namespace for window ids, unique within this engine.
+
+        Callers analyzing several traces through one engine prefix their
+        ``window_id`` keys with a token so cached partials of different
+        traces can never collide.
+        """
+        return next(self._tokens)
+
+    # -- lifecycle --
+
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=max(1, self.workers))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- shard-map-merge core --
+
+    def _plan(self, n: int, sample_id: np.ndarray | None) -> list[tuple[int, int]]:
+        with self.timers.stage("plan"):
+            if self.workers <= 1 and self.chunk_size is None:
+                return [(0, n)] if n else []
+            if self.chunk_size is not None:
+                return plan_shards(n, sample_id, chunk_size=self.chunk_size)
+            size = max(
+                -(-n // (max(1, self.workers) * _CHUNKS_PER_WORKER)),
+                _MIN_PARALLEL_EVENTS,
+            )
+            return plan_shards(n, sample_id, chunk_size=size)
+
+    def _run(
+        self,
+        events: np.ndarray,
+        sample_id: np.ndarray | None,
+        tasks: tuple,
+        *,
+        whole: bool = False,
+    ) -> list:
+        """Evaluate ``tasks`` over sharded ``events`` and merge partials.
+
+        ``whole`` forces a single shard (needed when a computation has
+        cross-event state and no sample boundaries to cut at).
+        """
+        n = len(events)
+        shards = [(0, n)] if (whole and n) else self._plan(n, sample_id)
+        if not shards:
+            return _eval_shard(events, sample_id, tasks)
+        use_pool = (
+            self.workers > 1 and len(shards) > 1 and n >= _MIN_PARALLEL_EVENTS
+        )
+        partials: list[list] = []
+        if use_pool:
+            pool = self._executor()
+            with self.timers.stage("scatter", items=n):
+                futures: list[Future] = [
+                    pool.submit(
+                        _eval_shard,
+                        events[lo:hi],
+                        sample_id[lo:hi] if sample_id is not None else None,
+                        tasks,
+                    )
+                    for lo, hi in shards
+                ]
+            with self.timers.stage("compute", items=n):
+                partials = [f.result() for f in futures]
+        else:
+            with self.timers.stage("compute", items=n):
+                partials = [
+                    _eval_shard(
+                        events[lo:hi],
+                        sample_id[lo:hi] if sample_id is not None else None,
+                        tasks,
+                    )
+                    for lo, hi in shards
+                ]
+        with self.timers.stage("merge", items=len(shards)):
+            merged = partials[0]
+            for p in partials[1:]:
+                merged = _merge_partials(merged, p, tasks)
+        return merged
+
+    def _cached_partial(
+        self,
+        events: np.ndarray,
+        sample_id: np.ndarray | None,
+        task: tuple,
+        window_id,
+        *,
+        whole: bool = False,
+    ):
+        """One task's merged partial, memoized by (window_id, block, metric)."""
+        key = None
+        if window_id is not None:
+            key = (window_id, task[1], task[0])
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        partial = self._run(events, sample_id, (task,), whole=whole)[0]
+        if key is not None:
+            self.cache.put(key, partial)
+        return partial
+
+    # -- public metric API (mirrors the serial functions) --
+
+    def footprint(
+        self,
+        events: np.ndarray,
+        block: int = 1,
+        sample_id: np.ndarray | None = None,
+        window_id=None,
+    ) -> int:
+        """Observed footprint F; equals :func:`repro.core.metrics.footprint`."""
+        p = self._cached_partial(
+            events, sample_id, ("diagnostics", block), window_id
+        )
+        return p.footprint
+
+    def footprint_by_class(
+        self,
+        events: np.ndarray,
+        block: int = 1,
+        sample_id: np.ndarray | None = None,
+        window_id=None,
+    ) -> dict[LoadClass, int]:
+        """Per-class footprint; equals the serial decomposition."""
+        p = self._cached_partial(
+            events, sample_id, ("diagnostics", block), window_id
+        )
+        return p.footprint_by_class
+
+    def captures_survivals(
+        self,
+        events: np.ndarray,
+        block: int = 1,
+        sample_id: np.ndarray | None = None,
+        window_id=None,
+    ) -> tuple[int, int]:
+        """(C, S); equals :func:`repro.core.metrics.captures_survivals`."""
+        p = self._cached_partial(events, sample_id, ("captures", block), window_id)
+        return p.finalize()
+
+    def diagnostics(
+        self,
+        events: np.ndarray,
+        rho: float = 1.0,
+        block: int = 1,
+        sample_id: np.ndarray | None = None,
+        window_id=None,
+    ) -> FootprintDiagnostics:
+        """The diagnostic bundle; equals
+        :func:`repro.core.diagnostics.compute_diagnostics`."""
+        p = self._cached_partial(
+            events, sample_id, ("diagnostics", block), window_id
+        )
+        return p.finalize(rho)
+
+    def reuse_histogram(
+        self,
+        events: np.ndarray,
+        block: int = 64,
+        sample_id: np.ndarray | None = None,
+        window_id=None,
+        max_exp: int = _HIST_MAX_EXP,
+    ) -> ReuseHistogram:
+        """Reuse-distance histogram; equals
+        :func:`repro.core.reuse.reuse_histogram`.
+
+        Distance tracking resets only at sample boundaries, so without
+        ``sample_id`` the trace is one window and cannot be cut: the
+        computation then runs as a single shard.
+        """
+        return self._cached_partial(
+            events,
+            sample_id,
+            ("reuse", block, max_exp),
+            window_id,
+            whole=sample_id is None,
+        )
+
+    def heatmap(
+        self,
+        events: np.ndarray,
+        base: int,
+        size: int,
+        *,
+        n_pages: int = 64,
+        n_bins: int = 64,
+        access_block: int = 64,
+        sample_id: np.ndarray | None = None,
+    ) -> HeatmapResult:
+        """Region heatmap; equals :func:`repro.core.heatmap.access_heatmap`."""
+        if events.dtype != EVENT_DTYPE:
+            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+        if size <= 0 or n_pages <= 0 or n_bins <= 0:
+            raise ValueError("size, n_pages and n_bins must be > 0")
+        check_power_of_two("block", access_block)
+        # geometry must be fixed globally before sharding
+        nc = events[events["cls"] != int(LoadClass.CONSTANT)]
+        page_size, t_edges = heatmap_geometry(nc, size, n_pages, n_bins)
+        task = (
+            "heatmap", base, size, page_size, t_edges, n_pages, n_bins, access_block,
+        )
+        counts, dsum, dcnt = self._run(
+            events, sample_id, (task,), whole=sample_id is None
+        )[0]
+        return finalize_heatmap(
+            counts, dsum, dcnt, base=base, page_size=page_size, t_edges=t_edges
+        )
+
+    def code_windows(
+        self,
+        events: np.ndarray,
+        rho: float = 1.0,
+        block: int = 1,
+        fn_names: dict[int, str] | None = None,
+    ) -> dict[str, FootprintDiagnostics]:
+        """Per-function diagnostics; equals
+        :func:`repro.core.windows.code_windows`.
+
+        Functions are natural shards — each worker gets one function's
+        accumulated accesses.
+        """
+        if events.dtype != EVENT_DTYPE:
+            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+        fn_names = fn_names or {}
+        fids = np.unique(events["fn"])
+        out: dict[str, FootprintDiagnostics] = {}
+        if self.workers > 1 and len(fids) > 1 and len(events) >= _MIN_PARALLEL_EVENTS:
+            pool = self._executor()
+            with self.timers.stage("compute", items=len(events)):
+                futures = {
+                    int(fid): pool.submit(
+                        _fn_window_worker, events[events["fn"] == fid], rho, block
+                    )
+                    for fid in fids
+                }
+                for fid, fut in futures.items():
+                    out[fn_names.get(fid, f"fn{fid}")] = fut.result()
+            return out
+        from repro.core.windows import code_windows as serial_code_windows
+
+        with self.timers.stage("compute", items=len(events)):
+            return serial_code_windows(events, rho=rho, block=block, fn_names=fn_names)
+
+    # -- streamed file analysis --
+
+    def analyze_file(
+        self,
+        path,
+        *,
+        block: int = 1,
+        reuse_block: int = 64,
+        chunk_size: int | None = None,
+    ) -> "FileAnalysis":
+        """Stream a trace archive through the pool without materializing it.
+
+        The parent reads sample-aligned chunks sequentially
+        (:func:`repro.trace.tracefile.iter_trace_chunks`) and feeds them
+        to workers as they arrive, merging partials in arrival order; at
+        most ``2 * workers`` chunks are in flight, so peak memory is
+        bounded by the chunk size, not the trace size.
+
+        Footprint, diagnostics and captures/survivals are exactly the
+        whole-trace values for any chunking. The reuse histogram resets
+        at sample boundaries, so it matches the in-memory result when
+        the archive stores sample ids; without them each chunk is its
+        own reuse window.
+        """
+        from repro.trace.tracefile import iter_trace_chunks, read_trace_meta
+
+        meta = read_trace_meta(path)
+        tasks = (
+            ("diagnostics", block),
+            ("captures", block),
+            ("reuse", reuse_block, _HIST_MAX_EXP),
+        )
+        size = chunk_size or self.chunk_size or (1 << 20)
+        merged: list | None = None
+        n_events = 0
+        pool = self._executor() if self.workers > 1 else None
+        in_flight: list[Future] = []
+
+        def fold(partials: list) -> None:
+            nonlocal merged
+            with self.timers.stage("merge", items=1):
+                merged = (
+                    partials
+                    if merged is None
+                    else _merge_partials(merged, partials, tasks)
+                )
+
+        with self.timers.stage("stream"):
+            for ev, sid in iter_trace_chunks(path, chunk_size=size):
+                n_events += len(ev)
+                if pool is None:
+                    fold(_eval_shard(ev, sid, tasks))
+                    continue
+                in_flight.append(pool.submit(_eval_shard, ev, sid, tasks))
+                while len(in_flight) >= 2 * self.workers:
+                    fold(in_flight.pop(0).result())
+            for fut in in_flight:
+                fold(fut.result())
+        if merged is None:
+            merged = [
+                DiagnosticsPartial.identity(),
+                CapturesPartial.identity(),
+                ReuseHistogram.identity(),
+            ]
+        self.timers.add("stream-events", 0.0, items=n_events)
+
+        diag_p, cap_p, reuse_h = merged
+        implied = diag_p.a_obs + diag_p.n_suppressed
+        rho = (meta.n_loads_total / implied) if implied else 1.0
+        rho = max(rho, 1.0)
+        captures, survivals = cap_p.finalize()
+        return FileAnalysis(
+            meta=meta,
+            n_events=n_events,
+            rho=rho,
+            diagnostics=diag_p.finalize(rho),
+            captures=captures,
+            survivals=survivals,
+            reuse=reuse_h,
+        )
+
+
+@dataclass
+class FileAnalysis:
+    """Merged whole-trace results of :meth:`ParallelEngine.analyze_file`."""
+
+    meta: object
+    n_events: int
+    rho: float
+    diagnostics: FootprintDiagnostics
+    captures: int
+    survivals: int
+    reuse: ReuseHistogram

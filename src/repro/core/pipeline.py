@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.diagnostics import FootprintDiagnostics, compute_diagnostics
 from repro.core.interval_tree import access_interval_metrics
+from repro.core.parallel import ParallelEngine
 from repro.core.windows import code_windows
 from repro.core.zoom import ZoomConfig, ZoomRegion, location_zoom
 from repro.instrument.instrumenter import InstrumentResult, instrument_module
@@ -46,6 +47,8 @@ class AnalysisConfig:
     block: int = 1  # footprint granularity (bytes)
     reuse_block: int = 64  # D granularity (cache line)
     mode: str = "continuous"  # PT enablement: "continuous" | "sampled_only"
+    workers: int = 1  # analysis worker processes (1 = in-process)
+    chunk_size: int | None = None  # events per shard (None = auto)
 
 
 @dataclass
@@ -61,6 +64,8 @@ class MemGazeResult:
     counts: ExecCounts | None = None
     instrumentation: InstrumentResult | None = None
     config: AnalysisConfig | None = None
+    engine: "ParallelEngine | None" = None
+    cache_token: int | None = None
 
     @property
     def events(self) -> np.ndarray:
@@ -79,7 +84,11 @@ class MemGazeResult:
         )
 
     def time_intervals(self, n_intervals: int = 8, reuse_block: int | None = None) -> list[dict]:
-        """Equal-count access-interval metrics over time (Table VIII)."""
+        """Equal-count access-interval metrics over time (Table VIII).
+
+        When the result carries a parallel engine, repeated calls at the
+        same interval count hit its (window_id, block, metric) cache.
+        """
         rb = reuse_block or (self.config.reuse_block if self.config else 64)
         return access_interval_metrics(
             self.events,
@@ -88,6 +97,8 @@ class MemGazeResult:
             block=self.config.block if self.config else 1,
             reuse_block=rb,
             sample_id=self.sample_id,
+            engine=self.engine,
+            cache_token=self.cache_token,
         )
 
     def hotspots(self, coverage: float = 0.90):
@@ -116,6 +127,28 @@ class MemGaze:
 
     def __init__(self, config: AnalysisConfig) -> None:
         self.config = config
+        self._engine: ParallelEngine | None = None
+
+    @property
+    def engine(self) -> ParallelEngine:
+        """The (lazily created) shard-map-merge analysis engine."""
+        if self._engine is None:
+            self._engine = ParallelEngine(
+                workers=self.config.workers, chunk_size=self.config.chunk_size
+            )
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the analysis worker pool, if one was started."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "MemGaze":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- library path ----------------------------------------------------------
 
@@ -139,20 +172,40 @@ class MemGaze:
         rho = sample_ratio_from(collection)
         kappa = compression_ratio(collection.events)
         fn_names = fn_names or {}
+        token = None
+        if self.config.workers != 1:
+            engine = self.engine
+            token = engine.window_token()
+            diagnostics = engine.diagnostics(
+                collection.events,
+                rho=rho,
+                block=self.config.block,
+                sample_id=collection.sample_id,
+                window_id=(token, "whole"),
+            )
+            per_function = engine.code_windows(
+                collection.events, rho=rho, block=self.config.block, fn_names=fn_names
+            )
+        else:
+            engine = None
+            diagnostics = compute_diagnostics(
+                collection.events, rho=rho, block=self.config.block
+            )
+            per_function = code_windows(
+                collection.events, rho=rho, block=self.config.block, fn_names=fn_names
+            )
         return MemGazeResult(
             collection=collection,
             rho=rho,
             kappa=kappa,
-            diagnostics=compute_diagnostics(
-                collection.events, rho=rho, block=self.config.block
-            ),
-            per_function=code_windows(
-                collection.events, rho=rho, block=self.config.block, fn_names=fn_names
-            ),
+            diagnostics=diagnostics,
+            per_function=per_function,
             fn_names=fn_names,
             counts=counts,
             instrumentation=instrumentation,
             config=self.config,
+            engine=engine,
+            cache_token=token,
         )
 
     def analyze_recorder(

@@ -22,9 +22,12 @@ Cold accesses (first touch of a block in a window) get ``-1``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro._util.fenwick import FenwickTree
+from repro._util.validate import check_power_of_two
 from repro.core.metrics import block_ids, nonconstant
 from repro.trace.event import EVENT_DTYPE
 
@@ -35,6 +38,8 @@ __all__ = [
     "max_reuse_distance",
     "inter_sample_distance",
     "region_reuse",
+    "ReuseHistogram",
+    "reuse_histogram",
 ]
 
 
@@ -63,6 +68,7 @@ def reuse_intervals(
     positions together, so the interval is a first difference.
     """
     _check(events)
+    check_power_of_two("block", block)
     n = len(events)
     out = np.full(n, -1, dtype=np.int64)
     if n == 0:
@@ -93,6 +99,7 @@ def reuse_distances(
     same block, so an immediate re-access has D = 0.
     """
     _check(events)
+    check_power_of_two("block", block)
     n = len(events)
     out = np.full(n, -1, dtype=np.int64)
     if n == 0:
@@ -190,6 +197,92 @@ def inter_sample_distance(
         last_t[b] = int(ti)
         last_s[b] = int(si)
     return (total / n_pairs if n_pairs else 0.0), n_pairs
+
+
+#: Default histogram geometry: power-of-two bin edges up to 2**_HIST_MAX_EXP.
+_HIST_MAX_EXP = 48
+
+
+def _hist_edges(max_exp: int = _HIST_MAX_EXP) -> np.ndarray:
+    """Power-of-two distance bin edges ``[1, 2, 4, ..., 2**max_exp]``."""
+    return np.power(2, np.arange(max_exp + 1), dtype=np.int64)
+
+
+@dataclass
+class ReuseHistogram:
+    """Mergeable distribution of spatio-temporal reuse distances.
+
+    ``counts[0]`` holds D == 0 (immediate re-access); ``counts[k]`` for
+    k >= 1 holds distances in ``[2**(k-1), 2**k)``. Cold accesses (no
+    prior touch) are tallied separately in ``n_cold``. All fields are
+    integer totals, so merging two histograms is exact addition — the
+    merge is associative and commutative, which is what lets the
+    parallel engine shard a trace and still produce bit-identical output
+    (see :mod:`repro.core.parallel`).
+    """
+
+    counts: np.ndarray  # int64, len = max_exp + 1
+    n_cold: int
+    n_reuse: int
+    d_sum: int
+    d_max: int
+
+    @property
+    def mean(self) -> float:
+        """Mean D over reusing accesses (the paper's table convention)."""
+        return self.d_sum / self.n_reuse if self.n_reuse else 0.0
+
+    def merge(self, other: "ReuseHistogram") -> "ReuseHistogram":
+        """Exact merge of two window partials (associative)."""
+        if len(self.counts) != len(other.counts):
+            raise ValueError(
+                f"histogram geometry mismatch: {len(self.counts)} vs {len(other.counts)} bins"
+            )
+        return ReuseHistogram(
+            counts=self.counts + other.counts,
+            n_cold=self.n_cold + other.n_cold,
+            n_reuse=self.n_reuse + other.n_reuse,
+            d_sum=self.d_sum + other.d_sum,
+            d_max=max(self.d_max, other.d_max),
+        )
+
+    @classmethod
+    def identity(cls, max_exp: int = _HIST_MAX_EXP) -> "ReuseHistogram":
+        """The merge identity (an empty histogram)."""
+        return cls(
+            counts=np.zeros(max_exp + 1, dtype=np.int64),
+            n_cold=0,
+            n_reuse=0,
+            d_sum=0,
+            d_max=0,
+        )
+
+
+def reuse_histogram(
+    events: np.ndarray,
+    block: int = 64,
+    sample_id: np.ndarray | None = None,
+    max_exp: int = _HIST_MAX_EXP,
+) -> ReuseHistogram:
+    """Histogram of intra-sample reuse distances over power-of-two bins.
+
+    Because distance tracking resets at sample boundaries, computing this
+    per sample-aligned shard and merging gives exactly the whole-trace
+    result; every count is an integer so the merge is bit-exact.
+    """
+    _check(events)
+    check_power_of_two("block", block)
+    d = reuse_distances(events, block, sample_id)
+    hits = d[d >= 0]
+    out = ReuseHistogram.identity(max_exp)
+    out.n_cold = int((d < 0).sum())
+    out.n_reuse = int(len(hits))
+    if len(hits):
+        out.d_sum = int(hits.sum())
+        out.d_max = int(hits.max())
+        bins = np.searchsorted(_hist_edges(max_exp), hits, side="right")
+        np.add.at(out.counts, np.minimum(bins, max_exp), 1)
+    return out
 
 
 def region_reuse(

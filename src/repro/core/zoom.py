@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.metrics import nonconstant
 from repro.core.reuse import reuse_distances
 from repro.trace.event import EVENT_DTYPE, LoadClass
 

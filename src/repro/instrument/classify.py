@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.isa.cfg import Loop, build_cfg, natural_loops
 from repro.isa.dataflow import InductionInfo, analyze_induction
-from repro.isa.program import Instruction, Module, Opcode, Procedure
+from repro.isa.program import Instruction, Module, Procedure
 from repro.trace.event import LoadClass
 
 __all__ = ["LoadInfo", "classify_loads", "classify_module"]

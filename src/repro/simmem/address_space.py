@@ -17,7 +17,7 @@ in Python/numpy and only consume addresses.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Region", "AddressSpace", "GLOBAL_BASE", "HEAP_BASE", "STACK_BASE"]
 

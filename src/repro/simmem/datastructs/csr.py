@@ -16,7 +16,6 @@ import numpy as np
 from repro.simmem.address_space import AddressSpace
 from repro.simmem.recorder import AccessRecorder
 from repro.simmem.datastructs.array import FlatArray
-from repro.trace.event import LoadClass
 
 __all__ = ["CSRGraph"]
 

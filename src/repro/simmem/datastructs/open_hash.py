@@ -15,8 +15,6 @@ irregular loads that shows up in insert-heavy phases.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.simmem.address_space import AddressSpace, Region
 from repro.simmem.recorder import AccessRecorder
 from repro.trace.event import LoadClass

@@ -6,19 +6,37 @@ optional per-event sample ids, and a JSON metadata blob
 re-derive rho/kappa and to attribute ips to source lines offline. Table
 III's size accounting uses both the in-memory packet model
 (:func:`packet_bytes`) and real on-disk sizes.
+
+Two read paths exist:
+
+* :func:`read_trace` — eager, materializes the whole event array;
+* :func:`iter_trace_chunks` — streaming: decompresses the archive
+  members incrementally and yields sample-aligned chunks, so analysis
+  (and the parallel engine's workers) never hold more than one chunk of
+  a multi-GB trace in memory at a time. :func:`read_trace_meta` reads
+  only the metadata member.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from repro.trace.event import EVENT_DTYPE
 
-__all__ = ["TraceMeta", "write_trace", "read_trace", "packet_bytes"]
+__all__ = [
+    "TraceMeta",
+    "write_trace",
+    "read_trace",
+    "read_trace_meta",
+    "iter_trace_chunks",
+    "packet_bytes",
+]
 
 _FORMAT_VERSION = 1
 
@@ -87,6 +105,114 @@ def read_trace(path) -> tuple[np.ndarray, TraceMeta, np.ndarray | None]:
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"archive events have dtype {events.dtype}")
     return events, meta, sample_id
+
+
+def read_trace_meta(path) -> TraceMeta:
+    """Read only the metadata member of a trace archive (cheap)."""
+    with np.load(path) as archive:
+        return TraceMeta.from_json(bytes(archive["meta"]).decode("utf-8"))
+
+
+class _MemberStream:
+    """Incremental reader over one ``.npy`` member of an ``.npz`` archive.
+
+    ``zipfile`` decompresses DEFLATE streams lazily, so reading N bytes
+    touches only the compressed prefix that produces them — the array is
+    never materialized whole.
+    """
+
+    def __init__(self, zf: zipfile.ZipFile, name: str, expect_dtype=None) -> None:
+        self._fp = zf.open(name)
+        version = np.lib.format.read_magic(self._fp)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(self._fp)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(self._fp)
+        else:  # pragma: no cover - numpy always writes 1.0/2.0 here
+            raise ValueError(f"unsupported npy version {version} in {name}")
+        if len(shape) != 1 or fortran:
+            raise ValueError(f"member {name} is not a 1-D C-order array")
+        if expect_dtype is not None and dtype != expect_dtype:
+            raise TypeError(f"member {name} has dtype {dtype}")
+        self.dtype = dtype
+        self.length = shape[0]
+        self._remaining = shape[0]
+
+    def read(self, n_items: int) -> np.ndarray:
+        """Read up to ``n_items`` items; shorter only at end of member."""
+        n_items = min(n_items, self._remaining)
+        if n_items <= 0:
+            return np.empty(0, dtype=self.dtype)
+        want = n_items * self.dtype.itemsize
+        buf = self._fp.read(want)
+        if len(buf) != want:
+            raise OSError(
+                f"truncated archive member: wanted {want} bytes, got {len(buf)}"
+            )
+        self._remaining -= n_items
+        return np.frombuffer(buf, dtype=self.dtype)
+
+    def close(self) -> None:
+        self._fp.close()
+
+
+def iter_trace_chunks(
+    path,
+    chunk_size: int = 1 << 20,
+    *,
+    align_samples: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
+    """Yield ``(events, sample_id)`` chunks of a trace archive, streaming.
+
+    Chunks hold about ``chunk_size`` events. With ``align_samples`` (and
+    a stored ``sample_id``), a sample is never split across two chunks:
+    the trailing run of the last sample id is carried into the next
+    chunk, so per-chunk intra-sample analyses (reuse distances,
+    boundaries) see exactly what a whole-trace pass would.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    path = Path(path)
+    actual = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+    with zipfile.ZipFile(actual) as zf:
+        names = set(zf.namelist())
+        ev_stream = _MemberStream(zf, "events.npy", EVENT_DTYPE)
+        sid_stream = (
+            _MemberStream(zf, "sample_id.npy") if "sample_id.npy" in names else None
+        )
+        try:
+            carry_ev = np.empty(0, dtype=ev_stream.dtype)
+            carry_sid = (
+                np.empty(0, dtype=sid_stream.dtype) if sid_stream is not None else None
+            )
+            while True:
+                ev = ev_stream.read(chunk_size)
+                sid = sid_stream.read(chunk_size) if sid_stream is not None else None
+                done = len(ev) < chunk_size
+                if len(carry_ev):
+                    ev = np.concatenate([carry_ev, ev])
+                    if sid is not None:
+                        sid = np.concatenate([carry_sid, sid])
+                    carry_ev = carry_ev[:0]
+                if len(ev) == 0:
+                    break
+                if align_samples and sid is not None and not done:
+                    # hold back the trailing run of the last sample id —
+                    # the next chunk may continue that sample
+                    cut = int(np.searchsorted(sid, sid[-1], side="left"))
+                    if cut == 0:
+                        # one giant sample fills the chunk: keep growing it
+                        carry_ev, carry_sid = ev, sid
+                        continue
+                    carry_ev, carry_sid = ev[cut:], sid[cut:]
+                    ev, sid = ev[:cut], sid[:cut]
+                yield ev, sid
+                if done:
+                    break
+        finally:
+            ev_stream.close()
+            if sid_stream is not None:
+                sid_stream.close()
 
 
 def packet_bytes(events: np.ndarray, *, two_reg_fraction: float = 0.0) -> int:

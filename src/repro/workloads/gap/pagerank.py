@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.simmem.address_space import AddressSpace
 from repro.simmem.datastructs.array import FlatArray
-from repro.simmem.datastructs.csr import CSRGraph
 from repro.simmem.recorder import AccessRecorder
 from repro.trace.event import LoadClass
 from repro.workloads.cost import MemoryCostModel

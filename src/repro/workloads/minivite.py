@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.simmem.address_space import AddressSpace
 from repro.simmem.datastructs.array import FlatArray
-from repro.simmem.datastructs.csr import CSRGraph
 from repro.simmem.datastructs.hopscotch import HopscotchMap
 from repro.simmem.datastructs.open_hash import OpenHashMap
 from repro.simmem.recorder import AccessRecorder

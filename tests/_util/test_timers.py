@@ -1,8 +1,8 @@
-"""Tests for the wall-clock timer."""
+"""Tests for the wall-clock timer and the per-stage timing registry."""
 
 import time
 
-from repro._util.timers import Timer
+from repro._util.timers import StageTimers, Timer
 
 
 class TestTimer:
@@ -16,3 +16,46 @@ class TestTimer:
             pass
         t.restart()
         assert t.elapsed == 0.0
+
+
+class TestStageTimers:
+    def test_stage_accumulates(self):
+        timers = StageTimers()
+        with timers.stage("a", items=10):
+            pass
+        with timers.stage("a", items=5):
+            pass
+        s = timers.stats["a"]
+        assert s.calls == 2 and s.items == 15 and s.seconds >= 0.0
+
+    def test_add_and_throughput(self):
+        timers = StageTimers()
+        timers.add("scan", 2.0, items=1000)
+        assert timers.stats["scan"].throughput == 500.0
+
+    def test_throughput_zero_when_no_time(self):
+        timers = StageTimers()
+        timers.add("x", 0.0, items=5)
+        assert timers.stats["x"].throughput == 0.0
+
+    def test_merge_registries(self):
+        a, b = StageTimers(), StageTimers()
+        a.add("s", 1.0, items=1)
+        b.add("s", 2.0, items=2)
+        b.add("t", 3.0)
+        a.merge(b)
+        assert a.stats["s"].seconds == 3.0 and a.stats["s"].items == 3
+        assert a.stats["t"].calls == 1
+
+    def test_reset(self):
+        timers = StageTimers()
+        timers.add("s", 1.0)
+        timers.reset()
+        assert timers.stats == {}
+
+    def test_report_renders(self):
+        timers = StageTimers()
+        assert "(no stages recorded)" in timers.report()
+        timers.add("merge", 0.5, items=100)
+        out = timers.report(title="t")
+        assert "== t ==" in out and "merge" in out and "items/s" in out

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.cachesim import CacheConfig, CacheStats, simulate_cache
+from repro.core.cachesim import CacheConfig, simulate_cache
 from repro.core.reuse import reuse_distances
 from repro.trace.event import LoadClass, make_events
 

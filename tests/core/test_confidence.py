@@ -1,7 +1,6 @@
 """Tests for undersampling detection."""
 
 import numpy as np
-import pytest
 
 from repro.core.confidence import code_window_confidence, flag_undersampled
 from repro.trace.collector import collect_sampled_trace

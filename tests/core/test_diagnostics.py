@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.diagnostics import compute_diagnostics
-from repro.trace.event import LoadClass, make_events
+from repro.trace.event import make_events
 
 
 def _mixed():

@@ -6,7 +6,6 @@ import pytest
 from repro.core.cachesim import (
     CacheConfig,
     HierarchyConfig,
-    HierarchyStats,
     simulate_hierarchy,
 )
 from repro.trace.event import make_events

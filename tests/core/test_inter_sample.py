@@ -1,7 +1,6 @@
 """Tests for inter-sample reuse-distance estimation (paper SS:V-B)."""
 
 import numpy as np
-import pytest
 
 from repro.core.reuse import inter_sample_distance
 from repro.trace.collector import collect_sampled_trace

@@ -1,7 +1,5 @@
 """Tests for source-code attribution."""
 
-import numpy as np
-
 from repro.instrument.attribution import SourceMap
 from repro.instrument.instrumenter import instrument_module
 from repro.isa.builder import ProgramBuilder

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.instrument.classify import classify_module
 from repro.instrument.instrumenter import instrument_module
 from repro.isa.builder import ProgramBuilder
 from repro.isa.interp import Interpreter

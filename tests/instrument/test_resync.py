@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.instrument.classify import classify_module
 from repro.instrument.instrumenter import instrument_module
 from repro.instrument.rebuild import rebuild_trace
 from repro.isa.builder import ProgramBuilder

@@ -58,7 +58,7 @@ class TestAnnotationMismatch:
                 p.ret(0)
             return b.build()
 
-        inst_a = instrument_module(build(8))
+        instrument_module(build(8))
         # a structurally different module: annotations won't line up
         b2 = ProgramBuilder("m2")
         with b2.proc("g", params=("arr", "x")) as p:

@@ -5,7 +5,6 @@ around 1-10% of the full trace reproduce windowed footprint metrics with
 bounded MAPE, and code-window aggregation reduces error further.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.diagnostics import compute_diagnostics

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.builder import ProgramBuilder
-from repro.isa.cfg import build_cfg, natural_loops
+from repro.isa.cfg import natural_loops
 from repro.isa.program import Opcode
 
 

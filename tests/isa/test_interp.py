@@ -1,6 +1,5 @@
 """Tests for the ISA interpreter."""
 
-import numpy as np
 import pytest
 
 from repro.isa.builder import ProgramBuilder

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.simmem.recorder import AccessRecorder
 from repro.trace.event import LoadClass
 
 

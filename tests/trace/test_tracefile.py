@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.trace.event import make_events
-from repro.trace.tracefile import TraceMeta, packet_bytes, read_trace, write_trace
+from repro.trace.tracefile import (
+    TraceMeta,
+    iter_trace_chunks,
+    packet_bytes,
+    read_trace,
+    read_trace_meta,
+    write_trace,
+)
 
 
 @pytest.fixture
@@ -47,6 +54,77 @@ class TestRoundTrip:
     def test_wrong_dtype_rejected(self, tmp_path):
         with pytest.raises(TypeError):
             write_trace(tmp_path / "t.npz", np.zeros(4), TraceMeta())
+
+
+def _big_trace(n=5000, n_samples=17, seed=0):
+    rng = np.random.default_rng(seed)
+    ev = make_events(
+        ip=rng.integers(0, 30, n),
+        addr=rng.integers(0, 1 << 16, n),
+        cls=rng.choice([0, 1, 2], n).astype(np.uint8),
+    )
+    sid = np.sort(rng.integers(0, n_samples, n)).astype(np.int32)
+    return ev, sid
+
+
+class TestStreaming:
+    def test_meta_only_read(self, tmp_path, events):
+        write_trace(tmp_path / "t.npz", events, TraceMeta(module="x", period=7))
+        meta = read_trace_meta(tmp_path / "t.npz")
+        assert meta.module == "x" and meta.period == 7
+
+    @pytest.mark.parametrize("chunk", [1, 37, 1000, 5000, 99_999])
+    def test_chunks_reassemble_exactly(self, tmp_path, chunk):
+        ev, sid = _big_trace()
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        parts = list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=chunk))
+        assert np.array_equal(np.concatenate([e for e, _ in parts]), ev)
+        assert np.array_equal(np.concatenate([s for _, s in parts]), sid)
+
+    def test_chunks_are_sample_aligned(self, tmp_path):
+        ev, sid = _big_trace()
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        parts = list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=200))
+        assert len(parts) > 1
+        for (_, s1), (_, s2) in zip(parts, parts[1:]):
+            assert s1[-1] != s2[0]
+
+    def test_one_giant_sample_is_one_chunk(self, tmp_path):
+        ev, _ = _big_trace(1000)
+        sid = np.zeros(1000, dtype=np.int32)
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        parts = list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=50))
+        assert len(parts) == 1 and len(parts[0][0]) == 1000
+
+    def test_no_sample_id_member(self, tmp_path):
+        ev, _ = _big_trace(500)
+        write_trace(tmp_path / "t.npz", ev, TraceMeta())
+        parts = list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=128))
+        assert all(s is None for _, s in parts)
+        assert np.array_equal(np.concatenate([e for e, _ in parts]), ev)
+
+    def test_unaligned_mode(self, tmp_path):
+        ev, sid = _big_trace(500)
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        parts = list(
+            iter_trace_chunks(tmp_path / "t.npz", chunk_size=128, align_samples=False)
+        )
+        assert [len(e) for e, _ in parts[:-1]] == [128] * (len(parts) - 1)
+
+    def test_empty_trace(self, tmp_path):
+        ev = make_events(ip=np.empty(0), addr=np.empty(0))
+        write_trace(tmp_path / "t.npz", ev, TraceMeta())
+        assert list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=4)) == []
+
+    def test_chunk_size_validated(self, tmp_path, events):
+        write_trace(tmp_path / "t.npz", events, TraceMeta())
+        with pytest.raises(ValueError):
+            list(iter_trace_chunks(tmp_path / "t.npz", chunk_size=0))
+
+    def test_extension_appended_like_write(self, tmp_path, events):
+        write_trace(tmp_path / "noext", events, TraceMeta())
+        parts = list(iter_trace_chunks(tmp_path / "noext", chunk_size=10))
+        assert np.array_equal(parts[0][0], events)
 
 
 class TestMetaJson:

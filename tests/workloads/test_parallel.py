@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.diagnostics import compute_diagnostics
 from repro.trace.collector import collect_sampled_trace
-from repro.trace.event import LoadClass, make_events
+from repro.trace.event import make_events
 from repro.trace.sampler import SamplingConfig
 from repro.workloads.parallel import interleave_streams, split_vertices
 
