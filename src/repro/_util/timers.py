@@ -6,7 +6,10 @@ pipeline instrumentation: each named stage collects total elapsed time,
 call count, and an optional item count, from which it reports
 throughput (items/s). The parallel analysis engine records its
 plan/scatter/compute/merge stages here, and ``memgaze report --stats``
-prints the rendered table.
+prints the rendered table. :meth:`StageTimers.as_records` is the bridge
+into the observability layer: the run journal
+(:meth:`repro.obs.journal.RunJournal.record_timers`) and the
+``--metrics`` JSON export both consume it.
 """
 
 from __future__ import annotations
@@ -62,6 +65,15 @@ class StageStats:
     def throughput(self) -> float:
         """Items per second (0.0 when no time has accumulated)."""
         return self.items / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-JSON snapshot (what the run journal and metrics export)."""
+        return {
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "items": self.items,
+            "throughput": self.throughput,
+        }
 
 
 class _StageRegion:
@@ -123,6 +135,15 @@ class StageTimers:
     def reset(self) -> None:
         """Drop all accumulated statistics."""
         self.stats.clear()
+
+    def as_records(self) -> list[dict]:
+        """One plain-JSON record per stage — the journal/metrics bridge.
+
+        :meth:`~repro.obs.journal.RunJournal.record_timers` emits each
+        record as a ``stage-summary`` journal line, and the CLI's
+        ``--metrics`` export embeds them under ``"stages"``.
+        """
+        return [{"stage": name, **s.as_dict()} for name, s in self.stats.items()]
 
     def report(self, title: str = "stage timings") -> str:
         """Render the accumulated stages as an aligned text table."""

@@ -18,6 +18,18 @@ Three subcommands mirror the tool's workflow:
 ``memgaze info``
     Show a trace archive's collection metadata.
 
+``memgaze validate-trace``
+    Audit a trace archive's health: schema, per-chunk checksums,
+    truncation/bit-flip/schema findings (see :mod:`repro.trace.health`).
+
+Observability: ``--journal PATH`` (on ``trace`` and ``report``) appends
+a structured JSONL run journal — one line per pipeline stage with
+timings, item counts, and rho/kappa/window parameters — and ``report
+--metrics PATH`` writes the pipeline metrics registry plus per-stage
+timings as JSON. Reading a damaged archive degrades gracefully: the
+verified event prefix is analyzed and every recovery step is journaled
+as a warning instead of crashing (``docs/observability.md``).
+
 Workloads are named ``family:variant``::
 
     ubench:str4/irr      microbenchmark spec (ISA path)
@@ -36,6 +48,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -55,7 +68,7 @@ from repro.core.workingset import working_set_curve
 from repro.trace.collector import CollectionResult, collect_sampled_trace
 from repro.trace.compress import compression_ratio, sample_ratio_from
 from repro.trace.sampler import SamplingConfig
-from repro.trace.tracefile import TraceMeta, read_trace, write_trace
+from repro.trace.tracefile import TraceFormatError, TraceMeta, read_trace, write_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -99,6 +112,7 @@ def _run_workload(name: str, scale: int, seed: int):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    journal = _open_journal(args)
     events, n_loads, fn_names, label = _run_workload(args.workload, args.scale, args.seed)
     cfg = SamplingConfig(
         period=args.period,
@@ -106,7 +120,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         fill_jitter=0.0 if args.deterministic else 0.15,
         seed=args.seed,
     )
-    col = collect_sampled_trace(events, n_loads, cfg, mode=args.mode)
+    if journal is not None:
+        with journal.stage("trace", workload=args.workload, period=cfg.period,
+                           buffer_capacity=cfg.buffer_capacity, mode=args.mode):
+            col = collect_sampled_trace(events, n_loads, cfg, mode=args.mode)
+    else:
+        col = collect_sampled_trace(events, n_loads, cfg, mode=args.mode)
     meta = TraceMeta(
         module=label,
         kind="sampled",
@@ -117,6 +136,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         extra={"fn_names": {str(k): v for k, v in fn_names.items()}, "mode": args.mode},
     )
     size = write_trace(args.output, col.events, meta, col.sample_id)
+    if journal is not None:
+        journal.emit(
+            "trace-written",
+            path=str(args.output),
+            bytes=size,
+            n_observed=len(events),
+            n_sampled=len(col.events),
+            n_samples=col.n_samples,
+            rho=sample_ratio_from(col),
+            kappa=compression_ratio(col.events),
+        )
+        journal.close()
     frac = len(col.events) / max(1, len(events))
     print(f"{label}: {n_loads:,} loads, {len(events):,} records")
     print(
@@ -127,8 +158,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(path) -> tuple[CollectionResult, TraceMeta, dict[int, str]]:
-    events, meta, sample_id = read_trace(path)
+def _open_journal(args) -> "object | None":
+    """Build a :class:`RunJournal` when ``--journal`` was given."""
+    path = getattr(args, "journal", None)
+    if not path:
+        return None
+    from repro.obs.journal import RunJournal
+
+    return RunJournal(path)
+
+
+def _load(path, journal=None) -> tuple[CollectionResult, TraceMeta, dict[int, str]]:
+    """Read a trace archive, recovering the verified prefix on damage.
+
+    A healthy archive goes through the fast :func:`read_trace` path.  A
+    damaged one (truncated tail, flipped bits, schema drift) falls back
+    to :func:`repro.trace.health.recover_read`: the checksum-verified
+    event prefix is analyzed, each finding is printed to stderr and
+    journaled as a warning, and only an unrecoverable archive (no
+    surviving metadata) aborts the command.
+    """
+    import zlib
+    from zipfile import BadZipFile
+
+    try:
+        events, meta, sample_id = read_trace(path)
+    except (TraceFormatError, BadZipFile, OSError, ValueError, zlib.error):
+        from repro.trace.health import recover_read
+
+        try:
+            events, meta, sample_id, findings = recover_read(path, journal=journal)
+        except TraceFormatError as exc:
+            raise SystemExit(f"memgaze: unrecoverable trace archive: {exc}") from exc
+        for f in findings:
+            print(f"warning: {path}: [{f.kind}] {f.detail}", file=sys.stderr)
+        print(
+            f"warning: {path}: damaged archive; analyzing the verified "
+            f"prefix of {len(events):,} events",
+            file=sys.stderr,
+        )
     if sample_id is None:
         sample_id = np.zeros(len(events), dtype=np.int32)
     col = CollectionResult(
@@ -160,12 +228,23 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    col, meta, fn_names = _load(args.trace)
+    journal = _open_journal(args)
+    metrics = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    col, meta, fn_names = _load(args.trace, journal=journal)
     if len(col.events) == 0:
         print("trace is empty")
         return 1
     rho = sample_ratio_from(col)
-    engine = ParallelEngine(workers=args.workers, chunk_size=args.chunk_size)
+    engine = ParallelEngine(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        journal=journal,
+        metrics=metrics,
+    )
     token = engine.window_token()
     everything = not (
         args.functions
@@ -266,6 +345,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"  cache: {engine.cache.hits} hits / {engine.cache.misses} misses "
             f"({len(engine.cache)} entries)"
         )
+    if journal is not None:
+        journal.record_timers(engine.timers)
+        if metrics is not None:
+            journal.record_metrics(metrics)
+    if args.metrics:
+        export = {
+            "trace": str(args.trace),
+            "run": journal.run_id if journal is not None else None,
+            "metrics": metrics.as_dict(),
+            "stages": engine.timers.as_records(),
+            "cache": {
+                "hits": engine.cache.hits,
+                "misses": engine.cache.misses,
+                "entries": len(engine.cache),
+            },
+        }
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(export, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if journal is not None:
+        journal.close()
     engine.close()
     return 0
 
@@ -311,6 +411,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if worst < 25 else 1
 
 
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    from repro.trace.health import validate
+
+    report = validate(args.trace)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -330,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--deterministic", action="store_true", help="disable buffer fill jitter")
     p_trace.add_argument("-o", "--output", required=True, help="output .npz trace archive")
+    p_trace.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL run journal of collection stages to PATH",
+    )
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_info = sub.add_parser("info", help="show a trace archive's metadata")
@@ -360,6 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print per-stage analysis timings, throughput, and cache hits",
     )
+    p_report.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL run journal of every pipeline stage to PATH",
+    )
+    p_report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the pipeline metrics registry (plus stage timings) as JSON",
+    )
     p_report.set_defaults(fn=_cmd_report)
 
     p_diff = sub.add_parser("diff", help="compare two trace archives per function")
@@ -377,6 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--buffer", type=int, default=1024)
     p_val.add_argument("--seed", type=int, default=0)
     p_val.set_defaults(fn=_cmd_validate)
+
+    p_health = sub.add_parser(
+        "validate-trace",
+        help="audit a trace archive: schema, per-chunk checksums, damage findings",
+    )
+    p_health.add_argument("trace")
+    p_health.add_argument("--json", action="store_true", help="machine-readable report")
+    p_health.set_defaults(fn=_cmd_validate_trace)
     return parser
 
 

@@ -11,10 +11,12 @@ space, so a window's footprint is::
 where the Constant contribution also covers the suppressed loads carried
 by proxy records (``n_const``).
 
-*Captures* ``C`` are blocks with reuse inside the window (seen 2+ times);
-*survivals* ``S`` are blocks seen exactly once; ``F = C + S``. The
-estimated population footprint scales by the sample ratio rho for
-inter-window analysis (Eq. 3)::
+*Captures* ``C`` are non-Constant blocks with reuse inside the window
+(seen 2+ times); *survivals* ``S`` are non-Constant blocks seen exactly
+once, so ``C + S`` is the unique non-Constant block count and
+``F = C + S`` plus the one Constant unit when any Constant access is
+present. The estimated population footprint scales by the sample ratio
+rho for inter-window analysis (Eq. 3)::
 
     F-hat = F          (intra-window: exact)
     F-hat = rho * F    (inter-window: estimate)

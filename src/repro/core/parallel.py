@@ -41,12 +41,22 @@ The engine also memoizes merged partials in an LRU cache keyed by
 the same window are free, and records per-stage wall-clock and
 throughput in a :class:`~repro._util.timers.StageTimers` (surfaced by
 ``memgaze report --stats``).
+
+Observability is opt-in and zero-cost when off: pass a
+:class:`~repro.obs.journal.RunJournal` and the engine journals its
+shard plans, merges, and streaming progress — pool workers journal
+their own ``shard-analyzed`` lines directly (the journal's ``O_APPEND``
+writer is process-safe and pickles down to a path). Pass a
+:class:`~repro.obs.metrics.MetricsRegistry` and the engine counts
+shards, events, and merges and fills the ``parallel.shard_events``
+histogram; ``memgaze report --journal/--metrics`` exports both.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import time
 from collections import OrderedDict
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -301,9 +311,19 @@ class CapturesPartial:
 
 
 def _eval_shard(
-    events: np.ndarray, sample_id: np.ndarray | None, tasks: tuple
+    events: np.ndarray,
+    sample_id: np.ndarray | None,
+    tasks: tuple,
+    journal=None,
 ) -> list:
-    """Evaluate every task's partial for one shard (runs in a worker)."""
+    """Evaluate every task's partial for one shard (runs in a worker).
+
+    With a journal, the evaluating process (a pool worker, when the
+    engine fans out) appends its own ``shard-analyzed`` line — the
+    journal writes are atomic appends, so worker lines interleave
+    safely with the parent's.
+    """
+    t0 = time.perf_counter() if journal is not None else 0.0
     out: list = []
     for task in tasks:
         kind = task[0]
@@ -338,6 +358,14 @@ def _eval_shard(
             )
         else:  # pragma: no cover - internal protocol
             raise ValueError(f"unknown shard task {kind!r}")
+    if journal is not None:
+        journal.emit(
+            "shard-analyzed",
+            n_events=len(events),
+            n_tasks=len(tasks),
+            tasks=[t[0] for t in tasks],
+            seconds=time.perf_counter() - t0,
+        )
     return out
 
 
@@ -421,6 +449,8 @@ class ParallelEngine:
         *,
         cache_size: int = 256,
         timers: StageTimers | None = None,
+        journal=None,
+        metrics=None,
     ) -> None:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 0:
@@ -428,6 +458,12 @@ class ParallelEngine:
         self.chunk_size = chunk_size
         self.cache = LRUCache(cache_size)
         self.timers = timers if timers is not None else StageTimers()
+        #: optional RunJournal — shard plans, merges and per-shard worker
+        #: lines are journaled when set (None = no journaling at all)
+        self.journal = journal
+        #: optional MetricsRegistry — pipeline counters/histograms land
+        #: here when set (None = no metric accounting at all)
+        self.metrics = metrics
         self._pool: Executor | None = None
         self._tokens = itertools.count()
 
@@ -464,14 +500,34 @@ class ParallelEngine:
     def _plan(self, n: int, sample_id: np.ndarray | None) -> list[tuple[int, int]]:
         with self.timers.stage("plan"):
             if self.workers <= 1 and self.chunk_size is None:
-                return [(0, n)] if n else []
-            if self.chunk_size is not None:
-                return plan_shards(n, sample_id, chunk_size=self.chunk_size)
-            size = max(
-                -(-n // (max(1, self.workers) * _CHUNKS_PER_WORKER)),
-                _MIN_PARALLEL_EVENTS,
+                shards = [(0, n)] if n else []
+            elif self.chunk_size is not None:
+                shards = plan_shards(n, sample_id, chunk_size=self.chunk_size)
+            else:
+                size = max(
+                    -(-n // (max(1, self.workers) * _CHUNKS_PER_WORKER)),
+                    _MIN_PARALLEL_EVENTS,
+                )
+                shards = plan_shards(n, sample_id, chunk_size=size)
+        self._observe_plan(n, shards)
+        return shards
+
+    def _observe_plan(self, n: int, shards: list[tuple[int, int]]) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("parallel.plans").inc()
+            self.metrics.counter("parallel.shards").inc(len(shards))
+            h = self.metrics.histogram("parallel.shard_events")
+            for lo, hi in shards:
+                h.observe(hi - lo)
+        if self.journal is not None:
+            self.journal.emit(
+                "stage",
+                stage="shard-plan",
+                n_events=n,
+                n_shards=len(shards),
+                workers=self.workers,
+                chunk_size=self.chunk_size,
             )
-            return plan_shards(n, sample_id, chunk_size=size)
 
     def _run(
         self,
@@ -493,6 +549,11 @@ class ParallelEngine:
         use_pool = (
             self.workers > 1 and len(shards) > 1 and n >= _MIN_PARALLEL_EVENTS
         )
+        if self.metrics is not None:
+            self.metrics.counter("parallel.events").inc(n)
+            self.metrics.counter(
+                "parallel.runs_pooled" if use_pool else "parallel.runs_inline"
+            ).inc()
         partials: list[list] = []
         if use_pool:
             pool = self._executor()
@@ -503,6 +564,7 @@ class ParallelEngine:
                         events[lo:hi],
                         sample_id[lo:hi] if sample_id is not None else None,
                         tasks,
+                        self.journal,
                     )
                     for lo, hi in shards
                 ]
@@ -515,13 +577,25 @@ class ParallelEngine:
                         events[lo:hi],
                         sample_id[lo:hi] if sample_id is not None else None,
                         tasks,
+                        self.journal,
                     )
                     for lo, hi in shards
                 ]
+        t_merge = time.perf_counter()
         with self.timers.stage("merge", items=len(shards)):
             merged = partials[0]
             for p in partials[1:]:
                 merged = _merge_partials(merged, p, tasks)
+        if self.metrics is not None:
+            self.metrics.counter("parallel.merges").inc(len(shards) - 1)
+        if self.journal is not None:
+            self.journal.emit(
+                "stage",
+                stage="merge",
+                n_partials=len(shards),
+                tasks=[t[0] for t in tasks],
+                seconds=time.perf_counter() - t_merge,
+            )
         return merged
 
     def _cached_partial(
@@ -734,13 +808,20 @@ class ParallelEngine:
                     else _merge_partials(merged, partials, tasks)
                 )
 
+        t_stream = time.perf_counter()
         with self.timers.stage("stream"):
-            for ev, sid in iter_trace_chunks(path, chunk_size=size):
+            for ev, sid in iter_trace_chunks(
+                path, chunk_size=size, metrics=self.metrics
+            ):
                 n_events += len(ev)
                 if pool is None:
-                    fold(_eval_shard(ev, sid, tasks))
+                    fold(_eval_shard(ev, sid, tasks, self.journal))
                     continue
-                in_flight.append(pool.submit(_eval_shard, ev, sid, tasks))
+                in_flight.append(
+                    pool.submit(_eval_shard, ev, sid, tasks, self.journal)
+                )
+                if self.metrics is not None:
+                    self.metrics.gauge("parallel.peak_in_flight").set(len(in_flight))
                 while len(in_flight) >= 2 * self.workers:
                     fold(in_flight.pop(0).result())
             for fut in in_flight:
@@ -758,6 +839,19 @@ class ParallelEngine:
         rho = (meta.n_loads_total / implied) if implied else 1.0
         rho = max(rho, 1.0)
         captures, survivals = cap_p.finalize()
+        if self.journal is not None:
+            self.journal.emit(
+                "stage",
+                stage="analyze-file",
+                path=str(path),
+                n_events=n_events,
+                rho=rho,
+                block=block,
+                reuse_block=reuse_block,
+                chunk_size=size,
+                workers=self.workers,
+                seconds=time.perf_counter() - t_stream,
+            )
         return FileAnalysis(
             meta=meta,
             n_events=n_events,

@@ -15,6 +15,7 @@ Ties the three toolchain stages together:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -123,10 +124,20 @@ class MemGazeResult:
 
 
 class MemGaze:
-    """The tool facade: run and analyze either execution path."""
+    """The tool facade: run and analyze either execution path.
 
-    def __init__(self, config: AnalysisConfig) -> None:
+    ``journal`` (a :class:`~repro.obs.journal.RunJournal`) and
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) are
+    optional observability sinks: when given, every pipeline stage —
+    collection, analysis, and the parallel engine's shard
+    plan/analyze/merge — reports through them; when ``None`` (the
+    default) no instrumentation work happens at all.
+    """
+
+    def __init__(self, config: AnalysisConfig, *, journal=None, metrics=None) -> None:
         self.config = config
+        self.journal = journal
+        self.metrics = metrics
         self._engine: ParallelEngine | None = None
 
     @property
@@ -134,7 +145,10 @@ class MemGaze:
         """The (lazily created) shard-map-merge analysis engine."""
         if self._engine is None:
             self._engine = ParallelEngine(
-                workers=self.config.workers, chunk_size=self.config.chunk_size
+                workers=self.config.workers,
+                chunk_size=self.config.chunk_size,
+                journal=self.journal,
+                metrics=self.metrics,
             )
         return self._engine
 
@@ -163,6 +177,7 @@ class MemGaze:
         """Sample and analyze an observed record stream."""
         if events.dtype != EVENT_DTYPE:
             raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+        t0 = time.perf_counter()
         collection = collect_sampled_trace(
             events,
             n_loads_total,
@@ -171,7 +186,26 @@ class MemGaze:
         )
         rho = sample_ratio_from(collection)
         kappa = compression_ratio(collection.events)
+        if self.journal is not None:
+            self.journal.emit(
+                "stage",
+                stage="trace",
+                n_observed=len(events),
+                n_sampled=len(collection.events),
+                n_samples=collection.n_samples,
+                period=self.config.sampling.period,
+                buffer_capacity=self.config.sampling.buffer_capacity,
+                rho=rho,
+                kappa=kappa,
+                seconds=time.perf_counter() - t0,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("pipeline.analyses").inc()
+            self.metrics.counter("pipeline.events_sampled").inc(len(collection.events))
+            self.metrics.gauge("pipeline.rho").set(rho)
+            self.metrics.gauge("pipeline.kappa").set(kappa)
         fn_names = fn_names or {}
+        t0 = time.perf_counter()
         token = None
         if self.config.workers != 1:
             engine = self.engine
@@ -193,6 +227,16 @@ class MemGaze:
             )
             per_function = code_windows(
                 collection.events, rho=rho, block=self.config.block, fn_names=fn_names
+            )
+        if self.journal is not None:
+            self.journal.emit(
+                "stage",
+                stage="analyze",
+                n_events=len(collection.events),
+                n_functions=len(per_function),
+                block=self.config.block,
+                workers=self.config.workers,
+                seconds=time.perf_counter() - t0,
             )
         return MemGazeResult(
             collection=collection,

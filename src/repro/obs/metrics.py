@@ -1,0 +1,268 @@
+"""Pipeline metrics: counters, gauges, histograms with exact merges.
+
+The registry follows the same merge discipline as the analysis partials
+in :mod:`repro.core.parallel`: every instrument's :meth:`merge` is
+**associative and commutative with an identity**, and all tallies are
+integers (or order-free extrema), so per-worker or per-shard registries
+fold into one in any order without losing a count — the observability
+analogue of the engine's bit-identical partial merges.
+
+* :class:`Counter` — monotone integer total; merge is integer addition.
+* :class:`Gauge` — an observed level; merge keeps the extremum under the
+  gauge's ``mode`` (``"max"`` default, or ``"min"``), the only
+  order-free combination of point-in-time observations. Use gauges for
+  peaks and floors (peak in-flight chunks, worst shard skew), not for
+  last-write-wins state.
+* :class:`Histogram` — power-of-two bins (geometry shared with
+  :class:`repro.core.reuse.ReuseHistogram`): ``counts[0]`` holds value
+  0, ``counts[k]`` values in ``[2**(k-1), 2**k)``. Integer bin counts,
+  sum, and extrema all merge exactly.
+
+Registries serialize to plain JSON (:meth:`MetricsRegistry.as_dict` /
+:meth:`from_dict`), which is what ``memgaze report --metrics PATH``
+writes and what crosses process boundaries from pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Histogram geometry: power-of-two bins up to 2**_HIST_MAX_EXP.
+_HIST_MAX_EXP = 48
+
+
+class Counter:
+    """A monotone integer counter; merge = integer addition."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0: counters only move forward)."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += int(n)
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in (associative, commutative, exact)."""
+        self.value += other.value
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Counter":
+        return cls(d["value"])
+
+
+class Gauge:
+    """An observed level; merge keeps the extremum (``mode``: max|min).
+
+    ``None`` until first set — the merge identity.
+    """
+
+    __slots__ = ("value", "mode")
+
+    def __init__(self, value: float | None = None, mode: str = "max") -> None:
+        if mode not in ("max", "min"):
+            raise ValueError(f"gauge mode must be 'max' or 'min', got {mode!r}")
+        self.value = value
+        self.mode = mode
+
+    def set(self, v: float) -> None:
+        """Observe a level; the gauge keeps the extremum seen so far."""
+        if self.value is None:
+            self.value = v
+        else:
+            self.value = max(self.value, v) if self.mode == "max" else min(self.value, v)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in (extremum of extrema is order-free)."""
+        if other.mode != self.mode:
+            raise ValueError(f"gauge mode mismatch: {self.mode} vs {other.mode}")
+        if other.value is not None:
+            self.set(other.value)
+
+    def as_dict(self) -> dict:
+        return {"value": self.value, "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Gauge":
+        return cls(d["value"], d.get("mode", "max"))
+
+
+class Histogram:
+    """Power-of-two-binned distribution with an exact merge.
+
+    Bin ``0`` counts value 0; bin ``k >= 1`` counts values in
+    ``[2**(k-1), 2**k)``; values past the last edge land in the top bin.
+    All fields are integer totals (or extrema), so :meth:`merge` is
+    associative, commutative, and lossless.
+    """
+
+    __slots__ = ("counts", "n", "total", "vmin", "vmax", "max_exp")
+
+    def __init__(self, max_exp: int = _HIST_MAX_EXP) -> None:
+        if max_exp <= 0:
+            raise ValueError(f"max_exp must be > 0, got {max_exp}")
+        self.max_exp = max_exp
+        self.counts = [0] * (max_exp + 1)
+        self.n = 0
+        self.total = 0
+        self.vmin: int | None = None
+        self.vmax: int | None = None
+
+    def observe(self, v: int) -> None:
+        """Tally one non-negative integer observation."""
+        v = int(v)
+        if v < 0:
+            raise ValueError(f"histogram values must be >= 0, got {v}")
+        self.counts[min(v.bit_length(), self.max_exp)] += 1
+        self.n += 1
+        self.total += v
+        self.vmin = v if self.vmin is None else min(self.vmin, v)
+        self.vmax = v if self.vmax is None else max(self.vmax, v)
+
+    def observe_many(self, values: Iterable[int]) -> None:
+        """Tally a batch of observations."""
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.n if self.n else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (exact integer addition)."""
+        if other.max_exp != self.max_exp:
+            raise ValueError(
+                f"histogram geometry mismatch: {self.max_exp} vs {other.max_exp}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.n += other.n
+        self.total += other.total
+        for v in (other.vmin, other.vmax):
+            if v is not None:
+                self.vmin = v if self.vmin is None else min(self.vmin, v)
+                self.vmax = v if self.vmax is None else max(self.vmax, v)
+
+    def as_dict(self) -> dict:
+        return {
+            "counts": list(self.counts),
+            "n": self.n,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Histogram":
+        h = cls(max_exp=len(d["counts"]) - 1)
+        h.counts = [int(c) for c in d["counts"]]
+        h.n = int(d["n"])
+        h.total = int(d["total"])
+        h.vmin = d["min"]
+        h.vmax = d["max"]
+        return h
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and an exact merge.
+
+    >>> m = MetricsRegistry()
+    >>> m.counter("trace.chunks_read").inc()
+    >>> m.histogram("parallel.shard_events").observe(4096)
+    >>> sorted(m.as_dict()["counters"])
+    ['trace.chunks_read']
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors --
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str, mode: str = "max") -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(mode=mode)
+        return g
+
+    def histogram(self, name: str, max_exp: int = _HIST_MAX_EXP) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(max_exp=max_exp)
+        return h
+
+    # -- merge / serialization --
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in, instrument by instrument.
+
+        Merging is exact and order-free under the per-instrument
+        contracts above; a name bound to different instrument kinds in
+        the two registries is a programming error and raises.
+        """
+        for name in other.counters:
+            if name in self.gauges or name in self.histograms:
+                raise ValueError(f"metric {name!r} kind mismatch in merge")
+            self.counter(name).merge(other.counters[name])
+        for name in other.gauges:
+            if name in self.counters or name in self.histograms:
+                raise ValueError(f"metric {name!r} kind mismatch in merge")
+            self.gauge(name, mode=other.gauges[name].mode).merge(other.gauges[name])
+        for name in other.histograms:
+            if name in self.counters or name in self.gauges:
+                raise ValueError(f"metric {name!r} kind mismatch in merge")
+            self.histogram(
+                name, max_exp=other.histograms[name].max_exp
+            ).merge(other.histograms[name])
+
+    def as_dict(self) -> dict:
+        """Plain-JSON snapshot of every instrument."""
+        return {
+            "counters": {k: v.as_dict() for k, v in self.counters.items()},
+            "gauges": {k: v.as_dict() for k, v in self.gauges.items()},
+            "histograms": {k: v.as_dict() for k, v in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`as_dict` output."""
+        m = cls()
+        for k, v in d.get("counters", {}).items():
+            m.counters[k] = Counter.from_dict(v)
+        for k, v in d.get("gauges", {}).items():
+            m.gauges[k] = Gauge.from_dict(v)
+        for k, v in d.get("histograms", {}).items():
+            m.histograms[k] = Histogram.from_dict(v)
+        return m
+
+    def to_json(self, **kwargs) -> str:
+        """:meth:`as_dict` as a JSON string."""
+        return json.dumps(self.as_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Parse :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -15,12 +15,26 @@ Two read paths exist:
   (and the parallel engine's workers) never hold more than one chunk of
   a multi-GB trace in memory at a time. :func:`read_trace_meta` reads
   only the metadata member.
+
+Malformed archives raise :class:`TraceFormatError` (which carries the
+archive path and the offending member/key) instead of the raw
+``KeyError``/``zipfile`` internals. Archives also carry a ``health``
+member — per-chunk CRC32 checksums over the raw event bytes, written by
+:func:`write_trace` — that :mod:`repro.trace.health` uses to localize
+truncation and bit-flip damage and to recover the intact prefix.
+Archives without it (written before the health layer) stay readable.
+
+Member order is deliberate: the small ``meta`` and ``health`` members
+come *before* the bulk ``events``/``sample_id`` arrays, so a
+tail-truncated file (the common on-disk failure) still holds everything
+needed to identify the trace and salvage its event prefix.
 """
 
 from __future__ import annotations
 
 import json
 import zipfile
+import zlib
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterator
@@ -30,6 +44,7 @@ import numpy as np
 from repro.trace.event import EVENT_DTYPE
 
 __all__ = [
+    "TraceFormatError",
     "TraceMeta",
     "write_trace",
     "read_trace",
@@ -39,6 +54,25 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+#: health schema version (independent of the trace format version so old
+#: readers ignore it and old archives stay valid without it).
+_HEALTH_VERSION = 1
+#: events per checksum chunk in the health record.
+HEALTH_CHUNK_EVENTS = 1 << 16
+
+
+class TraceFormatError(Exception):
+    """A trace archive is malformed: missing members, bad schema/version.
+
+    Carries the archive ``path`` and the offending ``key`` (member or
+    metadata field) so callers and the run journal can report what broke
+    without parsing the message.
+    """
+
+    def __init__(self, path, key: str, detail: str) -> None:
+        self.path = str(path)
+        self.key = key
+        super().__init__(f"{self.path}: {detail} (key: {key})")
 
 
 @dataclass
@@ -70,9 +104,30 @@ class TraceMeta:
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported trace format version {version}")
         raw["source_map"] = {
-            int(k): (v[0], v[1], int(v[2])) for k, v in raw["source_map"].items()
+            int(k): (v[0], v[1], int(v[2]))
+            for k, v in raw.get("source_map", {}).items()
         }
         return cls(**raw)
+
+
+def _health_record(events: np.ndarray, sample_id: np.ndarray | None) -> dict:
+    """Per-chunk CRC32 checksums over the raw array bytes."""
+    step = HEALTH_CHUNK_EVENTS
+    return {
+        "version": _HEALTH_VERSION,
+        "chunk_events": step,
+        "n_events": len(events),
+        "events_crc": [
+            zlib.crc32(events[i : i + step].tobytes())
+            for i in range(0, max(len(events), 1), step)
+        ],
+        "sample_id_crc": None
+        if sample_id is None
+        else [
+            zlib.crc32(sample_id[i : i + step].tobytes())
+            for i in range(0, max(len(sample_id), 1), step)
+        ],
+    }
 
 
 def write_trace(
@@ -85,32 +140,63 @@ def write_trace(
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     path = Path(path)
-    arrays = {"events": events, "meta": np.frombuffer(meta.to_json().encode("utf-8"), dtype=np.uint8)}
     if sample_id is not None:
         if len(sample_id) != len(events):
             raise ValueError("sample_id length must match events")
-        arrays["sample_id"] = np.asarray(sample_id, dtype=np.int32)
+        sample_id = np.asarray(sample_id, dtype=np.int32)
+    # small identifying members first: a tail-truncated file keeps them
+    health = _health_record(events, sample_id)
+    arrays = {
+        "meta": np.frombuffer(meta.to_json().encode("utf-8"), dtype=np.uint8),
+        "health": np.frombuffer(json.dumps(health).encode("utf-8"), dtype=np.uint8),
+        "events": events,
+    }
+    if sample_id is not None:
+        arrays["sample_id"] = sample_id
     np.savez_compressed(path, **arrays)
     # numpy appends .npz when missing
     actual = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
     return actual.stat().st_size
 
 
+def _parse_meta(path, blob: bytes) -> TraceMeta:
+    """Decode a ``meta`` member, mapping failures to TraceFormatError."""
+    try:
+        return TraceMeta.from_json(blob.decode("utf-8"))
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as e:
+        raise TraceFormatError(path, "meta", f"unreadable trace metadata: {e}") from e
+
+
 def read_trace(path) -> tuple[np.ndarray, TraceMeta, np.ndarray | None]:
-    """Read a trace archive written by :func:`write_trace`."""
+    """Read a trace archive written by :func:`write_trace`.
+
+    Raises :class:`TraceFormatError` when a required member is missing
+    or the metadata does not parse.
+    """
     with np.load(path) as archive:
+        for member in ("events", "meta"):
+            if member not in archive:
+                raise TraceFormatError(
+                    path, member, f"archive is missing required member {member!r}"
+                )
         events = archive["events"]
-        meta = TraceMeta.from_json(bytes(archive["meta"]).decode("utf-8"))
+        meta = _parse_meta(path, bytes(archive["meta"]))
         sample_id = archive["sample_id"] if "sample_id" in archive else None
     if events.dtype != EVENT_DTYPE:
-        raise TypeError(f"archive events have dtype {events.dtype}")
+        raise TraceFormatError(
+            path, "events", f"archive events have dtype {events.dtype}"
+        )
     return events, meta, sample_id
 
 
 def read_trace_meta(path) -> TraceMeta:
     """Read only the metadata member of a trace archive (cheap)."""
     with np.load(path) as archive:
-        return TraceMeta.from_json(bytes(archive["meta"]).decode("utf-8"))
+        if "meta" not in archive:
+            raise TraceFormatError(
+                path, "meta", "archive is missing required member 'meta'"
+            )
+        return _parse_meta(path, bytes(archive["meta"]))
 
 
 class _MemberStream:
@@ -161,6 +247,7 @@ def iter_trace_chunks(
     chunk_size: int = 1 << 20,
     *,
     align_samples: bool = True,
+    metrics=None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
     """Yield ``(events, sample_id)`` chunks of a trace archive, streaming.
 
@@ -169,6 +256,13 @@ def iter_trace_chunks(
     the trailing run of the last sample id is carried into the next
     chunk, so per-chunk intra-sample analyses (reuse distances,
     boundaries) see exactly what a whole-trace pass would.
+
+    A missing ``events`` member raises :class:`TraceFormatError` naming
+    the archive and the member, instead of ``zipfile``'s bare
+    ``KeyError``. Passing a
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``metrics`` counts
+    chunks and events read under ``trace.chunks_read`` /
+    ``trace.events_read``.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
@@ -176,6 +270,10 @@ def iter_trace_chunks(
     actual = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
     with zipfile.ZipFile(actual) as zf:
         names = set(zf.namelist())
+        if "events.npy" not in names:
+            raise TraceFormatError(
+                actual, "events", "archive is missing required member 'events'"
+            )
         ev_stream = _MemberStream(zf, "events.npy", EVENT_DTYPE)
         sid_stream = (
             _MemberStream(zf, "sample_id.npy") if "sample_id.npy" in names else None
@@ -206,6 +304,9 @@ def iter_trace_chunks(
                         continue
                     carry_ev, carry_sid = ev[cut:], sid[cut:]
                     ev, sid = ev[:cut], sid[:cut]
+                if metrics is not None:
+                    metrics.counter("trace.chunks_read").inc()
+                    metrics.counter("trace.events_read").inc(len(ev))
                 yield ev, sid
                 if done:
                     break

@@ -1,6 +1,8 @@
 """Tests for the wall-clock timer and the per-stage timing registry."""
 
+import json
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro._util.timers import StageTimers, Timer
 
@@ -59,3 +61,60 @@ class TestStageTimers:
         timers.add("merge", 0.5, items=100)
         out = timers.report(title="t")
         assert "== t ==" in out and "merge" in out and "items/s" in out
+
+    def test_as_records_roundtrips_through_json(self):
+        timers = StageTimers()
+        timers.add("plan", 0.25, items=4)
+        timers.add("compute", 1.0, items=1000)
+        records = json.loads(json.dumps(timers.as_records()))
+        by_stage = {r["stage"]: r for r in records}
+        assert by_stage["compute"]["throughput"] == 1000.0
+        assert by_stage["plan"] == {
+            "stage": "plan", "seconds": 0.25, "calls": 1, "items": 4,
+            "throughput": 16.0,
+        }
+
+
+class TestMergeConcurrentWorkers:
+    """Per-worker registries with overlapping stage names fold exactly.
+
+    This is the situation the parallel engine creates: every pool
+    worker accumulates the *same* stage names ("compute", "merge"), and
+    the parent folds their registries in whatever order futures finish.
+    """
+
+    def _worker(self, worker_id: int) -> StageTimers:
+        timers = StageTimers()
+        for i in range(20):
+            timers.add("compute", 0.001 * (worker_id + 1), items=100)
+            if i % 2 == 0:
+                timers.add("merge", 0.0005, items=1)
+        timers.add(f"stage-only-in-{worker_id}", 0.01, items=worker_id)
+        return timers
+
+    def test_overlapping_stage_names_sum_exactly(self):
+        n_workers = 8
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            parts = list(pool.map(self._worker, range(n_workers)))
+        merged = StageTimers()
+        for part in parts:
+            merged.merge(part)
+        assert merged.stats["compute"].calls == 20 * n_workers
+        assert merged.stats["compute"].items == 2000 * n_workers
+        expected_seconds = sum(0.001 * (w + 1) * 20 for w in range(n_workers))
+        assert abs(merged.stats["compute"].seconds - expected_seconds) < 1e-9
+        assert merged.stats["merge"].calls == 10 * n_workers
+        for w in range(n_workers):
+            assert merged.stats[f"stage-only-in-{w}"].items == w
+
+    def test_merge_order_does_not_matter(self):
+        parts = [self._worker(w) for w in range(5)]
+        forward, backward = StageTimers(), StageTimers()
+        for p in parts:
+            forward.merge(p)
+        for p in reversed(parts):
+            backward.merge(p)
+        assert forward.as_records() != []
+        assert sorted(map(str, forward.as_records())) == sorted(
+            map(str, backward.as_records())
+        )

@@ -1,0 +1,95 @@
+"""Fault-injection harness for trace archives.
+
+Each injector takes a healthy ``.npz`` archive and produces a damaged
+copy exercising one of the three damage classes the health layer
+(:mod:`repro.trace.health`) must detect:
+
+* :func:`truncate` — cut the file short, destroying the zip central
+  directory and part of the bulk members (a killed transfer / full
+  disk);
+* :func:`bit_flip` — XOR bits inside a member's compressed payload
+  while keeping the container structurally intact (storage corruption);
+* :func:`schema_corrupt` — rewrite the archive with a member missing or
+  metadata a current reader cannot accept (a foreign or broken writer).
+
+These are plain functions (no pytest dependency) so the health tests,
+the CLI tests, and the ``-m faults`` CI job all share one source of
+damage. See ``docs/observability.md`` for the how-to.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import shutil
+import zipfile
+from pathlib import Path
+
+__all__ = ["truncate", "bit_flip", "schema_corrupt"]
+
+
+def truncate(src, dst, keep_fraction: float = 0.7) -> Path:
+    """Copy ``src`` to ``dst`` cut down to ``keep_fraction`` of its bytes.
+
+    Truncation removes the zip central directory (it lives at the end of
+    the file) and usually the tail of the ``events`` member.
+    """
+    if not 0.0 < keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1), got {keep_fraction}")
+    src, dst = Path(src), Path(dst)
+    shutil.copyfile(src, dst)
+    with open(dst, "r+b") as fh:
+        fh.truncate(int(src.stat().st_size * keep_fraction))
+    return dst
+
+
+def bit_flip(src, dst, member: str = "events.npy", offset_fraction: float = 0.5,
+             n_bytes: int = 4) -> Path:
+    """Copy ``src`` to ``dst`` with bytes XOR-flipped inside ``member``.
+
+    The flip lands in the member's *compressed* payload at
+    ``offset_fraction`` of its length, so the file stays structurally
+    complete (directory intact, sizes unchanged) but the member fails
+    zip-level and/or chunk-checksum verification.
+    """
+    src, dst = Path(src), Path(dst)
+    blob = bytearray(src.read_bytes())
+    with zipfile.ZipFile(io.BytesIO(bytes(blob))) as zf:
+        info = zf.getinfo(member)
+        header = info.header_offset
+        # local header: fixed 30 bytes + name + extra field
+        nlen = int.from_bytes(blob[header + 26 : header + 28], "little")
+        elen = int.from_bytes(blob[header + 28 : header + 30], "little")
+        data_start = header + 30 + nlen + elen
+        size = info.compress_size or 64
+    at = data_start + int(size * offset_fraction)
+    for i in range(n_bytes):
+        blob[at + i] ^= 0xFF
+    dst.write_bytes(bytes(blob))
+    return dst
+
+
+def schema_corrupt(src, dst, *, drop_member: str | None = "meta.npy",
+                   bad_version: bool = False) -> Path:
+    """Copy ``src`` to ``dst`` as a structurally valid but unreadable archive.
+
+    Either omits ``drop_member`` entirely, or (``bad_version=True``)
+    rewrites the metadata member claiming a format version no current
+    reader accepts. The result is a well-formed zip — the damage is
+    semantic, not structural.
+    """
+    src, dst = Path(src), Path(dst)
+    with zipfile.ZipFile(src) as zin:
+        names = zin.namelist()
+        payloads = {n: zin.read(n) for n in names}
+    if bad_version:
+        meta = payloads.get("meta.npy")
+        if meta is None:
+            raise ValueError("archive has no meta.npy to version-corrupt")
+        payloads["meta.npy"] = meta.replace(b'"version": 1', b'"version": 99')
+    elif drop_member is not None:
+        payloads.pop(drop_member, None)
+    with zipfile.ZipFile(dst, "w", zipfile.ZIP_DEFLATED) as zout:
+        for name, data in payloads.items():
+            zout.writestr(name, data)
+    return dst

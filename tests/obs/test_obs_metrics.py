@@ -1,0 +1,143 @@
+"""Tests for the metrics registry and its exact merge semantics."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(9)
+        assert c.value == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_is_addition(self):
+        a, b = Counter(3), Counter(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_max_mode_keeps_peak(self):
+        g = Gauge()
+        for v in (2, 9, 4):
+            g.set(v)
+        assert g.value == 9
+
+    def test_min_mode_keeps_floor(self):
+        g = Gauge(mode="min")
+        for v in (5, 1, 3):
+            g.set(v)
+        assert g.value == 1
+
+    def test_none_is_merge_identity(self):
+        a, b = Gauge(), Gauge()
+        b.set(7)
+        a.merge(b)
+        assert a.value == 7
+        a.merge(Gauge())  # unset gauge changes nothing
+        assert a.value == 7
+
+    def test_mode_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Gauge(mode="max").merge(Gauge(mode="min"))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge(mode="avg")
+
+
+class TestHistogram:
+    def test_power_of_two_binning(self):
+        h = Histogram()
+        h.observe_many([0, 1, 2, 3, 4])
+        # 0 -> bin 0; 1 -> bin 1; 2,3 -> bin 2; 4 -> bin 3
+        assert h.counts[:4] == [1, 1, 2, 1]
+        assert h.n == 5 and h.total == 10
+        assert (h.vmin, h.vmax) == (0, 4)
+        assert h.mean == 2.0
+
+    def test_overflow_lands_in_top_bin(self):
+        h = Histogram(max_exp=4)
+        h.observe(10_000)
+        assert h.counts[4] == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1)
+
+    def test_geometry_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(max_exp=8).merge(Histogram(max_exp=9))
+
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(7)
+        values = [rng.randrange(0, 1 << 20) for _ in range(500)]
+        whole = Histogram()
+        whole.observe_many(values)
+        parts = [Histogram() for _ in range(4)]
+        for i, v in enumerate(values):
+            parts[i % 4].observe(v)
+        merged = Histogram()
+        rng.shuffle(parts)  # merge must be order-free
+        for p in parts:
+            merged.merge(p)
+        assert merged.as_dict() == whole.as_dict()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_merge_mirrors_partial_merge_contract(self):
+        """Per-worker registries fold into one exactly, in any order."""
+        workers = []
+        for w in range(3):
+            m = MetricsRegistry()
+            m.counter("parallel.events").inc(100 * (w + 1))
+            m.gauge("parallel.peak_in_flight").set(w + 1)
+            m.histogram("parallel.shard_events").observe(1 << w)
+            workers.append(m)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for m in workers:
+            forward.merge(m)
+        for m in reversed(workers):
+            backward.merge(m)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.counter("parallel.events").value == 600
+        assert forward.gauge("parallel.peak_in_flight").value == 3
+        assert forward.histogram("parallel.shard_events").n == 3
+
+    def test_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_json_roundtrip(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(5)
+        m.gauge("g", mode="min").set(2.5)
+        m.histogram("h").observe_many([1, 2, 3])
+        back = MetricsRegistry.from_json(m.to_json())
+        assert back.as_dict() == m.as_dict()
+        assert json.loads(m.to_json()) == m.as_dict()
+
+    def test_empty_registry_roundtrip(self):
+        assert MetricsRegistry.from_json(MetricsRegistry().to_json()).as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

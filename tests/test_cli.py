@@ -1,5 +1,7 @@
 """Tests for the memgaze command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -104,6 +106,111 @@ class TestReport:
         out = capsys.readouterr().out
         assert "execution phases" in out
         assert "phase 0" in out
+
+
+class TestObservability:
+    def test_trace_journal_lines_parse(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        rc = main(
+            ["trace", "--workload", "ubench:str4", "--scale", "9",
+             "--period", "999", "--buffer", "128",
+             "-o", str(tmp_path / "t.npz"), "--journal", str(journal)]
+        )
+        assert rc == 0
+        recs = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert {r["event"] for r in recs} == {"stage", "trace-written"}
+        written = next(r for r in recs if r["event"] == "trace-written")
+        assert written["rho"] > 0 and written["n_sampled"] > 0
+        assert len({r["run"] for r in recs}) == 1
+
+    def test_report_journal_covers_pipeline_stages(self, trace_file, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        rc = main(
+            ["report", str(trace_file), "--workers", "2",
+             "--journal", str(journal)]
+        )
+        assert rc == 0
+        recs = [json.loads(line) for line in journal.read_text().splitlines()]
+        events = {r["event"] for r in recs}
+        assert {"stage", "shard-analyzed", "stage-summary"} <= events
+        stages = {r.get("stage") for r in recs if r["event"] == "stage"}
+        assert {"shard-plan", "merge"} <= stages
+
+    def test_metrics_export_round_trips(self, trace_file, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main(
+            ["report", str(trace_file), "--stats",
+             "--journal", str(tmp_path / "j.jsonl"), "--metrics", str(metrics)]
+        )
+        assert rc == 0
+        assert "stage timings" in capsys.readouterr().out
+        data = json.loads(metrics.read_text())
+        assert {"trace", "run", "metrics", "stages", "cache"} <= set(data)
+        counters = data["metrics"]["counters"]
+        assert counters["parallel.events"]["value"] > 0
+        assert counters["parallel.plans"]["value"] > 0
+        assert {s["stage"] for s in data["stages"]} >= {"plan", "compute", "merge"}
+        # the registry snapshot reloads through the public constructor
+        from repro.obs.metrics import MetricsRegistry
+
+        back = MetricsRegistry.from_dict(data["metrics"])
+        assert back.as_dict() == data["metrics"]
+
+    def test_metrics_without_journal(self, trace_file, tmp_path):
+        metrics = tmp_path / "m.json"
+        assert main(["report", str(trace_file), "--metrics", str(metrics)]) == 0
+        assert json.loads(metrics.read_text())["run"] is None
+
+
+class TestValidateTrace:
+    def test_clean_archive_rc_zero(self, trace_file, capsys):
+        assert main(["validate-trace", str(trace_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_json_output(self, trace_file, capsys):
+        assert main(["validate-trace", str(trace_file), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and report["has_health"] is True
+
+    @pytest.mark.faults
+    def test_truncated_archive_rc_one(self, trace_file, tmp_path, capsys):
+        from obs import faults
+
+        hurt = faults.truncate(trace_file, tmp_path / "hurt.npz")
+        assert main(["validate-trace", str(hurt)]) == 1
+        assert "TRUNCATION" in capsys.readouterr().out
+
+    @pytest.mark.faults
+    def test_report_survives_truncated_archive(self, tmp_path, capsys):
+        """Acceptance: report on a damaged archive completes, journaled."""
+        import numpy as np
+
+        from obs import faults
+        from repro.trace.event import make_events
+        from repro.trace.tracefile import HEALTH_CHUNK_EVENTS, TraceMeta, write_trace
+
+        n = 3 * HEALTH_CHUNK_EVENTS
+        rng = np.random.default_rng(5)
+        ev = make_events(
+            ip=rng.integers(0, 32, n),
+            addr=rng.integers(0, 1 << 22, n),
+            cls=rng.choice([0, 1, 2], n).astype(np.uint8),
+        )
+        sid = (np.arange(n) // 4096).astype(np.int32)
+        big = tmp_path / "big.npz"
+        write_trace(big, ev, TraceMeta(module="cli-fault", period=4096,
+                                       buffer_capacity=256), sample_id=sid)
+        hurt = faults.truncate(big, tmp_path / "hurt.npz", keep_fraction=0.7)
+
+        journal = tmp_path / "j.jsonl"
+        rc = main(["report", str(hurt), "--journal", str(journal)])
+        captured = capsys.readouterr()
+        assert rc == 0, "report must complete on a tail-truncated archive"
+        assert "footprint access diagnostics" in captured.out
+        assert "damaged archive" in captured.err
+        recs = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert any(r["event"] == "warning" for r in recs)
+        assert any(r["event"] == "trace-recovered" for r in recs)
 
 
 class TestValidate:

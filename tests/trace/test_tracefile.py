@@ -5,6 +5,7 @@ import pytest
 
 from repro.trace.event import make_events
 from repro.trace.tracefile import (
+    TraceFormatError,
     TraceMeta,
     iter_trace_chunks,
     packet_bytes,
@@ -125,6 +126,83 @@ class TestStreaming:
         write_trace(tmp_path / "noext", events, TraceMeta())
         parts = list(iter_trace_chunks(tmp_path / "noext", chunk_size=10))
         assert np.array_equal(parts[0][0], events)
+
+
+def _archive_without(src, dst, member):
+    """Rewrite ``src`` as ``dst`` with one member removed."""
+    import zipfile
+
+    with zipfile.ZipFile(src) as zin, zipfile.ZipFile(dst, "w") as zout:
+        for name in zin.namelist():
+            if name != member:
+                zout.writestr(name, zin.read(name))
+    return dst
+
+
+class TestTraceFormatError:
+    def test_missing_events_member_is_typed(self, tmp_path, events):
+        write_trace(tmp_path / "t.npz", events, TraceMeta())
+        bad = _archive_without(tmp_path / "t.npz", tmp_path / "bad.npz", "events.npy")
+        with pytest.raises(TraceFormatError) as err:
+            read_trace(bad)
+        assert err.value.key == "events"
+        assert str(bad) in str(err.value)
+
+    def test_missing_meta_member_is_typed(self, tmp_path, events):
+        write_trace(tmp_path / "t.npz", events, TraceMeta())
+        bad = _archive_without(tmp_path / "t.npz", tmp_path / "bad.npz", "meta.npy")
+        with pytest.raises(TraceFormatError) as err:
+            read_trace(bad)
+        assert err.value.key == "meta"
+
+    def test_iter_chunks_missing_events_is_typed(self, tmp_path, events):
+        """The old opaque KeyError is now a TraceFormatError with context."""
+        write_trace(tmp_path / "t.npz", events, TraceMeta())
+        bad = _archive_without(tmp_path / "t.npz", tmp_path / "bad.npz", "events.npy")
+        with pytest.raises(TraceFormatError) as err:
+            list(iter_trace_chunks(bad, chunk_size=10))
+        assert err.value.key == "events"
+        assert err.value.path == str(bad)
+
+    def test_read_trace_meta_missing_member_is_typed(self, tmp_path, events):
+        write_trace(tmp_path / "t.npz", events, TraceMeta())
+        bad = _archive_without(tmp_path / "t.npz", tmp_path / "bad.npz", "meta.npy")
+        with pytest.raises(TraceFormatError):
+            read_trace_meta(bad)
+
+    def test_is_an_exception_subclass(self):
+        assert issubclass(TraceFormatError, Exception)
+
+
+class TestHealthMember:
+    def test_written_archives_carry_checksums(self, tmp_path):
+        import json
+        import zipfile
+        import zlib
+
+        ev, sid = _big_trace()
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        with zipfile.ZipFile(tmp_path / "t.npz") as zf:
+            names = zf.namelist()
+            assert names.index("meta.npy") < names.index("events.npy")
+            assert names.index("health.npy") < names.index("events.npy")
+            health = json.loads(np.load(zf.open("health.npy")).tobytes())
+        assert health["n_events"] == len(ev)
+        assert health["events_crc"][0] == zlib.crc32(
+            ev[: health["chunk_events"]].tobytes()
+        )
+
+    def test_metrics_instrument_chunked_reads(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        ev, sid = _big_trace()
+        write_trace(tmp_path / "t.npz", ev, TraceMeta(), sample_id=sid)
+        metrics = MetricsRegistry()
+        parts = list(
+            iter_trace_chunks(tmp_path / "t.npz", chunk_size=1000, metrics=metrics)
+        )
+        assert metrics.counter("trace.chunks_read").value == len(parts)
+        assert metrics.counter("trace.events_read").value == len(ev)
 
 
 class TestMetaJson:
