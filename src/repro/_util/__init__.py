@@ -7,6 +7,7 @@ substrate and analysis layers build on.
 """
 
 from repro._util.fenwick import FenwickTree
+from repro._util.lru import LRUCache
 from repro._util.rng import derive_rng, spawn_rngs
 from repro._util.tables import format_table
 from repro._util.timers import Timer
@@ -18,6 +19,7 @@ from repro._util.validate import (
 
 __all__ = [
     "FenwickTree",
+    "LRUCache",
     "derive_rng",
     "spawn_rngs",
     "format_table",

@@ -1,0 +1,53 @@
+"""A small least-recently-used map with hit/miss accounting.
+
+Used to memoize merged analysis partials per window
+(:class:`repro.core.parallel.ParallelEngine`) and available to any layer
+that needs bounded memoization. Not thread-safe; callers own their
+cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A capacity-bounded LRU map.
+
+    ``get`` marks the key most recently used; ``put`` inserts (or
+    overwrites) and evicts the least recently used entries beyond
+    ``capacity``. ``hits``/``misses`` count ``get`` outcomes for
+    observability (``memgaze report --stats`` prints them).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        """The cached value for ``key``, or None (marks it most recent)."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)

@@ -54,9 +54,9 @@ import sys
 import numpy as np
 
 from repro.core.confidence import code_window_confidence
-from repro.core.hotspot import find_hotspots
 from repro.core.interval_tree import access_interval_metrics
 from repro.core.parallel import ParallelEngine
+from repro.core.passes import UnknownPassError, get_pass, list_passes
 from repro.core.report import (
     format_quantity,
     render_function_table,
@@ -246,6 +246,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
         metrics=metrics,
     )
     token = engine.window_token()
+
+    if args.passes:
+        requested = [s.strip() for s in args.passes.split(",") if s.strip()]
+        try:
+            results = engine.run_passes(
+                col.events,
+                requested,
+                sample_id=col.sample_id,
+                rho=rho,
+                fn_names=fn_names,
+                window_id=(token, "whole"),
+            )
+        except (UnknownPassError, ValueError) as exc:
+            raise SystemExit(f"memgaze report: {exc}") from exc
+        print(f"== {meta.module}: analysis passes ==")
+        for name in requested:
+            print(f"\n== pass: {name} ==")
+            print(get_pass(name).render(results[name]))
+        _report_tail(args, engine, journal, metrics)
+        return 0
+
     everything = not (
         args.functions
         or args.regions
@@ -256,16 +277,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
         or args.phases
     )
 
-    d = engine.diagnostics(
-        col.events, rho=rho, sample_id=col.sample_id, window_id=(token, "whole")
+    # the header metrics run as ONE fused scan: each shard of the trace
+    # is visited once for diagnostics and (when shown) hotspots together
+    header = ["diagnostics"] + (["hotspot"] if everything or args.hotspots else [])
+    results = engine.run_passes(
+        col.events,
+        header,
+        sample_id=col.sample_id,
+        rho=rho,
+        fn_names=fn_names,
+        window_id=(token, "whole"),
     )
+    d = results["diagnostics"]
     print(f"== {meta.module}: footprint access diagnostics ==")
     print(f"A (est):   {format_quantity(d.A_est)}    F (est): {format_quantity(d.F_est)}")
     print(f"dF:        {d.dF:.3f}   F_str%: {d.F_str_pct:.1f}   A_const%: {d.A_const_pct:.1f}")
 
     if everything or args.hotspots:
         print("\n== hotspots ==")
-        for h in find_hotspots(col.events, fn_names):
+        for h in results["hotspot"]:
             print(f"  {h.function:<20} {100 * h.share:5.1f}%  ({format_quantity(h.n_accesses)} sampled loads)")
 
     if everything or args.functions:
@@ -338,6 +368,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 f"{c.n_samples_present}/{c.n_samples_total} samples{flag}"
             )
 
+    _report_tail(args, engine, journal, metrics)
+    return 0
+
+
+def _report_tail(args, engine, journal, metrics) -> None:
+    """Shared ``report`` epilogue: stats, journal/metrics export, shutdown."""
     if args.stats:
         print()
         print(engine.timers.report(title="analysis stage timings"))
@@ -367,6 +403,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if journal is not None:
         journal.close()
     engine.close()
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    """List the registered analysis passes (``memgaze passes``)."""
+    print("registered analysis passes (memgaze report --passes name,...):\n")
+    for p in list_passes():
+        print(f"  {p.name:<12} {p.description}")
+        if p.requires:
+            print(f"{'':14}requires: {', '.join(p.requires)}")
+        if p.defaults:
+            defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(p.defaults.items()))
+            print(f"{'':14}defaults: {defaults}")
+        if p.needs:
+            print(f"{'':14}needs:    {', '.join(p.needs)} (API-only pass)")
     return 0
 
 
@@ -459,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--working-set", action="store_true", help="working-set curve")
     p_report.add_argument("--confidence", action="store_true", help="undersampling report")
     p_report.add_argument("--hotspots", action="store_true", help="hot-function ranking")
+    p_report.add_argument(
+        "--passes", default=None, metavar="NAME[,NAME...]",
+        help="run exactly these registered analysis passes, fused in one scan "
+        "(see 'memgaze passes' for the list)",
+    )
     p_report.add_argument("--phases", action="store_true", help="phase segmentation")
     p_report.add_argument("--hot-threshold", type=float, default=0.10)
     p_report.add_argument("--min-region-pct", type=float, default=2.0)
@@ -484,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the pipeline metrics registry (plus stage timings) as JSON",
     )
     p_report.set_defaults(fn=_cmd_report)
+
+    p_passes = sub.add_parser(
+        "passes", help="list the registered analysis passes and their parameters"
+    )
+    p_passes.set_defaults(fn=_cmd_passes)
 
     p_diff = sub.add_parser("diff", help="compare two trace archives per function")
     p_diff.add_argument("before")

@@ -19,8 +19,12 @@ sampled, compressed traces:
 * :mod:`repro.core.heatmap` — (region page x time) access and reuse
   heatmaps (Fig. 8);
 * :mod:`repro.core.report` — paper-style table rendering;
+* :mod:`repro.core.passes` — the unified analysis-pass framework:
+  dependency-scheduled passes sharing per-chunk intermediates, one
+  fused scan for any set of metrics;
 * :mod:`repro.core.parallel` — the sharded parallel analysis engine
-  (mergeable window partials, bit-identical to the serial path);
+  (registered passes as mergeable partials, bit-identical to the
+  serial path);
 * :mod:`repro.core.pipeline` — the end-to-end MemGaze driver.
 """
 
@@ -49,6 +53,17 @@ from repro.core.parallel import (
     LRUCache,
     ParallelEngine,
     plan_shards,
+)
+from repro.core.passes import (
+    AnalysisPass,
+    ChunkContext,
+    RunContext,
+    UnknownPassError,
+    fused_scan,
+    get_pass,
+    list_passes,
+    register_pass,
+    schedule_passes,
 )
 from repro.core.diagnostics import FootprintDiagnostics, compute_diagnostics
 from repro.core.windows import code_windows, trace_window_metrics
@@ -106,6 +121,15 @@ __all__ = [
     "LRUCache",
     "ParallelEngine",
     "plan_shards",
+    "AnalysisPass",
+    "ChunkContext",
+    "RunContext",
+    "UnknownPassError",
+    "fused_scan",
+    "get_pass",
+    "list_passes",
+    "register_pass",
+    "schedule_passes",
     "FootprintDiagnostics",
     "compute_diagnostics",
     "code_windows",

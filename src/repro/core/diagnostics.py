@@ -30,7 +30,7 @@ from repro.core.metrics import footprint, footprint_by_class
 from repro.trace.compress import decompress_counts, suppressed_count
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
-__all__ = ["FootprintDiagnostics", "compute_diagnostics"]
+__all__ = ["FootprintDiagnostics", "compute_diagnostics", "finalize_diagnostics"]
 
 
 @dataclass(frozen=True)
@@ -74,28 +74,28 @@ class FootprintDiagnostics:
         return 100.0 * self.dF_irr / denom if denom else 0.0
 
 
-def compute_diagnostics(
-    events: np.ndarray, rho: float = 1.0, block: int = 1
+def finalize_diagnostics(
+    *,
+    a_obs: int,
+    a_implied: int,
+    f: int,
+    f_str: int,
+    f_irr: int,
+    n_const_accesses: int,
+    rho: float = 1.0,
 ) -> FootprintDiagnostics:
-    """Compute the diagnostic bundle for ``events`` (one window).
+    """The diagnostic bundle from exact integer totals.
 
-    ``rho`` is the sample ratio used to scale observed quantities to the
-    population (pass 1.0 for exact intra-window analysis).
+    This is the single site where the derived floats (F-hat, dF, the
+    percentages) are evaluated: both the serial
+    :func:`compute_diagnostics` and the mergeable
+    :class:`~repro.core.passes.DiagnosticsPartial` call it on identical
+    operands, which is what makes the sharded/fused results bit-identical
+    to the serial ones.
     """
-    if events.dtype != EVENT_DTYPE:
-        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     if rho < 1.0:
         raise ValueError(f"rho must be >= 1, got {rho}")
-    a_obs = len(events)
-    a_implied = decompress_counts(events)
-    f = footprint(events, block)
-    by_class = footprint_by_class(events, block)
-    f_str = by_class[LoadClass.STRIDED]
-    f_irr = by_class[LoadClass.IRREGULAR]
     window = a_implied if a_implied else 1
-    n_const_accesses = suppressed_count(events) + int(
-        (events["cls"] == int(LoadClass.CONSTANT)).sum()
-    )
     return FootprintDiagnostics(
         A_obs=a_obs,
         A_implied=a_implied,
@@ -108,4 +108,29 @@ def compute_diagnostics(
         dF_str=f_str / window if a_implied else 0.0,
         dF_irr=f_irr / window if a_implied else 0.0,
         A_const_pct=100.0 * n_const_accesses / window if a_implied else 0.0,
+    )
+
+
+def compute_diagnostics(
+    events: np.ndarray, rho: float = 1.0, block: int = 1
+) -> FootprintDiagnostics:
+    """Compute the diagnostic bundle for ``events`` (one window).
+
+    ``rho`` is the sample ratio used to scale observed quantities to the
+    population (pass 1.0 for exact intra-window analysis).
+    """
+    if events.dtype != EVENT_DTYPE:
+        raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
+    by_class = footprint_by_class(events, block)
+    n_const_accesses = suppressed_count(events) + int(
+        (events["cls"] == int(LoadClass.CONSTANT)).sum()
+    )
+    return finalize_diagnostics(
+        a_obs=len(events),
+        a_implied=decompress_counts(events),
+        f=footprint(events, block),
+        f_str=by_class[LoadClass.STRIDED],
+        f_irr=by_class[LoadClass.IRREGULAR],
+        n_const_accesses=n_const_accesses,
+        rho=rho,
     )

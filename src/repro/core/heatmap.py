@@ -19,6 +19,7 @@ from repro.trace.event import EVENT_DTYPE, LoadClass
 __all__ = [
     "HeatmapResult",
     "heatmap_geometry",
+    "region_points",
     "accumulate_heatmap",
     "finalize_heatmap",
     "access_heatmap",
@@ -59,6 +60,20 @@ def heatmap_geometry(
     t_lo = int(nc["t"][0]) if len(nc) else 0
     t_hi = int(nc["t"][-1]) + 1 if len(nc) else 1
     return page_size, np.linspace(t_lo, t_hi, n_bins + 1)
+
+
+def region_points(
+    nc: np.ndarray, d: np.ndarray, base: int, size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(addr, t, d) of the non-Constant accesses falling in the region.
+
+    Shared by the serial :func:`access_heatmap` and the heatmap analysis
+    pass so both filter identically.
+    """
+    addr = nc["addr"].astype(np.int64)
+    t = nc["t"].astype(np.int64)
+    in_region = (addr >= base) & (addr < base + size)
+    return addr[in_region], t[in_region], d[in_region]
 
 
 def accumulate_heatmap(
@@ -139,11 +154,7 @@ def access_heatmap(
     nc = events[mask]
     sid = sample_id[mask] if sample_id is not None else None
     d = reuse_distances(nc, access_block, sid)
-
-    addr = nc["addr"].astype(np.int64)
-    t = nc["t"].astype(np.int64)
-    in_region = (addr >= base) & (addr < base + size)
-    addr, t, d = addr[in_region], t[in_region], d[in_region]
+    addr, t, d = region_points(nc, d, base, size)
 
     page_size, t_edges = heatmap_geometry(nc, size, n_pages, n_bins)
     counts, dsum, dcnt = accumulate_heatmap(

@@ -19,7 +19,15 @@ import numpy as np
 from repro.trace.event import EVENT_DTYPE
 from repro.trace.guards import RegionOfInterest
 
-__all__ = ["Hotspot", "find_hotspots", "roi_from_hotspots", "function_ranges"]
+__all__ = [
+    "Hotspot",
+    "access_counts",
+    "rank_hotspots",
+    "find_hotspots",
+    "roi_from_hotspots",
+    "roi_from_ranges",
+    "function_ranges",
+]
 
 
 @dataclass(frozen=True)
@@ -32,30 +40,39 @@ class Hotspot:
     share: float  # fraction of total profiled accesses
 
 
-def find_hotspots(
-    events: np.ndarray,
-    fn_names: dict[int, str] | None = None,
-    *,
-    coverage: float = 0.90,
-    max_functions: int = 8,
-) -> list[Hotspot]:
-    """Rank functions by access count; keep the head covering ``coverage``.
+def access_counts(events: np.ndarray) -> np.ndarray:
+    """Per-function load weights (suppressed constants included).
 
-    ``events`` may be any (even crudely) sampled record stream — the
-    pre-pass does not need load-level fidelity, only relative hotness.
+    Index ``fid`` holds that function's weight; the array length is the
+    highest observed function id + 1 (empty for an empty trace). Counts
+    from two shards merge by zero-padded addition, which is what lets the
+    hotspot analysis pass fold chunk partials exactly.
     """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
-    if not 0 < coverage <= 1:
-        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
-    fn_names = fn_names or {}
     if len(events) == 0:
-        return []
+        return np.zeros(0, dtype=np.int64)
     counts = np.bincount(events["fn"])
     # include suppressed constants in per-function load weight
     np.add.at(
         counts, events["fn"], events["n_const"].astype(np.int64)
     )
+    return counts
+
+
+def rank_hotspots(
+    counts: np.ndarray,
+    fn_names: dict[int, str] | None = None,
+    *,
+    coverage: float = 0.90,
+    max_functions: int = 8,
+) -> list[Hotspot]:
+    """Rank :func:`access_counts` output; keep the head covering ``coverage``."""
+    if not 0 < coverage <= 1:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    fn_names = fn_names or {}
+    if len(counts) == 0:
+        return []
     total = counts.sum()
     order = np.argsort(counts)[::-1]
     out: list[Hotspot] = []
@@ -77,6 +94,26 @@ def find_hotspots(
     return out
 
 
+def find_hotspots(
+    events: np.ndarray,
+    fn_names: dict[int, str] | None = None,
+    *,
+    coverage: float = 0.90,
+    max_functions: int = 8,
+) -> list[Hotspot]:
+    """Rank functions by access count; keep the head covering ``coverage``.
+
+    ``events`` may be any (even crudely) sampled record stream — the
+    pre-pass does not need load-level fidelity, only relative hotness.
+    """
+    return rank_hotspots(
+        access_counts(events),
+        fn_names,
+        coverage=coverage,
+        max_functions=max_functions,
+    )
+
+
 def function_ranges(events: np.ndarray) -> dict[int, tuple[int, int]]:
     """Observed [lo, hi) ip range per function id (from the trace itself)."""
     if events.dtype != EVENT_DTYPE:
@@ -86,6 +123,26 @@ def function_ranges(events: np.ndarray) -> dict[int, tuple[int, int]]:
         ips = events["ip"][events["fn"] == fid]
         out[int(fid)] = (int(ips.min()), int(ips.max()) + 4)
     return out
+
+
+def roi_from_ranges(
+    hotspots: list[Hotspot],
+    ranges: dict[int, tuple[int, int]],
+    *,
+    top: int | None = None,
+) -> RegionOfInterest:
+    """Guard ranges for the chosen hotspots from precomputed code ranges.
+
+    ``ranges`` is :func:`function_ranges` output (or an exact merge of
+    per-chunk min/max folds, as the ``roi`` analysis pass accumulates).
+    """
+    from repro.trace.guards import MAX_GUARD_RANGES
+
+    chosen = hotspots[: top if top is not None else MAX_GUARD_RANGES]
+    fn_ranges = {h.function: ranges[h.fn_id] for h in chosen if h.fn_id in ranges}
+    return RegionOfInterest.from_functions(
+        [h.function for h in chosen if h.fn_id in ranges], fn_ranges
+    )
 
 
 def roi_from_hotspots(
@@ -98,11 +155,4 @@ def roi_from_hotspots(
 
     ``top`` defaults to the hardware's guard-range budget.
     """
-    from repro.trace.guards import MAX_GUARD_RANGES
-
-    ranges = function_ranges(events)
-    chosen = hotspots[: top if top is not None else MAX_GUARD_RANGES]
-    fn_ranges = {h.function: ranges[h.fn_id] for h in chosen if h.fn_id in ranges}
-    return RegionOfInterest.from_functions(
-        [h.function for h in chosen if h.fn_id in ranges], fn_ranges
-    )
+    return roi_from_ranges(hotspots, function_ranges(events), top=top)

@@ -1,4 +1,4 @@
-"""Parallel sharded analysis engine with mergeable window partials.
+"""Parallel sharded analysis engine over the analysis-pass framework.
 
 The paper's analysis stage (SS:IV-V) is embarrassingly parallel across
 trace windows: footprint is a set cardinality, captures/survivals a
@@ -9,22 +9,33 @@ exploits that by
 1. **sharding** a trace into sample-aligned chunks (:func:`plan_shards` —
    a shard never splits a sample, so intra-sample computations are
    unaffected by the cut);
-2. **fanning out** per-shard partial computation across a
-   ``concurrent.futures`` process pool; and
-3. **merging** partials with explicit associative operators
-   (:class:`DiagnosticsPartial.merge`, :class:`CapturesPartial.merge`,
+2. **fanning out** per-shard evaluation across a ``concurrent.futures``
+   process pool — one :func:`~repro.core.passes.scan_chunk` call per
+   shard evaluates *every* scheduled pass, so a shard's records cross
+   the process boundary once and shared intermediates (block ids, class
+   masks, reuse distances) are computed once per shard regardless of how
+   many passes read them; and
+3. **merging** partials with each pass's associative ``merge`` operator
+   (:class:`~repro.core.passes.DiagnosticsPartial.merge`,
+   :class:`~repro.core.passes.CapturesPartial.merge`,
    :meth:`~repro.core.reuse.ReuseHistogram.merge`, matrix addition for
    heatmaps) whose results are **bit-identical** to the serial path.
 
-Exactness argument, per metric:
+Every metric is a registered :class:`~repro.core.passes.AnalysisPass`;
+the engine is "merely" the scheduler-aware shard-map-merge executor for
+them. :meth:`ParallelEngine.run_passes` is the general entry point —
+any set of registered passes, one fused scan — and the named methods
+(:meth:`~ParallelEngine.footprint`, :meth:`~ParallelEngine.diagnostics`,
+...) are convenience wrappers over it.
+
+Exactness argument, per pass:
 
 * *footprint / per-class footprint* — unique block ids are kept as
   sorted ``uint64`` arrays; ``union`` of sorted sets is associative and
   order-independent, so ``|union|`` equals the serial ``np.unique``
   count for any shard split (sample alignment not even required).
 * *captures/survivals* — a block's observed count saturates at 2; the
-  (once, multi) set pair forms a commutative monoid under
-  :meth:`CapturesPartial.merge`.
+  (once, multi) set pair forms a commutative monoid.
 * *reuse histogram* — distances reset at sample boundaries, so a
   sample-aligned shard computes exactly the distances the serial pass
   assigns to its events; all tallies are integers and integer addition
@@ -32,15 +43,18 @@ Exactness argument, per metric:
 * *heatmaps* — bin geometry is fixed globally before sharding; count
   matrices are integers, and the ``dsum`` float matrix accumulates
   integer-valued distances far below 2**53, so float addition is exact.
+* *hotspots / roi* — per-function counts merge by zero-padded integer
+  addition; code ranges by per-function (min, max) folds.
 * *derived floats* (``dF``, ``A_est``, mean D, cell means) are computed
   once, from merged integer totals, by the same expressions the serial
   code uses — identical operands, identical results.
 
 The engine also memoizes merged partials in an LRU cache keyed by
-``(window_id, block, metric)`` so repeated zoom/interval queries over
+``(window_id, params, pass)`` so repeated zoom/interval queries over
 the same window are free, and records per-stage wall-clock and
 throughput in a :class:`~repro._util.timers.StageTimers` (surfaced by
-``memgaze report --stats``).
+``memgaze report --stats``), including a ``pass:<name>`` stage per
+scheduled pass.
 
 Observability is opt-in and zero-cost when off: pass a
 :class:`~repro.obs.journal.RunJournal` and the engine journals its
@@ -48,8 +62,10 @@ shard plans, merges, and streaming progress — pool workers journal
 their own ``shard-analyzed`` lines directly (the journal's ``O_APPEND``
 writer is process-safe and pickles down to a path). Pass a
 :class:`~repro.obs.metrics.MetricsRegistry` and the engine counts
-shards, events, and merges and fills the ``parallel.shard_events``
-histogram; ``memgaze report --journal/--metrics`` exports both.
+shards, events, merges, and artifact-cache hits/misses
+(``passes.artifact_hits`` / ``passes.artifact_misses``) and fills the
+``parallel.shard_events`` histogram; ``memgaze report
+--journal/--metrics`` exports both.
 """
 
 from __future__ import annotations
@@ -57,23 +73,29 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from collections import OrderedDict
 from concurrent.futures import Executor, Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util.lru import LRUCache
 from repro._util.timers import StageTimers
 from repro._util.validate import check_power_of_two
 from repro.core.diagnostics import FootprintDiagnostics
-from repro.core.heatmap import (
-    HeatmapResult,
-    accumulate_heatmap,
-    finalize_heatmap,
-    heatmap_geometry,
+from repro.core.heatmap import HeatmapResult, heatmap_geometry
+from repro.core.passes import (
+    CapturesPartial,
+    DiagnosticsPartial,
+    ResolvedRequest,
+    RunContext,
+    account_scan_stats,
+    finalize_schedule,
+    get_pass,
+    merge_partial_lists,
+    scan_chunk,
+    schedule_passes,
 )
-from repro.core.metrics import block_ids
-from repro.core.reuse import _HIST_MAX_EXP, ReuseHistogram, reuse_histogram
+from repro.core.reuse import _HIST_MAX_EXP, ReuseHistogram
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
 __all__ = [
@@ -82,6 +104,7 @@ __all__ = [
     "CapturesPartial",
     "LRUCache",
     "ParallelEngine",
+    "FileAnalysis",
 ]
 
 #: below this many events a single shard is used — pool overhead would
@@ -145,241 +168,6 @@ def plan_shards(
     return shards
 
 
-# -- mergeable partials -------------------------------------------------------
-
-
-def _sorted_unique(a: np.ndarray) -> np.ndarray:
-    return np.unique(a)
-
-
-@dataclass
-class DiagnosticsPartial:
-    """Mergeable state behind footprint + diagnostics for one shard.
-
-    Unique block ids are sorted ``uint64`` arrays (set semantics); the
-    counters are plain integers. :meth:`merge` is associative and
-    commutative, and :meth:`finalize` evaluates the exact expressions of
-    :func:`repro.core.diagnostics.compute_diagnostics` on the merged
-    integer totals.
-    """
-
-    blocks: np.ndarray  # sorted unique non-Constant block ids
-    strided: np.ndarray  # sorted unique Strided block ids
-    irregular: np.ndarray  # sorted unique Irregular block ids
-    has_const: bool
-    a_obs: int  # observed records
-    n_suppressed: int  # suppressed Constant loads (sum of n_const)
-    n_const_records: int  # records with cls == CONSTANT
-
-    @classmethod
-    def identity(cls) -> "DiagnosticsPartial":
-        """The merge identity (an empty shard)."""
-        z = np.empty(0, dtype=np.uint64)
-        return cls(z, z, z, False, 0, 0, 0)
-
-    @classmethod
-    def from_events(cls, events: np.ndarray, block: int = 1) -> "DiagnosticsPartial":
-        """Compute the partial for one shard of records."""
-        if events.dtype != EVENT_DTYPE:
-            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
-        check_power_of_two("block", block)
-        ids = block_ids(events, block)
-        cls_col = events["cls"]
-        const_mask = cls_col == int(LoadClass.CONSTANT)
-        n_suppressed = int(events["n_const"].sum())
-        return cls(
-            blocks=_sorted_unique(ids[~const_mask]),
-            strided=_sorted_unique(ids[cls_col == int(LoadClass.STRIDED)]),
-            irregular=_sorted_unique(ids[cls_col == int(LoadClass.IRREGULAR)]),
-            has_const=bool(const_mask.any() or n_suppressed > 0),
-            a_obs=len(events),
-            n_suppressed=n_suppressed,
-            n_const_records=int(const_mask.sum()),
-        )
-
-    def merge(self, other: "DiagnosticsPartial") -> "DiagnosticsPartial":
-        """Associative merge: set unions plus counter sums."""
-        return DiagnosticsPartial(
-            blocks=np.union1d(self.blocks, other.blocks),
-            strided=np.union1d(self.strided, other.strided),
-            irregular=np.union1d(self.irregular, other.irregular),
-            has_const=self.has_const or other.has_const,
-            a_obs=self.a_obs + other.a_obs,
-            n_suppressed=self.n_suppressed + other.n_suppressed,
-            n_const_records=self.n_const_records + other.n_const_records,
-        )
-
-    # -- finalizers (the only place floats appear) --
-
-    @property
-    def footprint(self) -> int:
-        """Observed footprint F of the merged window."""
-        if self.a_obs == 0:
-            return 0
-        return len(self.blocks) + (1 if self.has_const else 0)
-
-    @property
-    def footprint_by_class(self) -> dict[LoadClass, int]:
-        """Per-class footprint decomposition of the merged window."""
-        return {
-            LoadClass.CONSTANT: 1 if self.has_const else 0,
-            LoadClass.STRIDED: len(self.strided),
-            LoadClass.IRREGULAR: len(self.irregular),
-        }
-
-    def finalize(self, rho: float = 1.0) -> FootprintDiagnostics:
-        """The diagnostic bundle, identical to the serial computation."""
-        if rho < 1.0:
-            raise ValueError(f"rho must be >= 1, got {rho}")
-        a_implied = self.a_obs + self.n_suppressed
-        f = self.footprint
-        f_str = len(self.strided)
-        f_irr = len(self.irregular)
-        window = a_implied if a_implied else 1
-        n_const_accesses = self.n_suppressed + self.n_const_records
-        return FootprintDiagnostics(
-            A_obs=self.a_obs,
-            A_implied=a_implied,
-            A_est=rho * a_implied,
-            F=f,
-            F_est=rho * f,
-            F_str=f_str,
-            F_irr=f_irr,
-            dF=f / window if a_implied else 0.0,
-            dF_str=f_str / window if a_implied else 0.0,
-            dF_irr=f_irr / window if a_implied else 0.0,
-            A_const_pct=100.0 * n_const_accesses / window if a_implied else 0.0,
-        )
-
-
-@dataclass
-class CapturesPartial:
-    """Mergeable captures/survivals state: per-block counts saturated at 2.
-
-    ``once`` holds blocks seen exactly once so far, ``multi`` blocks seen
-    two or more times (both sorted unique arrays of non-Constant block
-    ids). Saturated counting forms a commutative monoid, so the merge is
-    associative and shard order cannot change the result.
-    """
-
-    once: np.ndarray
-    multi: np.ndarray
-
-    @classmethod
-    def identity(cls) -> "CapturesPartial":
-        """The merge identity (an empty shard)."""
-        z = np.empty(0, dtype=np.uint64)
-        return cls(z, z)
-
-    @classmethod
-    def from_events(cls, events: np.ndarray, block: int = 1) -> "CapturesPartial":
-        """Compute the partial for one shard of records."""
-        if events.dtype != EVENT_DTYPE:
-            raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
-        check_power_of_two("block", block)
-        nc = events[events["cls"] != int(LoadClass.CONSTANT)]
-        if len(nc) == 0:
-            return cls.identity()
-        ids, counts = np.unique(block_ids(nc, block), return_counts=True)
-        return cls(once=ids[counts == 1], multi=ids[counts >= 2])
-
-    def merge(self, other: "CapturesPartial") -> "CapturesPartial":
-        """Associative merge of saturated counts."""
-        # seen >= 2 total: already multi on either side, or once on both
-        multi = np.union1d(
-            np.union1d(self.multi, other.multi),
-            np.intersect1d(self.once, other.once),
-        )
-        # seen exactly once total: once on exactly one side, never multi
-        once = np.setdiff1d(
-            np.setxor1d(self.once, other.once), multi, assume_unique=True
-        )
-        return CapturesPartial(once=once, multi=multi)
-
-    def finalize(self) -> tuple[int, int]:
-        """(C, S): blocks with and without reuse in the merged window."""
-        return len(self.multi), len(self.once)
-
-
-# -- worker-side shard evaluation --------------------------------------------
-#
-# One worker call evaluates every requested task for its shard, so a
-# shard's records cross the process boundary once. Task specs are plain
-# tuples (picklable): ("diagnostics"|"captures", block) or
-# ("reuse", block, max_exp) or
-# ("heatmap", base, size, page_size, t_edges, n_pages, n_bins, access_block).
-
-
-def _eval_shard(
-    events: np.ndarray,
-    sample_id: np.ndarray | None,
-    tasks: tuple,
-    journal=None,
-) -> list:
-    """Evaluate every task's partial for one shard (runs in a worker).
-
-    With a journal, the evaluating process (a pool worker, when the
-    engine fans out) appends its own ``shard-analyzed`` line — the
-    journal writes are atomic appends, so worker lines interleave
-    safely with the parent's.
-    """
-    t0 = time.perf_counter() if journal is not None else 0.0
-    out: list = []
-    for task in tasks:
-        kind = task[0]
-        if kind == "diagnostics":
-            out.append(DiagnosticsPartial.from_events(events, task[1]))
-        elif kind == "captures":
-            out.append(CapturesPartial.from_events(events, task[1]))
-        elif kind == "reuse":
-            out.append(reuse_histogram(events, task[1], sample_id, max_exp=task[2]))
-        elif kind == "heatmap":
-            _, base, size, page_size, t_edges, n_pages, n_bins, access_block = task
-            mask = events["cls"] != int(LoadClass.CONSTANT)
-            nc = events[mask]
-            sid = sample_id[mask] if sample_id is not None else None
-            from repro.core.reuse import reuse_distances
-
-            d = reuse_distances(nc, access_block, sid)
-            addr = nc["addr"].astype(np.int64)
-            t = nc["t"].astype(np.int64)
-            in_region = (addr >= base) & (addr < base + size)
-            out.append(
-                accumulate_heatmap(
-                    addr[in_region],
-                    t[in_region],
-                    d[in_region],
-                    base=base,
-                    page_size=page_size,
-                    t_edges=t_edges,
-                    n_pages=n_pages,
-                    n_bins=n_bins,
-                )
-            )
-        else:  # pragma: no cover - internal protocol
-            raise ValueError(f"unknown shard task {kind!r}")
-    if journal is not None:
-        journal.emit(
-            "shard-analyzed",
-            n_events=len(events),
-            n_tasks=len(tasks),
-            tasks=[t[0] for t in tasks],
-            seconds=time.perf_counter() - t0,
-        )
-    return out
-
-
-def _merge_partials(a: list, b: list, tasks: tuple) -> list:
-    """Merge two aligned partial lists task-by-task."""
-    merged: list = []
-    for pa, pb, task in zip(a, b, tasks):
-        if task[0] == "heatmap":
-            merged.append(tuple(x + y for x, y in zip(pa, pb)))
-        else:
-            merged.append(pa.merge(pb))
-    return merged
-
-
 def _fn_window_worker(
     events: np.ndarray, rho: float, block: int
 ) -> FootprintDiagnostics:
@@ -389,57 +177,36 @@ def _fn_window_worker(
     return compute_diagnostics(events, rho=rho, block=block)
 
 
-# -- LRU memoization ----------------------------------------------------------
+def _freeze(value):
+    """A hashable cache-key form of a pass parameter value."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
 
 
-class LRUCache:
-    """A small LRU map used to memoize merged partials per window.
-
-    Keys are ``(window_id, block, metric)`` tuples; values are merged
-    partials (not finalized bundles), so the same cached entry serves
-    queries at different ``rho``.
-    """
-
-    def __init__(self, capacity: int = 256) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be > 0, got {capacity}")
-        self.capacity = capacity
-        self._data: OrderedDict = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def get(self, key):
-        """The cached value for ``key``, or None (marks it most recent)."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
-
-    def put(self, key, value) -> None:
-        """Insert ``key``, evicting the least recently used entry if full."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+def _needs_whole(scheduled: list[ResolvedRequest], sample_id) -> bool:
+    """Whether the schedule forbids sharding (cross-event state, no samples)."""
+    return sample_id is None and any(
+        get_pass(r.name).whole_without_samples for r in scheduled
+    )
 
 
 # -- the engine ---------------------------------------------------------------
 
 
 class ParallelEngine:
-    """Shard-map-merge executor for the analysis layer.
+    """Scheduler-aware shard-map-merge executor for the analysis passes.
 
     ``workers <= 1`` runs the identical shard+merge path inline (useful
     for testing the merge operators and as the no-pool fallback);
     ``workers > 1`` fans shards out over a process pool. Either way the
     output is bit-identical to the serial functions in
     :mod:`repro.core.metrics` / :mod:`repro.core.reuse` /
-    :mod:`repro.core.heatmap`.
+    :mod:`repro.core.heatmap` / :mod:`repro.core.hotspot`.
     """
 
     def __init__(
@@ -529,23 +296,25 @@ class ParallelEngine:
                 chunk_size=self.chunk_size,
             )
 
-    def _run(
+    def _scan(
         self,
         events: np.ndarray,
         sample_id: np.ndarray | None,
-        tasks: tuple,
+        scheduled: list[ResolvedRequest],
         *,
         whole: bool = False,
     ) -> list:
-        """Evaluate ``tasks`` over sharded ``events`` and merge partials.
+        """One fused scan: every scheduled pass over sharded ``events``.
 
         ``whole`` forces a single shard (needed when a computation has
-        cross-event state and no sample boundaries to cut at).
+        cross-event state and no sample boundaries to cut at). Returns
+        merged partials aligned with ``scheduled``.
         """
+        specs = [r.spec for r in scheduled]
         n = len(events)
         shards = [(0, n)] if (whole and n) else self._plan(n, sample_id)
         if not shards:
-            return _eval_shard(events, sample_id, tasks)
+            return [get_pass(r.name).init(r.params) for r in scheduled]
         use_pool = (
             self.workers > 1 and len(shards) > 1 and n >= _MIN_PARALLEL_EVENTS
         )
@@ -560,32 +329,35 @@ class ParallelEngine:
             with self.timers.stage("scatter", items=n):
                 futures: list[Future] = [
                     pool.submit(
-                        _eval_shard,
+                        scan_chunk,
                         events[lo:hi],
                         sample_id[lo:hi] if sample_id is not None else None,
-                        tasks,
+                        specs,
                         self.journal,
                     )
                     for lo, hi in shards
                 ]
             with self.timers.stage("compute", items=n):
-                partials = [f.result() for f in futures]
+                for f in futures:
+                    shard_partials, stats = f.result()
+                    account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
+                    partials.append(shard_partials)
         else:
             with self.timers.stage("compute", items=n):
-                partials = [
-                    _eval_shard(
+                for lo, hi in shards:
+                    shard_partials, stats = scan_chunk(
                         events[lo:hi],
                         sample_id[lo:hi] if sample_id is not None else None,
-                        tasks,
+                        specs,
                         self.journal,
                     )
-                    for lo, hi in shards
-                ]
+                    account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
+                    partials.append(shard_partials)
         t_merge = time.perf_counter()
         with self.timers.stage("merge", items=len(shards)):
             merged = partials[0]
             for p in partials[1:]:
-                merged = _merge_partials(merged, p, tasks)
+                merged = merge_partial_lists(merged, p, specs)
         if self.metrics is not None:
             self.metrics.counter("parallel.merges").inc(len(shards) - 1)
         if self.journal is not None:
@@ -593,31 +365,86 @@ class ParallelEngine:
                 "stage",
                 stage="merge",
                 n_partials=len(shards),
-                tasks=[t[0] for t in tasks],
+                passes=[r.name for r in scheduled],
                 seconds=time.perf_counter() - t_merge,
             )
         return merged
 
-    def _cached_partial(
+    def _merged_partials(
         self,
         events: np.ndarray,
         sample_id: np.ndarray | None,
-        task: tuple,
+        scheduled: list[ResolvedRequest],
         window_id,
+    ) -> list:
+        """Merged partials for a schedule, memoized per (window, params, pass).
+
+        Cache hits are served without touching the events; only the
+        missing passes go through one fused :meth:`_scan`.
+        """
+        out: list = [None] * len(scheduled)
+        missing: list[int] = []
+        keys: list[tuple | None] = []
+        for i, req in enumerate(scheduled):
+            key = (
+                (window_id, _freeze(req.params), req.name)
+                if window_id is not None
+                else None
+            )
+            keys.append(key)
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    out[i] = hit
+                    continue
+            missing.append(i)
+        if missing:
+            subset = [scheduled[i] for i in missing]
+            merged = self._scan(
+                events, sample_id, subset, whole=_needs_whole(subset, sample_id)
+            )
+            for i, partial in zip(missing, merged):
+                out[i] = partial
+                if keys[i] is not None:
+                    self.cache.put(keys[i], partial)
+        return out
+
+    # -- the general fused entry point --
+
+    def run_passes(
+        self,
+        events: np.ndarray,
+        requests,
         *,
-        whole: bool = False,
+        sample_id: np.ndarray | None = None,
+        rho: float = 1.0,
+        fn_names: dict[int, str] | None = None,
+        window_id=None,
+    ) -> dict:
+        """Run any set of registered passes in one fused scan.
+
+        ``requests`` is what :func:`repro.core.passes.schedule_passes`
+        accepts: pass names or ``(name, params)`` pairs. Dependencies are
+        pulled in and ordered automatically; the trace is scanned
+        **once** for every pass not already memoized under ``window_id``.
+        Returns ``{pass name: finalized result}`` including dependencies.
+        """
+        scheduled = schedule_passes(requests)
+        merged = self._merged_partials(events, sample_id, scheduled, window_id)
+        return finalize_schedule(
+            scheduled, merged, RunContext(rho=rho, fn_names=fn_names or {})
+        )
+
+    def _partial(
+        self,
+        events: np.ndarray,
+        sample_id: np.ndarray | None,
+        request: tuple[str, dict],
+        window_id,
     ):
-        """One task's merged partial, memoized by (window_id, block, metric)."""
-        key = None
-        if window_id is not None:
-            key = (window_id, task[1], task[0])
-            hit = self.cache.get(key)
-            if hit is not None:
-                return hit
-        partial = self._run(events, sample_id, (task,), whole=whole)[0]
-        if key is not None:
-            self.cache.put(key, partial)
-        return partial
+        """One pass's merged (unfinalized) partial, memoized."""
+        scheduled = schedule_passes([request])
+        return self._merged_partials(events, sample_id, scheduled, window_id)[-1]
 
     # -- public metric API (mirrors the serial functions) --
 
@@ -629,9 +456,7 @@ class ParallelEngine:
         window_id=None,
     ) -> int:
         """Observed footprint F; equals :func:`repro.core.metrics.footprint`."""
-        p = self._cached_partial(
-            events, sample_id, ("diagnostics", block), window_id
-        )
+        p = self._partial(events, sample_id, ("diagnostics", {"block": block}), window_id)
         return p.footprint
 
     def footprint_by_class(
@@ -642,9 +467,7 @@ class ParallelEngine:
         window_id=None,
     ) -> dict[LoadClass, int]:
         """Per-class footprint; equals the serial decomposition."""
-        p = self._cached_partial(
-            events, sample_id, ("diagnostics", block), window_id
-        )
+        p = self._partial(events, sample_id, ("diagnostics", {"block": block}), window_id)
         return p.footprint_by_class
 
     def captures_survivals(
@@ -655,7 +478,7 @@ class ParallelEngine:
         window_id=None,
     ) -> tuple[int, int]:
         """(C, S); equals :func:`repro.core.metrics.captures_survivals`."""
-        p = self._cached_partial(events, sample_id, ("captures", block), window_id)
+        p = self._partial(events, sample_id, ("captures", {"block": block}), window_id)
         return p.finalize()
 
     def diagnostics(
@@ -668,9 +491,7 @@ class ParallelEngine:
     ) -> FootprintDiagnostics:
         """The diagnostic bundle; equals
         :func:`repro.core.diagnostics.compute_diagnostics`."""
-        p = self._cached_partial(
-            events, sample_id, ("diagnostics", block), window_id
-        )
+        p = self._partial(events, sample_id, ("diagnostics", {"block": block}), window_id)
         return p.finalize(rho)
 
     def reuse_histogram(
@@ -686,14 +507,14 @@ class ParallelEngine:
 
         Distance tracking resets only at sample boundaries, so without
         ``sample_id`` the trace is one window and cannot be cut: the
-        computation then runs as a single shard.
+        scheduler then runs the scan as a single shard
+        (``ReusePass.whole_without_samples``).
         """
-        return self._cached_partial(
+        return self._partial(
             events,
             sample_id,
-            ("reuse", block, max_exp),
+            ("reuse", {"block": block, "max_exp": max_exp}),
             window_id,
-            whole=sample_id is None,
         )
 
     def heatmap(
@@ -716,15 +537,20 @@ class ParallelEngine:
         # geometry must be fixed globally before sharding
         nc = events[events["cls"] != int(LoadClass.CONSTANT)]
         page_size, t_edges = heatmap_geometry(nc, size, n_pages, n_bins)
-        task = (
-            "heatmap", base, size, page_size, t_edges, n_pages, n_bins, access_block,
+        request = (
+            "heatmap",
+            {
+                "base": base,
+                "size": size,
+                "page_size": page_size,
+                "t_edges": t_edges,
+                "n_pages": n_pages,
+                "n_bins": n_bins,
+                "access_block": access_block,
+            },
         )
-        counts, dsum, dcnt = self._run(
-            events, sample_id, (task,), whole=sample_id is None
-        )[0]
-        return finalize_heatmap(
-            counts, dsum, dcnt, base=base, page_size=page_size, t_edges=t_edges
-        )
+        results = self.run_passes(events, [request], sample_id=sample_id)
+        return results["heatmap"]
 
     def code_windows(
         self,
@@ -770,6 +596,7 @@ class ParallelEngine:
         block: int = 1,
         reuse_block: int = 64,
         chunk_size: int | None = None,
+        passes=(),
     ) -> "FileAnalysis":
         """Stream a trace archive through the pool without materializing it.
 
@@ -777,7 +604,12 @@ class ParallelEngine:
         (:func:`repro.trace.tracefile.iter_trace_chunks`) and feeds them
         to workers as they arrive, merging partials in arrival order; at
         most ``2 * workers`` chunks are in flight, so peak memory is
-        bounded by the chunk size, not the trace size.
+        bounded by the chunk size, not the trace size. Each chunk is
+        read and scanned exactly **once** for the whole schedule —
+        diagnostics, captures, reuse, and any extra ``passes`` requests
+        (names or ``(name, params)`` pairs, e.g. ``["hotspot"]``) —
+        whose finalized results land in
+        :attr:`FileAnalysis.pass_results`.
 
         Footprint, diagnostics and captures/survivals are exactly the
         whole-trace values for any chunking. The reuse histogram resets
@@ -788,37 +620,43 @@ class ParallelEngine:
         from repro.trace.tracefile import iter_trace_chunks, read_trace_meta
 
         meta = read_trace_meta(path)
-        tasks = (
-            ("diagnostics", block),
-            ("captures", block),
-            ("reuse", reuse_block, _HIST_MAX_EXP),
-        )
+        requests = [
+            ("diagnostics", {"block": block}),
+            ("captures", {"block": block}),
+            ("reuse", {"block": reuse_block, "max_exp": _HIST_MAX_EXP}),
+        ]
+        base_names = {name for name, _ in requests}
+        requests += [r for r in passes if (r if isinstance(r, str) else r[0]) not in base_names]
+        scheduled = schedule_passes(requests)
+        specs = [r.spec for r in scheduled]
         size = chunk_size or self.chunk_size or (1 << 20)
         merged: list | None = None
         n_events = 0
         pool = self._executor() if self.workers > 1 else None
         in_flight: list[Future] = []
 
-        def fold(partials: list) -> None:
+        def fold(result: tuple[list, dict]) -> None:
             nonlocal merged
+            partials, stats = result
+            account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
             with self.timers.stage("merge", items=1):
                 merged = (
                     partials
                     if merged is None
-                    else _merge_partials(merged, partials, tasks)
+                    else merge_partial_lists(merged, partials, specs)
                 )
 
         t_stream = time.perf_counter()
         with self.timers.stage("stream"):
             for ev, sid in iter_trace_chunks(
-                path, chunk_size=size, metrics=self.metrics
+                path, chunk_size=size, metrics=self.metrics, journal=self.journal
             ):
                 n_events += len(ev)
                 if pool is None:
-                    fold(_eval_shard(ev, sid, tasks, self.journal))
+                    fold(scan_chunk(ev, sid, specs, self.journal))
                     continue
                 in_flight.append(
-                    pool.submit(_eval_shard, ev, sid, tasks, self.journal)
+                    pool.submit(scan_chunk, ev, sid, specs, self.journal)
                 )
                 if self.metrics is not None:
                     self.metrics.gauge("parallel.peak_in_flight").set(len(in_flight))
@@ -827,18 +665,22 @@ class ParallelEngine:
             for fut in in_flight:
                 fold(fut.result())
         if merged is None:
-            merged = [
-                DiagnosticsPartial.identity(),
-                CapturesPartial.identity(),
-                ReuseHistogram.identity(),
-            ]
+            merged = [get_pass(r.name).init(r.params) for r in scheduled]
         self.timers.add("stream-events", 0.0, items=n_events)
 
-        diag_p, cap_p, reuse_h = merged
+        index = {r.name: i for i, r in enumerate(scheduled)}
+        diag_p = merged[index["diagnostics"]]
         implied = diag_p.a_obs + diag_p.n_suppressed
         rho = (meta.n_loads_total / implied) if implied else 1.0
         rho = max(rho, 1.0)
-        captures, survivals = cap_p.finalize()
+        fn_names = {
+            int(k): v
+            for k, v in (getattr(meta, "extra", None) or {}).get("fn_names", {}).items()
+        }
+        results = finalize_schedule(
+            scheduled, merged, RunContext(rho=rho, fn_names=fn_names)
+        )
+        captures, survivals = results["captures"]
         if self.journal is not None:
             self.journal.emit(
                 "stage",
@@ -846,8 +688,7 @@ class ParallelEngine:
                 path=str(path),
                 n_events=n_events,
                 rho=rho,
-                block=block,
-                reuse_block=reuse_block,
+                passes=[r.name for r in scheduled],
                 chunk_size=size,
                 workers=self.workers,
                 seconds=time.perf_counter() - t_stream,
@@ -856,10 +697,11 @@ class ParallelEngine:
             meta=meta,
             n_events=n_events,
             rho=rho,
-            diagnostics=diag_p.finalize(rho),
+            diagnostics=results["diagnostics"],
             captures=captures,
             survivals=survivals,
-            reuse=reuse_h,
+            reuse=results["reuse"],
+            pass_results=results,
         )
 
 
@@ -874,3 +716,5 @@ class FileAnalysis:
     captures: int
     survivals: int
     reuse: ReuseHistogram
+    #: every scheduled pass's finalized result, keyed by pass name
+    pass_results: dict = field(default_factory=dict)

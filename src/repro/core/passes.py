@@ -1,0 +1,896 @@
+"""Unified analysis-pass framework: one fused scan, many metrics.
+
+MemGaze's analysis layer (paper §IV–§V) is a family of metrics that all
+consume the same event stream: footprint diagnostics (Eqs. 1–4),
+captures/survivals, reuse-distance histograms, heatmaps, hotspots. This
+module gives them one shape — the **AnalysisPass protocol** — so a
+single streaming scan over trace chunks computes every requested metric
+at once instead of re-reading the trace once per metric:
+
+* :class:`AnalysisPass` — the protocol: ``requires``/``provides``
+  artifact keys, ``init() → partial``, ``update(partial, chunk, params)``,
+  ``merge(a, b)``, ``finalize(partial, ctx, params)``. Partials follow
+  the merge algebra of :mod:`repro.core.parallel` (associative +
+  identity, integers until finalize), so fused results stay
+  **bit-identical** to the legacy serial functions.
+* :class:`ChunkContext` — the per-chunk artifact context. Shared
+  intermediates (block-id arrays per block size, class masks, the
+  non-Constant view, reuse-distance arrays, sample boundaries) are
+  computed **once per chunk** and memoized; every pass scheduled on the
+  chunk reads the same arrays. Hit/miss counters feed the observability
+  layer.
+* :func:`schedule_passes` — the dependency scheduler: resolves names
+  through the registry, pulls in pass-on-pass dependencies
+  (``requires`` entries of the form ``"pass:<name>"``), topo-sorts so a
+  pass finalizes after its dependencies, and rejects unknown names with
+  a listed-alternatives error.
+* :func:`fused_scan` — the serial fused executor: one pass over an
+  ``(events, sample_id)`` chunk iterator (e.g.
+  :func:`repro.trace.tracefile.iter_trace_chunks`) updating every
+  scheduled pass per chunk. :class:`repro.core.parallel.ParallelEngine`
+  runs the identical ``scan_chunk``/``merge`` protocol fanned out over
+  its process pool.
+
+Registering a new metric is ~50 lines: subclass :class:`AnalysisPass`,
+give it a mergeable partial, and call :func:`register_pass` — it then
+shows up in ``memgaze passes``, runs fused with everything else via
+``memgaze report --passes ...``, and parallelizes for free. See
+``docs/passes.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import difflib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.diagnostics import FootprintDiagnostics, finalize_diagnostics
+from repro.core.heatmap import accumulate_heatmap, finalize_heatmap, region_points
+from repro.core.hotspot import access_counts, rank_hotspots, roi_from_ranges
+from repro.core.metrics import block_ids
+from repro.core.reuse import (
+    _HIST_MAX_EXP,
+    ReuseHistogram,
+    _boundaries,
+    histogram_from_distances,
+    reuse_distances,
+)
+from repro.trace.event import LoadClass
+
+__all__ = [
+    "ARTIFACT_KEYS",
+    "AnalysisPass",
+    "ChunkContext",
+    "ClassMasks",
+    "RunContext",
+    "ResolvedRequest",
+    "UnknownPassError",
+    "register_pass",
+    "unregister_pass",
+    "get_pass",
+    "list_passes",
+    "schedule_passes",
+    "scan_chunk",
+    "merge_partial_lists",
+    "finalize_schedule",
+    "fused_scan",
+    "DiagnosticsPartial",
+    "CapturesPartial",
+]
+
+#: Chunk-level artifacts a pass may declare in ``requires``. Everything
+#: here is served by :class:`ChunkContext`, computed once per chunk and
+#: shared by all scheduled passes.
+ARTIFACT_KEYS = frozenset(
+    [
+        "block_ids",  # ctx.block_ids(block): addr >> log2(block), per block size
+        "class_masks",  # ctx.class_masks: constant/strided/irregular/nonconst
+        "nonconstant",  # ctx.nonconstant: the non-Constant view + sample ids
+        "reuse_distances",  # ctx.reuse_distances(block, nonconst=...): Fenwick D
+        "sample_boundaries",  # ctx.sample_boundaries: window start indices
+    ]
+)
+
+
+# -- shared intermediates (the artifact context) ------------------------------
+
+
+@dataclass(frozen=True)
+class ClassMasks:
+    """Boolean masks over one chunk's records, one per load class."""
+
+    const: np.ndarray
+    strided: np.ndarray
+    irregular: np.ndarray
+    nonconst: np.ndarray
+
+
+class ChunkContext:
+    """Shared per-chunk intermediates, computed once and memoized.
+
+    Every artifact accessor first consults the chunk's cache; ``hits``
+    and ``misses`` count the sharing (two passes at the same block size
+    hit; the first access of any artifact misses). The parallel engine
+    folds these counters into its metrics registry as
+    ``passes.artifact_hits`` / ``passes.artifact_misses``.
+    """
+
+    def __init__(self, events: np.ndarray, sample_id: np.ndarray | None) -> None:
+        self.events = events
+        self.sample_id = sample_id
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, key, build):
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        value = self._cache[key] = build()
+        return value
+
+    def block_ids(self, block: int) -> np.ndarray:
+        """Access-block ids (``addr >> log2(block)``), memoized per size."""
+        return self._get(("block_ids", block), lambda: block_ids(self.events, block))
+
+    @property
+    def class_masks(self) -> ClassMasks:
+        """Per-class record masks, computed once per chunk."""
+
+        def build() -> ClassMasks:
+            cls_col = self.events["cls"]
+            const = cls_col == int(LoadClass.CONSTANT)
+            return ClassMasks(
+                const=const,
+                strided=cls_col == int(LoadClass.STRIDED),
+                irregular=cls_col == int(LoadClass.IRREGULAR),
+                nonconst=~const,
+            )
+
+        return self._get(("class_masks",), build)
+
+    @property
+    def nonconstant(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The non-Constant record view and its sample ids."""
+
+        def build():
+            mask = self.class_masks.nonconst
+            nc = self.events[mask]
+            sid = self.sample_id[mask] if self.sample_id is not None else None
+            return nc, sid
+
+        return self._get(("nonconstant",), build)
+
+    @property
+    def sample_boundaries(self) -> np.ndarray:
+        """Start index of each sample window (always includes 0)."""
+        return self._get(
+            ("sample_boundaries",),
+            lambda: _boundaries(len(self.events), self.sample_id),
+        )
+
+    def reuse_distances(self, block: int, *, nonconst: bool = False) -> np.ndarray:
+        """Spatio-temporal reuse distances D, memoized per (block, view).
+
+        ``nonconst=True`` computes D over the non-Constant view (what
+        heatmaps and region reuse measure); the default covers every
+        record (what the reuse histogram tallies).
+        """
+
+        def build() -> np.ndarray:
+            if nonconst:
+                nc, sid = self.nonconstant
+                return reuse_distances(nc, block, sid)
+            return reuse_distances(self.events, block, self.sample_id)
+
+        return self._get(("reuse_distances", block, nonconst), build)
+
+
+@dataclass
+class RunContext:
+    """Finalize-time context: run-level knobs plus upstream pass results."""
+
+    rho: float = 1.0
+    fn_names: dict[int, str] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def result(self, name: str) -> Any:
+        """A dependency's finalized result (scheduler guarantees order)."""
+        if name not in self.results:
+            raise KeyError(
+                f"pass result {name!r} not available — declare 'pass:{name}' "
+                f"in requires so the scheduler orders it first"
+            )
+        return self.results[name]
+
+
+# -- the pass protocol and registry -------------------------------------------
+
+
+class AnalysisPass:
+    """One metric as a mergeable streaming pass.
+
+    Subclasses set ``name`` (registry key), ``requires`` (artifact keys
+    from :data:`ARTIFACT_KEYS` and/or ``"pass:<name>"`` result
+    dependencies), ``defaults`` (parameter defaults), and ``needs``
+    (parameters that have no default and must be supplied), then
+    implement the four hooks. The merge contract is the engine's:
+    ``merge`` must be associative with ``init()`` as identity, and the
+    partial must hold exact (integer/set) state so ``finalize`` computes
+    derived floats once, from merged totals.
+    """
+
+    name: str = ""
+    #: artifact keys and "pass:<name>" dependencies this pass reads.
+    requires: tuple[str, ...] = ()
+    #: result key (defaults to ``name``); dependents say "pass:<provides>".
+    provides: str = ""
+    #: parameter defaults merged under request params.
+    defaults: dict = {}
+    #: parameters without defaults that a request must supply.
+    needs: tuple[str, ...] = ()
+    #: True when the pass has cross-chunk state that only sample
+    #: boundaries may cut — without sample ids the trace must stay whole.
+    whole_without_samples: bool = False
+
+    def init(self, params: dict) -> Any:
+        """The merge identity (an empty partial)."""
+        raise NotImplementedError
+
+    def update(self, partial: Any, chunk: ChunkContext, params: dict) -> Any:
+        """Fold one chunk into ``partial`` (may return a new partial)."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """Associative merge of two partials (must not mutate either)."""
+        raise NotImplementedError
+
+    def finalize(self, partial: Any, ctx: RunContext, params: dict) -> Any:
+        """Derived result from the merged partial (floats appear here)."""
+        raise NotImplementedError
+
+    def render(self, result: Any) -> str:
+        """Human-readable result block for ``memgaze report --passes``."""
+        return str(result)
+
+    @property
+    def description(self) -> str:
+        """First docstring line (shown by ``memgaze passes``)."""
+        doc = type(self).__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+class UnknownPassError(ValueError):
+    """A requested pass name is not in the registry.
+
+    Carries the offending ``name`` and the ``available`` registry names;
+    the message lists them (plus a close-match suggestion) so CLI users
+    see their alternatives instead of a traceback.
+    """
+
+    def __init__(self, name: str, available: list[str]) -> None:
+        self.name = name
+        self.available = list(available)
+        hint = ""
+        close = difflib.get_close_matches(name, available, n=1)
+        if close:
+            hint = f" (did you mean {close[0]!r}?)"
+        super().__init__(
+            f"unknown analysis pass {name!r}{hint}; "
+            f"available: {', '.join(available) or '(none registered)'}"
+        )
+
+
+_REGISTRY: dict[str, AnalysisPass] = {}
+
+
+def register_pass(p: AnalysisPass | type) -> AnalysisPass | type:
+    """Add a pass to the registry (validates the declaration); returns it.
+
+    Accepts an instance or a class (usable as a class decorator); a class
+    is instantiated with no arguments.
+    """
+    decorated = p
+    if isinstance(p, type):
+        p = p()
+    if not p.name:
+        raise ValueError(f"pass {type(p).__name__} must set a non-empty name")
+    for req in p.requires:
+        if not req.startswith("pass:") and req not in ARTIFACT_KEYS:
+            raise ValueError(
+                f"pass {p.name!r} requires unknown artifact {req!r}; "
+                f"known artifacts: {', '.join(sorted(ARTIFACT_KEYS))}"
+            )
+    _REGISTRY[p.name] = p
+    return decorated
+
+
+def unregister_pass(name: str) -> None:
+    """Remove a pass from the registry (for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_pass(name: str) -> AnalysisPass:
+    """The registered pass called ``name``; :class:`UnknownPassError` if absent."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownPassError(name, sorted(_REGISTRY)) from None
+
+
+def list_passes() -> list[AnalysisPass]:
+    """Registered passes, sorted by name."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# -- the dependency scheduler -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolvedRequest:
+    """One scheduled pass: its name and fully-resolved parameters."""
+
+    name: str
+    params: dict
+
+    @property
+    def spec(self) -> tuple[str, dict]:
+        """The picklable form workers receive."""
+        return (self.name, self.params)
+
+
+def _resolve_params(p: AnalysisPass, params: dict | None) -> dict:
+    resolved = {**p.defaults, **(params or {})}
+    missing = [k for k in p.needs if k not in resolved]
+    if missing:
+        raise ValueError(
+            f"pass {p.name!r} is missing required parameter(s) "
+            f"{', '.join(missing)} (supply them in the request)"
+        )
+    return resolved
+
+
+def schedule_passes(
+    requests: Iterable[str | tuple[str, dict] | ResolvedRequest],
+) -> list[ResolvedRequest]:
+    """Resolve, close over dependencies, and topo-sort pass requests.
+
+    Each request is a pass name, a ``(name, params)`` pair, or an
+    already-resolved request. Dependencies (``requires`` entries of the
+    form ``"pass:<name>"``) are pulled in automatically with default
+    parameters when not requested explicitly, and every pass is ordered
+    after its dependencies, so ``finalize`` can read
+    :meth:`RunContext.result`. Raises :class:`UnknownPassError` for
+    unknown names, ``ValueError`` for duplicate names, missing required
+    parameters, or dependency cycles.
+    """
+    wanted: dict[str, dict] = {}
+    order: list[str] = []
+    for req in requests:
+        if isinstance(req, ResolvedRequest):
+            name, params = req.name, dict(req.params)
+        elif isinstance(req, str):
+            name, params = req, {}
+        else:
+            name, params = req[0], dict(req[1] or {})
+        if name in wanted:
+            raise ValueError(f"pass {name!r} requested twice in one schedule")
+        wanted[name] = params
+        order.append(name)
+
+    scheduled: list[ResolvedRequest] = []
+    done: set[str] = set()
+    in_progress: set[str] = set()
+
+    def visit(name: str, chain: tuple[str, ...]) -> None:
+        if name in done:
+            return
+        if name in in_progress:
+            cycle = " -> ".join(chain + (name,))
+            raise ValueError(f"pass dependency cycle: {cycle}")
+        in_progress.add(name)
+        p = get_pass(name)
+        for req in p.requires:
+            if req.startswith("pass:"):
+                visit(req[len("pass:") :], chain + (name,))
+        in_progress.discard(name)
+        done.add(name)
+        scheduled.append(
+            ResolvedRequest(name=name, params=_resolve_params(p, wanted.get(name)))
+        )
+
+    for name in order:
+        visit(name, ())
+    return scheduled
+
+
+# -- the fused executor -------------------------------------------------------
+
+
+def scan_chunk(
+    events: np.ndarray,
+    sample_id: np.ndarray | None,
+    specs: Iterable[tuple[str, dict]],
+    journal=None,
+) -> tuple[list, dict]:
+    """Update every scheduled pass over one chunk (runs in pool workers).
+
+    One :class:`ChunkContext` serves all passes, so shared intermediates
+    are computed once per chunk regardless of how many passes read them.
+    Returns ``(partials, stats)`` where ``stats`` carries the chunk's
+    artifact-cache counters and per-pass wall clock for the caller's
+    timers/metrics. With a journal, the evaluating process appends its
+    own ``shard-analyzed`` line (the journal's ``O_APPEND`` writes are
+    atomic, so pool workers interleave safely).
+    """
+    t0 = time.perf_counter()
+    ctx = ChunkContext(events, sample_id)
+    partials: list = []
+    pass_seconds: dict[str, float] = {}
+    for name, params in specs:
+        p = get_pass(name)
+        t1 = time.perf_counter()
+        partials.append(p.update(p.init(params), ctx, params))
+        pass_seconds[name] = pass_seconds.get(name, 0.0) + time.perf_counter() - t1
+    stats = {
+        "n_events": len(events),
+        "artifact_hits": ctx.hits,
+        "artifact_misses": ctx.misses,
+        "pass_seconds": pass_seconds,
+    }
+    if journal is not None:
+        journal.emit(
+            "shard-analyzed",
+            n_events=len(events),
+            n_passes=len(partials),
+            passes=[name for name, _ in specs],
+            artifact_hits=ctx.hits,
+            artifact_misses=ctx.misses,
+            seconds=time.perf_counter() - t0,
+        )
+    return partials, stats
+
+
+def merge_partial_lists(
+    a: list, b: list, specs: Iterable[tuple[str, dict]]
+) -> list:
+    """Merge two aligned partial lists pass-by-pass."""
+    return [get_pass(name).merge(pa, pb) for (name, _), pa, pb in zip(specs, a, b)]
+
+
+def finalize_schedule(
+    scheduled: list[ResolvedRequest], merged: list, ctx: RunContext
+) -> dict[str, Any]:
+    """Finalize merged partials in dependency order; returns name → result."""
+    out: dict[str, Any] = {}
+    for req, partial in zip(scheduled, merged):
+        p = get_pass(req.name)
+        result = p.finalize(partial, ctx, req.params)
+        key = p.provides or p.name
+        out[req.name] = result
+        ctx.results[key] = result
+    return out
+
+
+def fused_scan(
+    chunks: Iterator[tuple[np.ndarray, np.ndarray | None]],
+    requests: Iterable[str | tuple[str, dict] | ResolvedRequest],
+    *,
+    rho: float = 1.0,
+    fn_names: dict[int, str] | None = None,
+    journal=None,
+    metrics=None,
+    timers=None,
+) -> dict[str, Any]:
+    """Run every requested pass in **one** serial scan over ``chunks``.
+
+    The streaming analogue of calling each legacy metric function in
+    turn — except the trace is read once, shared intermediates are
+    computed once per chunk, and the result of every pass is
+    bit-identical to its serial function. The
+    :class:`~repro.core.parallel.ParallelEngine` offers the same
+    semantics fanned out over a process pool.
+    """
+    scheduled = schedule_passes(requests)
+    specs = [r.spec for r in scheduled]
+    merged: list | None = None
+    for ev, sid in chunks:
+        partials, stats = scan_chunk(ev, sid, specs, journal)
+        account_scan_stats(stats, metrics=metrics, timers=timers)
+        merged = (
+            partials if merged is None else merge_partial_lists(merged, partials, specs)
+        )
+    if merged is None:
+        merged = [get_pass(name).init(params) for name, params in specs]
+    return finalize_schedule(
+        scheduled, merged, RunContext(rho=rho, fn_names=fn_names or {})
+    )
+
+
+def account_scan_stats(stats: dict, *, metrics=None, timers=None) -> None:
+    """Fold one chunk's scan stats into obs sinks (shared with the engine)."""
+    if metrics is not None:
+        metrics.counter("passes.chunks_scanned").inc()
+        metrics.counter("passes.artifact_hits").inc(stats["artifact_hits"])
+        metrics.counter("passes.artifact_misses").inc(stats["artifact_misses"])
+    if timers is not None:
+        for name, seconds in stats["pass_seconds"].items():
+            timers.add(f"pass:{name}", seconds, items=stats["n_events"])
+
+
+# -- mergeable partials -------------------------------------------------------
+
+
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    return np.unique(a)
+
+
+@dataclass
+class DiagnosticsPartial:
+    """Mergeable state behind footprint + diagnostics for one chunk.
+
+    Unique block ids are sorted ``uint64`` arrays (set semantics); the
+    counters are plain integers. :meth:`merge` is associative and
+    commutative, and :meth:`finalize` evaluates the exact expressions of
+    :func:`repro.core.diagnostics.compute_diagnostics` (via the shared
+    :func:`~repro.core.diagnostics.finalize_diagnostics`) on the merged
+    integer totals.
+    """
+
+    blocks: np.ndarray  # sorted unique non-Constant block ids
+    strided: np.ndarray  # sorted unique Strided block ids
+    irregular: np.ndarray  # sorted unique Irregular block ids
+    has_const: bool
+    a_obs: int  # observed records
+    n_suppressed: int  # suppressed Constant loads (sum of n_const)
+    n_const_records: int  # records with cls == CONSTANT
+
+    @classmethod
+    def identity(cls) -> "DiagnosticsPartial":
+        """The merge identity (an empty chunk)."""
+        z = np.empty(0, dtype=np.uint64)
+        return cls(z, z, z, False, 0, 0, 0)
+
+    @classmethod
+    def from_chunk(cls, chunk: ChunkContext, block: int = 1) -> "DiagnosticsPartial":
+        """Compute the partial for one chunk via the artifact context."""
+        ids = chunk.block_ids(block)
+        masks = chunk.class_masks
+        n_suppressed = int(chunk.events["n_const"].sum())
+        return cls(
+            blocks=_sorted_unique(ids[masks.nonconst]),
+            strided=_sorted_unique(ids[masks.strided]),
+            irregular=_sorted_unique(ids[masks.irregular]),
+            has_const=bool(masks.const.any() or n_suppressed > 0),
+            a_obs=len(chunk.events),
+            n_suppressed=n_suppressed,
+            n_const_records=int(masks.const.sum()),
+        )
+
+    @classmethod
+    def from_events(cls, events: np.ndarray, block: int = 1) -> "DiagnosticsPartial":
+        """Compute the partial for one standalone shard of records."""
+        return cls.from_chunk(ChunkContext(events, None), block)
+
+    def merge(self, other: "DiagnosticsPartial") -> "DiagnosticsPartial":
+        """Associative merge: set unions plus counter sums."""
+        return DiagnosticsPartial(
+            blocks=np.union1d(self.blocks, other.blocks),
+            strided=np.union1d(self.strided, other.strided),
+            irregular=np.union1d(self.irregular, other.irregular),
+            has_const=self.has_const or other.has_const,
+            a_obs=self.a_obs + other.a_obs,
+            n_suppressed=self.n_suppressed + other.n_suppressed,
+            n_const_records=self.n_const_records + other.n_const_records,
+        )
+
+    # -- finalizers (the only place floats appear) --
+
+    @property
+    def footprint(self) -> int:
+        """Observed footprint F of the merged window."""
+        if self.a_obs == 0:
+            return 0
+        return len(self.blocks) + (1 if self.has_const else 0)
+
+    @property
+    def footprint_by_class(self) -> dict[LoadClass, int]:
+        """Per-class footprint decomposition of the merged window."""
+        return {
+            LoadClass.CONSTANT: 1 if self.has_const else 0,
+            LoadClass.STRIDED: len(self.strided),
+            LoadClass.IRREGULAR: len(self.irregular),
+        }
+
+    def finalize(self, rho: float = 1.0) -> FootprintDiagnostics:
+        """The diagnostic bundle, identical to the serial computation."""
+        return finalize_diagnostics(
+            a_obs=self.a_obs,
+            a_implied=self.a_obs + self.n_suppressed,
+            f=self.footprint,
+            f_str=len(self.strided),
+            f_irr=len(self.irregular),
+            n_const_accesses=self.n_suppressed + self.n_const_records,
+            rho=rho,
+        )
+
+
+@dataclass
+class CapturesPartial:
+    """Mergeable captures/survivals state: per-block counts saturated at 2.
+
+    ``once`` holds blocks seen exactly once so far, ``multi`` blocks seen
+    two or more times (both sorted unique arrays of non-Constant block
+    ids). Saturated counting forms a commutative monoid, so the merge is
+    associative and chunk order cannot change the result.
+    """
+
+    once: np.ndarray
+    multi: np.ndarray
+
+    @classmethod
+    def identity(cls) -> "CapturesPartial":
+        """The merge identity (an empty chunk)."""
+        z = np.empty(0, dtype=np.uint64)
+        return cls(z, z)
+
+    @classmethod
+    def from_chunk(cls, chunk: ChunkContext, block: int = 1) -> "CapturesPartial":
+        """Compute the partial for one chunk via the artifact context."""
+        ids = chunk.block_ids(block)[chunk.class_masks.nonconst]
+        if len(ids) == 0:
+            return cls.identity()
+        uniq, counts = np.unique(ids, return_counts=True)
+        return cls(once=uniq[counts == 1], multi=uniq[counts >= 2])
+
+    @classmethod
+    def from_events(cls, events: np.ndarray, block: int = 1) -> "CapturesPartial":
+        """Compute the partial for one standalone shard of records."""
+        return cls.from_chunk(ChunkContext(events, None), block)
+
+    def merge(self, other: "CapturesPartial") -> "CapturesPartial":
+        """Associative merge of saturated counts."""
+        # seen >= 2 total: already multi on either side, or once on both
+        multi = np.union1d(
+            np.union1d(self.multi, other.multi),
+            np.intersect1d(self.once, other.once),
+        )
+        # seen exactly once total: once on exactly one side, never multi
+        once = np.setdiff1d(
+            np.setxor1d(self.once, other.once), multi, assume_unique=True
+        )
+        return CapturesPartial(once=once, multi=multi)
+
+    def finalize(self) -> tuple[int, int]:
+        """(C, S): blocks with and without reuse in the merged window."""
+        return len(self.multi), len(self.once)
+
+
+# -- the built-in passes ------------------------------------------------------
+
+
+@register_pass
+class DiagnosticsPass(AnalysisPass):
+    """Footprint access diagnostics: F, F-hat, dF, per-class split (Eqs. 1-4)."""
+
+    name = "diagnostics"
+    requires = ("block_ids", "class_masks")
+    defaults = {"block": 1}
+
+    def init(self, params):
+        return DiagnosticsPartial.identity()
+
+    def update(self, partial, chunk, params):
+        return partial.merge(DiagnosticsPartial.from_chunk(chunk, params["block"]))
+
+    def merge(self, a, b):
+        return a.merge(b)
+
+    def finalize(self, partial, ctx, params):
+        return partial.finalize(ctx.rho)
+
+    def render(self, result):
+        from repro.core.report import format_quantity
+
+        d = result
+        return (
+            f"A (est):   {format_quantity(d.A_est)}    "
+            f"F (est): {format_quantity(d.F_est)}\n"
+            f"dF:        {d.dF:.3f}   F_str%: {d.F_str_pct:.1f}   "
+            f"A_const%: {d.A_const_pct:.1f}"
+        )
+
+
+@register_pass
+class CapturesPass(AnalysisPass):
+    """Captures/survivals (C, S): blocks with and without reuse in the window."""
+
+    name = "captures"
+    requires = ("block_ids", "class_masks")
+    defaults = {"block": 1}
+
+    def init(self, params):
+        return CapturesPartial.identity()
+
+    def update(self, partial, chunk, params):
+        return partial.merge(CapturesPartial.from_chunk(chunk, params["block"]))
+
+    def merge(self, a, b):
+        return a.merge(b)
+
+    def finalize(self, partial, ctx, params):
+        return partial.finalize()
+
+    def render(self, result):
+        c, s = result
+        return f"captures C: {c:,}   survivals S: {s:,}"
+
+
+@register_pass
+class ReusePass(AnalysisPass):
+    """Intra-sample reuse-distance histogram over power-of-two bins."""
+
+    name = "reuse"
+    requires = ("reuse_distances",)
+    defaults = {"block": 64, "max_exp": _HIST_MAX_EXP}
+    whole_without_samples = True
+
+    def init(self, params):
+        return ReuseHistogram.identity(params["max_exp"])
+
+    def update(self, partial, chunk, params):
+        d = chunk.reuse_distances(params["block"])
+        return partial.merge(histogram_from_distances(d, params["max_exp"]))
+
+    def merge(self, a, b):
+        return a.merge(b)
+
+    def finalize(self, partial, ctx, params):
+        return partial
+
+    def render(self, result):
+        h = result
+        return (
+            f"reusing accesses: {h.n_reuse:,}   cold: {h.n_cold:,}\n"
+            f"mean D: {h.mean:.1f}   max D: {h.d_max:,}"
+        )
+
+
+@register_pass
+class HotspotPass(AnalysisPass):
+    """Hot-function ranking by sampled load share (ROI candidates)."""
+
+    name = "hotspot"
+    requires = ()
+    defaults = {"coverage": 0.90, "max_functions": 8}
+
+    def init(self, params):
+        return np.zeros(0, dtype=np.int64)
+
+    def update(self, partial, chunk, params):
+        return self.merge(partial, access_counts(chunk.events))
+
+    def merge(self, a, b):
+        if len(a) < len(b):
+            a, b = b, a
+        out = a.copy()
+        out[: len(b)] += b
+        return out
+
+    def finalize(self, partial, ctx, params):
+        return rank_hotspots(
+            partial,
+            ctx.fn_names,
+            coverage=params["coverage"],
+            max_functions=params["max_functions"],
+        )
+
+    def render(self, result):
+        from repro.core.report import format_quantity
+
+        lines = [
+            f"  {h.function:<20} {100 * h.share:5.1f}%  "
+            f"({format_quantity(h.n_accesses)} sampled loads)"
+            for h in result
+        ]
+        return "\n".join(lines) or "  (no sampled loads)"
+
+
+@register_pass
+class RoiPass(AnalysisPass):
+    """Guard ranges covering the hotspot functions' observed code ranges."""
+
+    name = "roi"
+    requires = ("pass:hotspot",)
+    defaults = {"top": None}
+
+    def init(self, params):
+        return {}
+
+    def update(self, partial, chunk, params):
+        ev = chunk.events
+        out = dict(partial)
+        for fid in np.unique(ev["fn"]):
+            ips = ev["ip"][ev["fn"] == fid]
+            lo, hi = int(ips.min()), int(ips.max())
+            prev = out.get(int(fid))
+            out[int(fid)] = (
+                (lo, hi) if prev is None else (min(prev[0], lo), max(prev[1], hi))
+            )
+        return out
+
+    def merge(self, a, b):
+        out = dict(a)
+        for fid, (lo, hi) in b.items():
+            prev = out.get(fid)
+            out[fid] = (lo, hi) if prev is None else (min(prev[0], lo), max(prev[1], hi))
+        return out
+
+    def finalize(self, partial, ctx, params):
+        # +4 matches function_ranges: one past the last observed ip
+        ranges = {fid: (lo, hi + 4) for fid, (lo, hi) in partial.items()}
+        return roi_from_ranges(ctx.result("hotspot"), ranges, top=params["top"])
+
+    def render(self, result):
+        lines = [f"  [{lo:#x}, {hi:#x})" for lo, hi in result.ranges]
+        return "\n".join(lines) or "  (no guard ranges)"
+
+
+@register_pass
+class HeatmapPass(AnalysisPass):
+    """(region page x time) access and reuse-distance heatmaps (Fig. 8)."""
+
+    name = "heatmap"
+    requires = ("nonconstant", "reuse_distances")
+    defaults = {"access_block": 64}
+    #: bin geometry must be fixed from the whole trace before scanning;
+    #: :meth:`repro.core.parallel.ParallelEngine.heatmap` does that.
+    needs = ("base", "size", "page_size", "t_edges", "n_pages", "n_bins")
+    whole_without_samples = True
+
+    def init(self, params):
+        n_pages, n_bins = params["n_pages"], params["n_bins"]
+        return (
+            np.zeros((n_pages, n_bins), dtype=np.int64),
+            np.zeros((n_pages, n_bins), dtype=np.float64),
+            np.zeros((n_pages, n_bins), dtype=np.int64),
+        )
+
+    def update(self, partial, chunk, params):
+        nc, _ = chunk.nonconstant
+        d = chunk.reuse_distances(params["access_block"], nonconst=True)
+        addr, t, d = region_points(nc, d, params["base"], params["size"])
+        acc = accumulate_heatmap(
+            addr,
+            t,
+            d,
+            base=params["base"],
+            page_size=params["page_size"],
+            t_edges=params["t_edges"],
+            n_pages=params["n_pages"],
+            n_bins=params["n_bins"],
+        )
+        return self.merge(partial, acc)
+
+    def merge(self, a, b):
+        return tuple(x + y for x, y in zip(a, b))
+
+    def finalize(self, partial, ctx, params):
+        counts, dsum, dcnt = partial
+        return finalize_heatmap(
+            counts,
+            dsum,
+            dcnt,
+            base=params["base"],
+            page_size=params["page_size"],
+            t_edges=params["t_edges"],
+        )
+
+    def render(self, result):
+        from repro.core.heatmap import render_heatmap_ascii
+
+        return render_heatmap_ascii(result.counts)

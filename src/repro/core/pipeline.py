@@ -50,6 +50,16 @@ class AnalysisConfig:
     mode: str = "continuous"  # PT enablement: "continuous" | "sampled_only"
     workers: int = 1  # analysis worker processes (1 = in-process)
     chunk_size: int | None = None  # events per shard (None = auto)
+    #: extra analysis passes to fuse into the whole-trace scan: names or
+    #: (name, params) pairs (see repro.core.passes). Resolved eagerly so
+    #: an unknown name fails at configuration time, not mid-analysis.
+    passes: tuple = ()
+
+    def __post_init__(self) -> None:
+        from repro.core.passes import get_pass
+
+        for req in self.passes:
+            get_pass(req if isinstance(req, str) else req[0])
 
 
 @dataclass
@@ -67,6 +77,9 @@ class MemGazeResult:
     config: AnalysisConfig | None = None
     engine: "ParallelEngine | None" = None
     cache_token: int | None = None
+    #: finalized results of the extra passes fused into the analysis
+    #: scan (AnalysisConfig.passes), keyed by pass name
+    pass_results: dict = field(default_factory=dict)
 
     @property
     def events(self) -> np.ndarray:
@@ -107,6 +120,36 @@ class MemGazeResult:
         from repro.core.hotspot import find_hotspots
 
         return find_hotspots(self.events, self.fn_names, coverage=coverage)
+
+    def run_passes(self, requests) -> dict:
+        """Run registered analysis passes over this result's events.
+
+        One fused scan for whatever ``requests`` names (see
+        :func:`repro.core.passes.schedule_passes` for the accepted
+        forms); uses the result's parallel engine — and its partial
+        cache — when the analysis ran with one, a serial
+        :func:`repro.core.passes.fused_scan` otherwise.
+        """
+        if self.engine is not None:
+            window_id = (
+                (self.cache_token, "whole") if self.cache_token is not None else None
+            )
+            return self.engine.run_passes(
+                self.events,
+                requests,
+                sample_id=self.sample_id,
+                rho=self.rho,
+                fn_names=self.fn_names,
+                window_id=window_id,
+            )
+        from repro.core.passes import fused_scan
+
+        return fused_scan(
+            iter([(self.events, self.sample_id)]),
+            requests,
+            rho=self.rho,
+            fn_names=self.fn_names,
+        )
 
     def confidence(self, **kwargs):
         """Per-code-window sampling confidence (undersampling detection)."""
@@ -207,16 +250,27 @@ class MemGaze:
         fn_names = fn_names or {}
         t0 = time.perf_counter()
         token = None
-        if self.config.workers != 1:
+        pass_results: dict = {}
+        extra = [
+            r
+            for r in self.config.passes
+            if (r if isinstance(r, str) else r[0]) != "diagnostics"
+        ]
+        if self.config.workers != 1 or extra:
+            # one fused scan computes the whole-trace diagnostics and
+            # every configured extra pass together
             engine = self.engine
             token = engine.window_token()
-            diagnostics = engine.diagnostics(
+            results = engine.run_passes(
                 collection.events,
-                rho=rho,
-                block=self.config.block,
+                [("diagnostics", {"block": self.config.block})] + extra,
                 sample_id=collection.sample_id,
+                rho=rho,
+                fn_names=fn_names,
                 window_id=(token, "whole"),
             )
+            diagnostics = results.pop("diagnostics")
+            pass_results = results
             per_function = engine.code_windows(
                 collection.events, rho=rho, block=self.config.block, fn_names=fn_names
             )
@@ -250,6 +304,7 @@ class MemGaze:
             config=self.config,
             engine=engine,
             cache_token=token,
+            pass_results=pass_results,
         )
 
     def analyze_recorder(

@@ -40,6 +40,7 @@ __all__ = [
     "region_reuse",
     "ReuseHistogram",
     "reuse_histogram",
+    "histogram_from_distances",
 ]
 
 
@@ -258,6 +259,27 @@ class ReuseHistogram:
         )
 
 
+def histogram_from_distances(
+    d: np.ndarray, max_exp: int = _HIST_MAX_EXP
+) -> ReuseHistogram:
+    """Bin an already-computed distance array into a :class:`ReuseHistogram`.
+
+    This is the shared tail of :func:`reuse_histogram`: the analysis-pass
+    framework calls it on distances pulled from the per-chunk artifact
+    context, so several passes can share one Fenwick sweep.
+    """
+    hits = d[d >= 0]
+    out = ReuseHistogram.identity(max_exp)
+    out.n_cold = int((d < 0).sum())
+    out.n_reuse = int(len(hits))
+    if len(hits):
+        out.d_sum = int(hits.sum())
+        out.d_max = int(hits.max())
+        bins = np.searchsorted(_hist_edges(max_exp), hits, side="right")
+        np.add.at(out.counts, np.minimum(bins, max_exp), 1)
+    return out
+
+
 def reuse_histogram(
     events: np.ndarray,
     block: int = 64,
@@ -272,17 +294,7 @@ def reuse_histogram(
     """
     _check(events)
     check_power_of_two("block", block)
-    d = reuse_distances(events, block, sample_id)
-    hits = d[d >= 0]
-    out = ReuseHistogram.identity(max_exp)
-    out.n_cold = int((d < 0).sum())
-    out.n_reuse = int(len(hits))
-    if len(hits):
-        out.d_sum = int(hits.sum())
-        out.d_max = int(hits.max())
-        bins = np.searchsorted(_hist_edges(max_exp), hits, side="right")
-        np.add.at(out.counts, np.minimum(bins, max_exp), 1)
-    return out
+    return histogram_from_distances(reuse_distances(events, block, sample_id), max_exp)
 
 
 def region_reuse(

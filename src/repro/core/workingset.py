@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util.validate import check_positive, check_power_of_two
 from repro.core.metrics import captures_survivals, footprint
 from repro.trace.collector import CollectionResult
 from repro.trace.compress import sample_ratio_from
@@ -49,10 +50,8 @@ def working_set_curve(
     page_size: int = 4096,
 ) -> list[WorkingSetPoint]:
     """Estimated working set per equal-record time interval."""
-    if n_intervals <= 0:
-        raise ValueError(f"n_intervals must be > 0, got {n_intervals}")
-    if page_size <= 0 or (page_size & (page_size - 1)) != 0:
-        raise ValueError(f"page_size must be a power of two, got {page_size}")
+    check_positive("n_intervals", n_intervals)
+    check_power_of_two("page_size", page_size)
     events = collection.events
     rho = sample_ratio_from(collection)
     out: list[WorkingSetPoint] = []

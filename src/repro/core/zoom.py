@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util.validate import check_power_of_two
 from repro.core.reuse import reuse_distances
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
@@ -46,9 +47,7 @@ class ZoomConfig:
 
     def __post_init__(self) -> None:
         for name in ("page_size", "access_block", "min_region_bytes"):
-            v = getattr(self, name)
-            if v <= 0 or (v & (v - 1)) != 0:
-                raise ValueError(f"{name} must be a positive power of two, got {v}")
+            check_power_of_two(name, getattr(self, name))
         if not 0.0 < self.hot_threshold <= 1.0:
             raise ValueError(f"hot_threshold must be in (0,1], got {self.hot_threshold}")
         if self.shrink < 2:

@@ -248,6 +248,7 @@ def iter_trace_chunks(
     *,
     align_samples: bool = True,
     metrics=None,
+    journal=None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
     """Yield ``(events, sample_id)`` chunks of a trace archive, streaming.
 
@@ -262,7 +263,10 @@ def iter_trace_chunks(
     ``KeyError``. Passing a
     :class:`~repro.obs.metrics.MetricsRegistry` as ``metrics`` counts
     chunks and events read under ``trace.chunks_read`` /
-    ``trace.events_read``.
+    ``trace.events_read``; a :class:`~repro.obs.journal.RunJournal` as
+    ``journal`` appends one ``chunk-read`` line per chunk, so the
+    journal proves how many times the trace was actually read — a fused
+    multi-pass analysis shows one line per chunk, not chunks x passes.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
@@ -307,6 +311,8 @@ def iter_trace_chunks(
                 if metrics is not None:
                     metrics.counter("trace.chunks_read").inc()
                     metrics.counter("trace.events_read").inc(len(ev))
+                if journal is not None:
+                    journal.emit("chunk-read", n_events=len(ev))
                 yield ev, sid
                 if done:
                     break

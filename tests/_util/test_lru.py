@@ -1,0 +1,91 @@
+"""Unit tests for the shared LRU cache (moved from core.parallel)."""
+
+import pytest
+
+from repro._util.lru import LRUCache
+
+
+class TestCapacityAndEviction:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(-3)
+
+    def test_evicts_least_recently_used_first(self):
+        c = LRUCache(3)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        c.put("d", 4)  # evicts a, the oldest
+        assert c.get("a") is None
+        assert c.get("b") == 2 and c.get("c") == 3 and c.get("d") == 4
+
+    def test_get_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # a is now the most recent
+        c.put("c", 3)  # evicts b, not a
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # overwrite refreshes a
+        c.put("c", 3)  # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 10
+
+    def test_eviction_order_is_fifo_without_touches(self):
+        c = LRUCache(2)
+        for k in "abcd":
+            c.put(k, k)
+        assert c.get("a") is None and c.get("b") is None
+        assert c.get("c") == "c" and c.get("d") == "d"
+
+    def test_len_and_contains(self):
+        c = LRUCache(2)
+        assert len(c) == 0
+        c.put("a", 1)
+        assert len(c) == 1 and "a" in c and "b" not in c
+        c.put("b", 2)
+        c.put("c", 3)
+        assert len(c) == 2 and "a" not in c
+
+
+class TestOverwrite:
+    def test_overwrite_replaces_value_without_growth(self):
+        c = LRUCache(4)
+        c.put("k", 1)
+        c.put("k", 2)
+        assert c.get("k") == 2
+        assert len(c) == 1
+
+
+class TestCounters:
+    def test_hit_and_miss_counters(self):
+        c = LRUCache(2)
+        assert c.get("a") is None
+        assert (c.hits, c.misses) == (0, 1)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.get("gone") is None
+        assert (c.hits, c.misses) == (1, 2)
+
+    def test_contains_does_not_touch_counters(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        _ = "a" in c
+        _ = "b" in c
+        assert (c.hits, c.misses) == (0, 0)
+
+
+class TestBackwardCompatReexport:
+    def test_core_parallel_still_exports_lru(self):
+        from repro.core.parallel import LRUCache as Reexported
+
+        assert Reexported is LRUCache

@@ -108,6 +108,54 @@ class TestReport:
         assert "phase 0" in out
 
 
+class TestPasses:
+    def test_passes_subcommand_lists_registry(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diagnostics", "captures", "reuse", "hotspot", "roi", "heatmap"):
+            assert name in out
+        assert "requires:" in out
+
+    def test_report_with_explicit_passes(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--passes", "diagnostics,hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "== pass: diagnostics ==" in out
+        assert "== pass: hotspot ==" in out
+        assert "code windows" not in out  # --passes replaces the sections
+
+    def test_report_passes_pulls_dependencies(self, trace_file, capsys):
+        assert main(["report", str(trace_file), "--passes", "roi"]) == 0
+        out = capsys.readouterr().out
+        assert "== pass: roi ==" in out
+        # hotspot ran as a dependency but only roi was asked for
+        assert "== pass: hotspot ==" not in out
+
+    def test_unknown_pass_exits_with_alternatives(self, trace_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", str(trace_file), "--passes", "diagnostic"])
+        msg = str(exc.value)
+        assert "unknown analysis pass" in msg
+        assert "diagnostics" in msg  # close match suggested
+        assert "hotspot" in msg  # registry listed
+
+    def test_report_journal_proves_single_scan(self, trace_file, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        rc = main(
+            [
+                "report",
+                str(trace_file),
+                "--passes",
+                "diagnostics,captures,reuse,hotspot",
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert rc == 0
+        recs = [json.loads(l) for l in journal.read_text().splitlines()]
+        scans = [r for r in recs if r.get("event") == "shard-analyzed"]
+        assert scans and all(r["n_passes"] == 4 for r in scans)
+
+
 class TestObservability:
     def test_trace_journal_lines_parse(self, tmp_path):
         journal = tmp_path / "j.jsonl"
