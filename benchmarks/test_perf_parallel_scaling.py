@@ -219,6 +219,128 @@ def test_fused_scan_not_slower_than_per_metric(tmp_path):
     )
 
 
+def _write_archive(path, ev, sid):
+    from repro.trace.tracefile import TraceMeta, write_trace
+
+    meta = TraceMeta(
+        module="bench", kind="sampled", period=12_000, buffer_capacity=1024,
+        n_loads_total=len(ev) * 2, n_samples=int(sid[-1]) + 1,
+    )
+    write_trace(path, ev, meta, sid)
+    return path
+
+
+def _analysis_fingerprint(fa):
+    return (
+        fa.n_events, fa.rho, fa.diagnostics, fa.captures, fa.survivals,
+        fa.reuse.counts.tolist(), fa.reuse.n_cold, fa.reuse.n_reuse,
+        fa.reuse.d_sum, fa.reuse.d_max, fa.reuse.scope,
+    )
+
+
+def test_cache_warmup_cold_vs_warm(tmp_path):
+    """Acceptance: a warm cached analysis is >= 5x faster, bit-identical.
+
+    The cold run streams the archive and persists every pass's merged
+    partial to the artifact store; the warm run must serve all of them
+    from disk — no event is read — and still produce exactly the cold
+    run's numbers. The Fenwick reuse scan dominates the cold cost, so
+    the expected warm speedup is orders of magnitude; 5x is the floor
+    the acceptance criterion pins.
+    """
+    from repro.core.artifacts import ArtifactStore
+    from repro.obs.journal import read_journal
+
+    ev, sid = _synthetic_trace(N_EXACT)
+    path = _write_archive(tmp_path / "bench.npz", ev, sid)
+    jpath = os.environ.get("MEMGAZE_BENCH_JOURNAL") or (tmp_path / "cache.jsonl")
+
+    def run():
+        journal = RunJournal(jpath)
+        store = ArtifactStore(tmp_path / "cache", journal=journal,
+                              metrics=MetricsRegistry())
+        with ParallelEngine(workers=1, store=store, journal=journal) as eng:
+            with Timer() as t:
+                fa = eng.analyze_file(path)
+        journal.close()
+        return fa, t.elapsed
+
+    cold, t_cold = run()
+    warm, t_warm = run()
+    assert _analysis_fingerprint(warm) == _analysis_fingerprint(cold)
+
+    recs = list(read_journal(jpath))
+    modes = [r["mode"] for r in recs if r.get("stage") == "analyze-file"]
+    assert modes[-2:] == ["full", "cached"]
+    speedup = t_cold / max(t_warm, 1e-9)
+    save_result(
+        "cache_warmup",
+        "persistent analysis cache: cold vs warm analyze_file (1 worker)\n"
+        f"events:            {len(ev):,}\n"
+        f"cold (scan+store): {t_cold * 1e3:9.1f} ms\n"
+        f"warm (cache hits): {t_warm * 1e3:9.1f} ms\n"
+        f"speedup:           {speedup:8.1f}x  (floor: 5x)",
+    )
+    assert speedup >= 5.0, f"warm cache run only {speedup:.1f}x faster"
+
+
+def test_cache_incremental_append(tmp_path):
+    """Acceptance: an appended archive rescans only its new tail.
+
+    A trace is analyzed and cached, then ten more samples are appended
+    and the longer archive analyzed through the same store. The journal
+    must show the prefix skipped (``chunk-skip``) with ``chunk-read``
+    lines covering exactly the appended events, and the merged result
+    must equal a cold full analysis of the longer trace.
+    """
+    from repro.core.artifacts import ArtifactStore
+    from repro.obs.journal import read_journal
+
+    n_total = N_EXACT
+    n_prefix = (n_total // 1024 - 10) * 1024  # sample-aligned cut, 10 samples early
+    ev, sid = _synthetic_trace(n_total)
+    short = _write_archive(tmp_path / "short.npz", ev[:n_prefix], sid[:n_prefix])
+    full = _write_archive(tmp_path / "full.npz", ev, sid)
+    jpath = tmp_path / "incremental.jsonl"
+    chunk = 64 * 1024
+
+    def run(path, t):
+        journal = RunJournal(jpath)
+        store = ArtifactStore(tmp_path / "cache", journal=journal)
+        with ParallelEngine(workers=1, store=store, journal=journal) as eng:
+            with t:
+                fa = eng.analyze_file(path, chunk_size=chunk)
+        journal.close()
+        return fa
+
+    run(short, Timer())  # prime the cache with the shorter trace
+    t_incr, t_cold = Timer(), Timer()
+    incr = run(full, t_incr)
+    with ParallelEngine(workers=1) as eng:  # cold reference, no store
+        with t_cold:
+            cold = eng.analyze_file(full, chunk_size=chunk)
+    assert _analysis_fingerprint(incr) == _analysis_fingerprint(cold)
+
+    recs = list(read_journal(jpath))
+    stage = [r for r in recs if r.get("stage") == "analyze-file"][-1]
+    assert stage["mode"] == "incremental"
+    assert stage["skipped_events"] == n_prefix
+    i_skip = max(i for i, r in enumerate(recs) if r.get("event") == "chunk-skip")
+    tail_read = sum(
+        r["n_events"] for r in recs[i_skip:] if r.get("event") == "chunk-read"
+    )
+    assert tail_read == n_total - n_prefix, "rescan must touch only the tail"
+    save_result(
+        "cache_incremental",
+        "incremental re-analysis of an appended archive (1 worker)\n"
+        f"prefix events:     {n_prefix:,} (cached)\n"
+        f"appended events:   {n_total - n_prefix:,} (rescanned)\n"
+        f"incremental:       {t_incr.elapsed * 1e3:9.1f} ms\n"
+        f"cold full scan:    {t_cold.elapsed * 1e3:9.1f} ms\n"
+        f"speedup:           {t_cold.elapsed / max(t_incr.elapsed, 1e-9):8.1f}x",
+    )
+
+
 def test_obs_overhead(tmp_path):
     """Journal + metrics instrumentation must cost < 3% wall clock.
 

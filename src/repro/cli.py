@@ -49,7 +49,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -168,7 +170,21 @@ def _open_journal(args) -> "object | None":
     return RunJournal(path)
 
 
-def _load(path, journal=None) -> tuple[CollectionResult, TraceMeta, dict[int, str]]:
+def _require_trace_path(path, command: str = "memgaze") -> None:
+    """Exit with a clear message when a trace archive path does not exist.
+
+    Accepts the same path forms the readers do (``numpy`` appends
+    ``.npz`` when missing), so the check never rejects a loadable path.
+    """
+    p = Path(path)
+    if p.exists() or p.with_name(p.name + ".npz").exists():
+        return
+    raise SystemExit(f"{command}: no such trace archive: {path}")
+
+
+def _load(
+    path, journal=None
+) -> tuple[CollectionResult, TraceMeta, dict[int, str], bool]:
     """Read a trace archive, recovering the verified prefix on damage.
 
     A healthy archive goes through the fast :func:`read_trace` path.  A
@@ -176,16 +192,24 @@ def _load(path, journal=None) -> tuple[CollectionResult, TraceMeta, dict[int, st
     to :func:`repro.trace.health.recover_read`: the checksum-verified
     event prefix is analyzed, each finding is printed to stderr and
     journaled as a warning, and only an unrecoverable archive (no
-    surviving metadata) aborts the command.
+    surviving metadata) aborts the command. A missing path exits
+    immediately with a clear message.
+
+    The returned ``clean`` flag is False when recovery ran — the events
+    in memory are then a *prefix* of the archive, so its health digest
+    no longer addresses them (the analysis cache must stay off).
     """
     import zlib
     from zipfile import BadZipFile
 
+    _require_trace_path(path)
+    clean = True
     try:
         events, meta, sample_id = read_trace(path)
     except (TraceFormatError, BadZipFile, OSError, ValueError, zlib.error):
         from repro.trace.health import recover_read
 
+        clean = False
         try:
             events, meta, sample_id, findings = recover_read(path, journal=journal)
         except TraceFormatError as exc:
@@ -209,11 +233,11 @@ def _load(path, journal=None) -> tuple[CollectionResult, TraceMeta, dict[int, st
         ),
     )
     fn_names = {int(k): v for k, v in meta.extra.get("fn_names", {}).items()}
-    return col, meta, fn_names
+    return col, meta, fn_names, clean
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    col, meta, fn_names = _load(args.trace)
+    col, meta, fn_names, _ = _load(args.trace)
     print(f"module:        {meta.module}")
     print(f"kind:          {meta.kind}")
     print(f"period (w+z):  {meta.period:,} loads")
@@ -227,6 +251,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_cache_dir() -> Path:
+    """The analysis-cache directory used when ``--cache-dir`` is not given."""
+    env = os.environ.get("MEMGAZE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "memgaze"
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     journal = _open_journal(args)
     metrics = None
@@ -234,14 +268,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
         from repro.obs.metrics import MetricsRegistry
 
         metrics = MetricsRegistry()
-    col, meta, fn_names = _load(args.trace, journal=journal)
+    col, meta, fn_names, clean = _load(args.trace, journal=journal)
     if len(col.events) == 0:
         print("trace is empty")
         return 1
     rho = sample_ratio_from(col)
+
+    # --cache-dir alone enables the cache; --no-cache always wins
+    use_cache = args.cache is True or (
+        args.cache is None and args.cache_dir is not None
+    )
+    store = None
+    store_key = None
+    if use_cache:
+        from repro.core.artifacts import ArtifactStore
+
+        store = ArtifactStore(
+            args.cache_dir or _default_cache_dir(), journal=journal, metrics=metrics
+        )
+        if clean:
+            store_key = ArtifactStore.archive_digest(args.trace)
+            if store_key is None and journal is not None:
+                journal.warning(
+                    "archive has no usable health record; analysis cache disabled",
+                    path=str(args.trace),
+                )
+        elif journal is not None:
+            journal.warning(
+                "damaged archive: only a recovered prefix is analyzed, so the "
+                "analysis cache is disabled for this run",
+                path=str(args.trace),
+            )
     engine = ParallelEngine(
         workers=args.workers,
         chunk_size=args.chunk_size,
+        store=store,
         journal=journal,
         metrics=metrics,
     )
@@ -257,6 +318,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 rho=rho,
                 fn_names=fn_names,
                 window_id=(token, "whole"),
+                store_key=store_key,
             )
         except (UnknownPassError, ValueError) as exc:
             raise SystemExit(f"memgaze report: {exc}") from exc
@@ -287,6 +349,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         rho=rho,
         fn_names=fn_names,
         window_id=(token, "whole"),
+        store_key=store_key,
     )
     d = results["diagnostics"]
     print(f"== {meta.module}: footprint access diagnostics ==")
@@ -381,6 +444,12 @@ def _report_tail(args, engine, journal, metrics) -> None:
             f"  cache: {engine.cache.hits} hits / {engine.cache.misses} misses "
             f"({len(engine.cache)} entries)"
         )
+        if engine.store is not None:
+            s = engine.store.stats()
+            print(
+                f"  disk cache: {s['hits']} hits / {s['misses']} misses "
+                f"({s['entries']} entries, {s['bytes']:,} bytes at {s['root']})"
+            )
     if journal is not None:
         journal.record_timers(engine.timers)
         if metrics is not None:
@@ -397,6 +466,8 @@ def _report_tail(args, engine, journal, metrics) -> None:
                 "entries": len(engine.cache),
             },
         }
+        if engine.store is not None:
+            export["disk_cache"] = engine.store.stats()
         with open(args.metrics, "w", encoding="utf-8") as fh:
             json.dump(export, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -423,8 +494,8 @@ def _cmd_passes(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.core.diff import diff_traces
 
-    col_b, meta_b, fn_b = _load(args.before)
-    col_a, meta_a, fn_a = _load(args.after)
+    col_b, meta_b, fn_b, _ = _load(args.before)
+    col_a, meta_a, fn_a, _ = _load(args.after)
     diff = diff_traces(
         col_b,
         col_a,
@@ -464,12 +535,60 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_validate_trace(args: argparse.Namespace) -> int:
     from repro.trace.health import validate
 
+    _require_trace_path(args.trace, "memgaze validate-trace")
     report = validate(args.trace)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the persistent analysis cache (``memgaze cache``)."""
+    from repro.core.artifacts import ArtifactStore
+
+    root = Path(args.cache_dir) if args.cache_dir else _default_cache_dir()
+    if root.exists() and not root.is_dir():
+        raise SystemExit(f"memgaze cache: not a directory: {root}")
+    if args.action == "stats":
+        if not root.exists():
+            print(f"cache {root}: empty (directory does not exist)")
+            return 0
+        store = ArtifactStore(root)
+        s = store.stats()
+        print(f"cache {s['root']}:")
+        print(f"  entries: {s['entries']}")
+        print(f"  bytes:   {s['bytes']:,}")
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit(
+                "memgaze cache prune: --max-bytes is required "
+                "(use 'memgaze cache clear' to remove everything)"
+            )
+        if not root.exists():
+            print(f"cache {root}: empty (directory does not exist)")
+            return 0
+        store = ArtifactStore(root)
+        before = store.stats()
+        removed = store.prune(args.max_bytes)
+        after = store.stats()
+        print(
+            f"pruned {removed} entries "
+            f"({before['bytes'] - after['bytes']:,} bytes freed, "
+            f"{after['entries']} entries / {after['bytes']:,} bytes remain)"
+        )
+        return 0
+    if args.action == "clear":
+        if not root.exists():
+            print(f"cache {root}: empty (directory does not exist)")
+            return 0
+        store = ArtifactStore(root)
+        removed = store.clear()
+        print(f"cleared {removed} entries from {root}")
+        return 0
+    raise SystemExit(f"memgaze cache: unknown action {args.action!r}")  # pragma: no cover
 
 
 # -- parser -------------------------------------------------------------------------
@@ -538,6 +657,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="write the pipeline metrics registry (plus stage timings) as JSON",
     )
+    p_report.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse pass results from the persistent analysis cache "
+        "(--no-cache disables it even when --cache-dir is given)",
+    )
+    p_report.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="analysis cache directory (implies --cache; default: "
+        "$MEMGAZE_CACHE_DIR or ~/.cache/memgaze)",
+    )
     p_report.set_defaults(fn=_cmd_report)
 
     p_passes = sub.add_parser(
@@ -560,6 +689,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--buffer", type=int, default=1024)
     p_val.add_argument("--seed", type=int, default=0)
     p_val.set_defaults(fn=_cmd_validate)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent analysis cache"
+    )
+    p_cache.add_argument(
+        "action", choices=["stats", "prune", "clear"],
+        help="stats: show entry/byte counts; prune: evict oldest entries "
+        "down to --max-bytes; clear: remove every entry",
+    )
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $MEMGAZE_CACHE_DIR or ~/.cache/memgaze)",
+    )
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="size bound for prune (bytes)",
+    )
+    p_cache.set_defaults(fn=_cmd_cache)
 
     p_health = sub.add_parser(
         "validate-trace",

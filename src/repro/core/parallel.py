@@ -81,6 +81,7 @@ import numpy as np
 from repro._util.lru import LRUCache
 from repro._util.timers import StageTimers
 from repro._util.validate import check_power_of_two
+from repro.core.artifacts import MISS, ArtifactStore, freeze_params
 from repro.core.diagnostics import FootprintDiagnostics
 from repro.core.heatmap import HeatmapResult, heatmap_geometry
 from repro.core.passes import (
@@ -177,15 +178,9 @@ def _fn_window_worker(
     return compute_diagnostics(events, rho=rho, block=block)
 
 
-def _freeze(value):
-    """A hashable cache-key form of a pass parameter value."""
-    if isinstance(value, np.ndarray):
-        return ("ndarray", value.dtype.str, value.shape, value.tobytes())
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
+# the canonical param-freezing now lives next to the persistent store so
+# in-memory LRU keys and on-disk cache keys can never drift apart
+_freeze = freeze_params
 
 
 def _needs_whole(scheduled: list[ResolvedRequest], sample_id) -> bool:
@@ -215,6 +210,7 @@ class ParallelEngine:
         chunk_size: int | None = None,
         *,
         cache_size: int = 256,
+        store: "ArtifactStore | None" = None,
         timers: StageTimers | None = None,
         journal=None,
         metrics=None,
@@ -224,6 +220,11 @@ class ParallelEngine:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         self.chunk_size = chunk_size
         self.cache = LRUCache(cache_size)
+        #: optional persistent ArtifactStore — merged pass partials are
+        #: read from and written to it whenever a content digest is
+        #: available (run_passes' ``store_key`` / analyze_file's health
+        #: digest); None keeps the engine purely in-memory
+        self.store = store
         self.timers = timers if timers is not None else StageTimers()
         #: optional RunJournal — shard plans, merges and per-shard worker
         #: lines are journaled when set (None = no journaling at all)
@@ -376,12 +377,17 @@ class ParallelEngine:
         sample_id: np.ndarray | None,
         scheduled: list[ResolvedRequest],
         window_id,
+        store_key: str | None = None,
     ) -> list:
         """Merged partials for a schedule, memoized per (window, params, pass).
 
-        Cache hits are served without touching the events; only the
-        missing passes go through one fused :meth:`_scan`.
+        Lookup order per pass: the in-memory LRU, then (with a
+        ``store_key`` content digest and a configured store) the
+        persistent :class:`~repro.core.artifacts.ArtifactStore`, then
+        one fused :meth:`_scan` for whatever is still missing. Scanned
+        partials are written back to both layers.
         """
+        use_store = self.store is not None and store_key is not None
         out: list = [None] * len(scheduled)
         missing: list[int] = []
         keys: list[tuple | None] = []
@@ -397,6 +403,13 @@ class ParallelEngine:
                 if hit is not None:
                     out[i] = hit
                     continue
+            if use_store:
+                stored = self.store.get_partial(store_key, req.name, req.params)
+                if stored is not MISS:
+                    out[i] = stored
+                    if key is not None:
+                        self.cache.put(key, stored)
+                    continue
             missing.append(i)
         if missing:
             subset = [scheduled[i] for i in missing]
@@ -407,6 +420,10 @@ class ParallelEngine:
                 out[i] = partial
                 if keys[i] is not None:
                     self.cache.put(keys[i], partial)
+                if use_store:
+                    self.store.put_partial(
+                        store_key, scheduled[i].name, scheduled[i].params, partial
+                    )
         return out
 
     # -- the general fused entry point --
@@ -420,6 +437,7 @@ class ParallelEngine:
         rho: float = 1.0,
         fn_names: dict[int, str] | None = None,
         window_id=None,
+        store_key: str | None = None,
     ) -> dict:
         """Run any set of registered passes in one fused scan.
 
@@ -428,9 +446,18 @@ class ParallelEngine:
         pulled in and ordered automatically; the trace is scanned
         **once** for every pass not already memoized under ``window_id``.
         Returns ``{pass name: finalized result}`` including dependencies.
+
+        ``store_key`` enables the persistent cache for this call when
+        the engine carries an :class:`~repro.core.artifacts.ArtifactStore`:
+        it must be the content digest of exactly ``(events, sample_id)``
+        (:meth:`ArtifactStore.digest_events` /
+        :meth:`ArtifactStore.archive_digest`) — partials are then served
+        from and persisted to disk, bit-identical to recomputation.
         """
         scheduled = schedule_passes(requests)
-        merged = self._merged_partials(events, sample_id, scheduled, window_id)
+        merged = self._merged_partials(
+            events, sample_id, scheduled, window_id, store_key=store_key
+        )
         return finalize_schedule(
             scheduled, merged, RunContext(rho=rho, fn_names=fn_names or {})
         )
@@ -589,6 +616,105 @@ class ParallelEngine:
 
     # -- streamed file analysis --
 
+    def _fold_stream(self, chunks, specs) -> tuple[list | None, int, int | None, bool]:
+        """Fold ``scan_chunk`` over an iterable of ``(events, sample_id)``.
+
+        Feeds chunks to the pool as they arrive (at most ``2 * workers``
+        in flight) and merges partials in arrival order. Returns
+        ``(merged or None, n_events, last sample id or None, saw sample
+        ids)``.
+        """
+        merged: list | None = None
+        n_events = 0
+        last_sid: int | None = None
+        sid_seen = False
+        pool = self._executor() if self.workers > 1 else None
+        in_flight: list[Future] = []
+
+        def fold(result: tuple[list, dict]) -> None:
+            nonlocal merged
+            partials, stats = result
+            account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
+            with self.timers.stage("merge", items=1):
+                merged = (
+                    partials
+                    if merged is None
+                    else merge_partial_lists(merged, partials, specs)
+                )
+
+        with self.timers.stage("stream"):
+            for ev, sid in chunks:
+                n_events += len(ev)
+                if sid is not None and len(sid):
+                    sid_seen = True
+                    last_sid = int(sid[-1])
+                if pool is None:
+                    fold(scan_chunk(ev, sid, specs, self.journal))
+                    continue
+                in_flight.append(
+                    pool.submit(scan_chunk, ev, sid, specs, self.journal)
+                )
+                if self.metrics is not None:
+                    self.metrics.gauge("parallel.peak_in_flight").set(len(in_flight))
+                while len(in_flight) >= 2 * self.workers:
+                    fold(in_flight.pop(0).result())
+            for fut in in_flight:
+                fold(fut.result())
+        return merged, n_events, last_sid, sid_seen
+
+    def _tail_scan(self, path, specs, size: int, state: dict):
+        """Scan only the events appended after a cached trace state.
+
+        Skips ``state['n_events']`` events while checksumming them
+        (:class:`~repro.trace.tracefile.PrefixSkip`) and verifies the
+        CRCs against the stored state before trusting any cached prefix
+        partial: the entry proves the skipped bytes *are* the trace that
+        was cached. Returns ``None`` — with a journaled warning — when
+        the prefix does not verify or the appended tail continues the
+        prefix's last sample (reuse windows would straddle the cut);
+        the caller then falls back to a full rescan.
+        """
+        from repro.trace.tracefile import PrefixSkip, iter_trace_chunks
+
+        skip = PrefixSkip(
+            n_events=int(state["n_events"]),
+            chunk_events=int(state["chunk_events"]),
+        )
+        chunks = iter_trace_chunks(
+            path,
+            chunk_size=size,
+            metrics=self.metrics,
+            journal=self.journal,
+            skip=skip,
+        )
+        try:
+            first = next(chunks, None)
+        except (OSError, ValueError):
+            return None
+        reason = None
+        if first is None:
+            reason = "no events after the cached prefix"
+        elif (
+            skip.events_crc != [int(c) for c in state["events_crc"]]
+            or skip.sample_id_crc != [int(c) for c in state["sample_id_crc"]]
+        ):
+            reason = "prefix checksums do not match the cached state"
+        elif first[1] is None or len(first[1]) == 0:
+            reason = "appended tail has no sample ids"
+        elif int(first[1][0]) == state["last_sample_id"]:
+            reason = "appended tail continues the prefix's last sample"
+        if reason is not None:
+            chunks.close()
+            if self.journal is not None:
+                self.journal.warning(
+                    f"incremental re-analysis abandoned: {reason}; "
+                    "falling back to a full rescan",
+                    path=str(path),
+                    state_n_events=int(state["n_events"]),
+                )
+            return None
+        return self._fold_stream(itertools.chain([first], chunks), specs)
+
     def analyze_file(
         self,
         path,
@@ -611,13 +737,28 @@ class ParallelEngine:
         whose finalized results land in
         :attr:`FileAnalysis.pass_results`.
 
+        With a persistent store configured, the archive is content-
+        addressed by its health-record digest: a pass whose whole-trace
+        partial is already stored is served without touching the file at
+        all, and an archive that *extends* a previously analyzed trace
+        (same CRC prefix, new chunks appended) scans only the new tail
+        and merges against the cached prefix partials. Either way the
+        results are bit-identical to a cold scan.
+
         Footprint, diagnostics and captures/survivals are exactly the
         whole-trace values for any chunking. The reuse histogram resets
         at sample boundaries, so it matches the in-memory result when
         the archive stores sample ids; without them each chunk is its
-        own reuse window.
+        own reuse window — the histogram is then marked
+        ``scope="chunk"`` and a journal warning records the degradation
+        (chunk-scoped results are also never persisted to the store,
+        since they vary with ``chunk_size``).
         """
-        from repro.trace.tracefile import iter_trace_chunks, read_trace_meta
+        from repro.trace.tracefile import (
+            iter_trace_chunks,
+            read_trace_health,
+            read_trace_meta,
+        )
 
         meta = read_trace_meta(path)
         requests = [
@@ -628,45 +769,114 @@ class ParallelEngine:
         base_names = {name for name, _ in requests}
         requests += [r for r in passes if (r if isinstance(r, str) else r[0]) not in base_names]
         scheduled = schedule_passes(requests)
-        specs = [r.spec for r in scheduled]
         size = chunk_size or self.chunk_size or (1 << 20)
-        merged: list | None = None
-        n_events = 0
-        pool = self._executor() if self.workers > 1 else None
-        in_flight: list[Future] = []
-
-        def fold(result: tuple[list, dict]) -> None:
-            nonlocal merged
-            partials, stats = result
-            account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
-            with self.timers.stage("merge", items=1):
-                merged = (
-                    partials
-                    if merged is None
-                    else merge_partial_lists(merged, partials, specs)
-                )
-
         t_stream = time.perf_counter()
-        with self.timers.stage("stream"):
-            for ev, sid in iter_trace_chunks(
-                path, chunk_size=size, metrics=self.metrics, journal=self.journal
-            ):
-                n_events += len(ev)
-                if pool is None:
-                    fold(scan_chunk(ev, sid, specs, self.journal))
-                    continue
-                in_flight.append(
-                    pool.submit(scan_chunk, ev, sid, specs, self.journal)
+
+        health = None
+        digest: str | None = None
+        if self.store is not None:
+            health = read_trace_health(path)
+            digest = None if health is None else ArtifactStore.digest_health(health)
+            if digest is None and self.journal is not None:
+                self.journal.warning(
+                    "archive has no usable health record; analysis cache disabled",
+                    path=str(path),
                 )
-                if self.metrics is not None:
-                    self.metrics.gauge("parallel.peak_in_flight").set(len(in_flight))
-                while len(in_flight) >= 2 * self.workers:
-                    fold(in_flight.pop(0).result())
-            for fut in in_flight:
-                fold(fut.result())
-        if merged is None:
-            merged = [get_pass(r.name).init(r.params) for r in scheduled]
-        self.timers.add("stream-events", 0.0, items=n_events)
+        sid_present = health is not None and health.get("sample_id_crc") is not None
+
+        def cacheable(name: str) -> bool:
+            # chunk-scoped partials (whole_without_samples passes on an
+            # archive without sample ids) vary with chunk_size — they are
+            # never persisted and never read back
+            return digest is not None and (
+                sid_present or not get_pass(name).whole_without_samples
+            )
+
+        # 1. whole-trace cache hits: served without touching the events
+        merged: list = [None] * len(scheduled)
+        cached_names: list[str] = []
+        for i, r in enumerate(scheduled):
+            if cacheable(r.name):
+                hit = self.store.get_partial(digest, r.name, r.params)
+                if hit is not MISS:
+                    merged[i] = hit
+                    cached_names.append(r.name)
+        missing = [i for i, v in enumerate(merged) if v is None]
+
+        mode = "cached"
+        n_events = int(health["n_events"]) if health is not None else 0
+        skipped = 0
+        last_sid: int | None = None
+        sid_seen = sid_present  # cache hits require stored sample ids
+        if missing:
+            sub = [scheduled[i] for i in missing]
+            specs_sub = [r.spec for r in sub]
+            scanned = None
+
+            # 2. incremental: a stored state whose CRCs prefix this trace
+            if digest is not None and sid_present:
+                state = self.store.find_prefix_state(health)
+                if state is not None:
+                    prior: list | None = []
+                    for r in sub:
+                        p = self.store.get_partial(state["digest"], r.name, r.params)
+                        if p is MISS:
+                            prior = None
+                            break
+                        prior.append(p)
+                    if prior is not None:
+                        got = self._tail_scan(path, specs_sub, size, state)
+                        if got is not None:
+                            tail, n_tail, last_sid, _ = got
+                            scanned = (
+                                prior
+                                if tail is None
+                                else merge_partial_lists(prior, tail, specs_sub)
+                            )
+                            skipped = int(state["n_events"])
+                            n_events = skipped + n_tail
+                            sid_seen = True
+                            mode = "incremental"
+                            if self.metrics is not None:
+                                self.metrics.counter("cache.incremental_scans").inc()
+
+            # 3. full scan for whatever the caches could not provide
+            if scanned is None:
+                scanned, n_events, last_sid, sid_seen = self._fold_stream(
+                    iter_trace_chunks(
+                        path,
+                        chunk_size=size,
+                        metrics=self.metrics,
+                        journal=self.journal,
+                    ),
+                    specs_sub,
+                )
+                mode = "full"
+                if scanned is None:
+                    scanned = [get_pass(r.name).init(r.params) for r in sub]
+            for i, partial in zip(missing, scanned):
+                merged[i] = partial
+
+            # persist what was just computed (and the trace's state, so a
+            # future appended archive can match this one as its prefix)
+            if digest is not None:
+                for i in missing:
+                    r = scheduled[i]
+                    if cacheable(r.name):
+                        self.store.put_partial(digest, r.name, r.params, merged[i])
+                if sid_present and last_sid is not None:
+                    self.store.put_state(digest, health, last_sid)
+        self.timers.add("stream-events", 0.0, items=n_events - skipped)
+
+        degraded = n_events > 0 and not sid_seen
+        if degraded and self.journal is not None:
+            self.journal.warning(
+                "archive stores no sample ids: reuse windows are "
+                "chunk-delimited and results depend on chunk_size",
+                path=str(path),
+                chunk_size=size,
+                reuse_scope="chunk",
+            )
 
         index = {r.name: i for i, r in enumerate(scheduled)}
         diag_p = merged[index["diagnostics"]]
@@ -681,6 +891,7 @@ class ParallelEngine:
             scheduled, merged, RunContext(rho=rho, fn_names=fn_names)
         )
         captures, survivals = results["captures"]
+        results["reuse"].scope = "chunk" if degraded else "sample"
         if self.journal is not None:
             self.journal.emit(
                 "stage",
@@ -691,6 +902,9 @@ class ParallelEngine:
                 passes=[r.name for r in scheduled],
                 chunk_size=size,
                 workers=self.workers,
+                mode=mode,
+                cached_passes=cached_names,
+                skipped_events=skipped,
                 seconds=time.perf_counter() - t_stream,
             )
         return FileAnalysis(
@@ -718,3 +932,13 @@ class FileAnalysis:
     reuse: ReuseHistogram
     #: every scheduled pass's finalized result, keyed by pass name
     pass_results: dict = field(default_factory=dict)
+
+    @property
+    def reuse_scope(self) -> str:
+        """``"sample"`` or ``"chunk"`` — see :attr:`ReuseHistogram.scope`.
+
+        ``"chunk"`` flags that the archive stored no sample ids, so the
+        reuse histogram's windows are chunk-delimited and its numbers
+        depend on the chunk size the analysis ran with.
+        """
+        return self.reuse.scope

@@ -54,6 +54,15 @@ class AnalysisConfig:
     #: (name, params) pairs (see repro.core.passes). Resolved eagerly so
     #: an unknown name fails at configuration time, not mid-analysis.
     passes: tuple = ()
+    #: directory of the persistent content-addressed analysis cache
+    #: (repro.core.artifacts.ArtifactStore); None = no persistence.
+    #: Sampled events are digested by the same per-chunk CRCs the trace
+    #: archives embed, so results cached here are shared with
+    #: `memgaze report --cache` runs over the written archive.
+    cache_dir: "str | None" = None
+    #: size bound for the cache directory (mtime-LRU eviction); None
+    #: keeps the ArtifactStore default.
+    cache_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         from repro.core.passes import get_pass
@@ -77,6 +86,9 @@ class MemGazeResult:
     config: AnalysisConfig | None = None
     engine: "ParallelEngine | None" = None
     cache_token: int | None = None
+    #: content digest of (events, sample_id) — the persistent-cache
+    #: address of this trace when the analysis ran with a cache_dir
+    trace_digest: str | None = None
     #: finalized results of the extra passes fused into the analysis
     #: scan (AnalysisConfig.passes), keyed by pass name
     pass_results: dict = field(default_factory=dict)
@@ -141,6 +153,7 @@ class MemGazeResult:
                 rho=self.rho,
                 fn_names=self.fn_names,
                 window_id=window_id,
+                store_key=self.trace_digest,
             )
         from repro.core.passes import fused_scan
 
@@ -187,9 +200,18 @@ class MemGaze:
     def engine(self) -> ParallelEngine:
         """The (lazily created) shard-map-merge analysis engine."""
         if self._engine is None:
+            store = None
+            if self.config.cache_dir is not None:
+                from repro.core.artifacts import ArtifactStore
+
+                kwargs = {"journal": self.journal, "metrics": self.metrics}
+                if self.config.cache_max_bytes is not None:
+                    kwargs["max_bytes"] = self.config.cache_max_bytes
+                store = ArtifactStore(self.config.cache_dir, **kwargs)
             self._engine = ParallelEngine(
                 workers=self.config.workers,
                 chunk_size=self.config.chunk_size,
+                store=store,
                 journal=self.journal,
                 metrics=self.metrics,
             )
@@ -256,11 +278,18 @@ class MemGaze:
             for r in self.config.passes
             if (r if isinstance(r, str) else r[0]) != "diagnostics"
         ]
-        if self.config.workers != 1 or extra:
+        digest = None
+        if self.config.workers != 1 or extra or self.config.cache_dir is not None:
             # one fused scan computes the whole-trace diagnostics and
             # every configured extra pass together
             engine = self.engine
             token = engine.window_token()
+            if engine.store is not None:
+                from repro.core.artifacts import ArtifactStore
+
+                digest = ArtifactStore.digest_events(
+                    collection.events, collection.sample_id
+                )
             results = engine.run_passes(
                 collection.events,
                 [("diagnostics", {"block": self.config.block})] + extra,
@@ -268,6 +297,7 @@ class MemGaze:
                 rho=rho,
                 fn_names=fn_names,
                 window_id=(token, "whole"),
+                store_key=digest,
             )
             diagnostics = results.pop("diagnostics")
             pass_results = results
@@ -304,6 +334,7 @@ class MemGaze:
             config=self.config,
             engine=engine,
             cache_token=token,
+            trace_digest=digest,
             pass_results=pass_results,
         )
 

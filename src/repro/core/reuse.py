@@ -227,6 +227,13 @@ class ReuseHistogram:
     n_reuse: int
     d_sum: int
     d_max: int
+    #: Window semantics marker: ``"sample"`` when distance windows are
+    #: sample-delimited (or the whole trace is one window) — the result
+    #: is a property of the trace alone; ``"chunk"`` when an archive
+    #: without sample ids was streamed, making each chunk its own window
+    #: so the numbers depend on the chunk size used. Downstream readers
+    #: must not compare a "chunk"-scoped histogram across chunk sizes.
+    scope: str = "sample"
 
     @property
     def mean(self) -> float:
@@ -245,6 +252,7 @@ class ReuseHistogram:
             n_reuse=self.n_reuse + other.n_reuse,
             d_sum=self.d_sum + other.d_sum,
             d_max=max(self.d_max, other.d_max),
+            scope="chunk" if "chunk" in (self.scope, other.scope) else "sample",
         )
 
     @classmethod

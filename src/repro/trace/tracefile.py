@@ -46,9 +46,11 @@ from repro.trace.event import EVENT_DTYPE
 __all__ = [
     "TraceFormatError",
     "TraceMeta",
+    "PrefixSkip",
     "write_trace",
     "read_trace",
     "read_trace_meta",
+    "read_trace_health",
     "iter_trace_chunks",
     "packet_bytes",
 ]
@@ -199,6 +201,56 @@ def read_trace_meta(path) -> TraceMeta:
         return _parse_meta(path, bytes(archive["meta"]))
 
 
+def read_trace_health(path) -> dict | None:
+    """Read an archive's ``health`` record (per-chunk CRCs), or None.
+
+    Returns ``None`` — never raises — for archives written before the
+    health layer, or whose health member is missing, unparsable, or
+    incomplete. Callers (the analysis cache in
+    :mod:`repro.core.artifacts`) treat ``None`` as "this trace cannot
+    be content-addressed".
+    """
+    try:
+        with np.load(path) as archive:
+            if "health" not in archive:
+                return None
+            record = json.loads(bytes(archive["health"]).decode("utf-8"))
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, zlib.error):
+        return None
+    if not isinstance(record, dict):
+        return None
+    required = {"version", "chunk_events", "n_events", "events_crc"}
+    if not required <= set(record):
+        return None
+    return record
+
+
+@dataclass
+class PrefixSkip:
+    """A request to skip — and checksum — the first ``n_events`` of a trace.
+
+    Passed to :func:`iter_trace_chunks` for incremental re-analysis of
+    an appended archive: the prefix that a previous run already analyzed
+    is decompressed and *discarded*, but its bytes are CRC'd in the same
+    :data:`HEALTH_CHUNK_EVENTS` steps :func:`write_trace` uses, filling
+    ``events_crc`` / ``sample_id_crc`` / ``last_sample_id`` in place.
+    The caller compares those against the stored trace state to prove
+    the skipped bytes are exactly the trace it cached — a mismatch means
+    the "extended" file was actually rewritten, and the caller falls
+    back to a full scan.
+
+    Skipping emits one ``chunk-skip`` journal line (not ``chunk-read``
+    lines), so a run journal distinguishes rescanned chunks from
+    verified-and-skipped ones.
+    """
+
+    n_events: int
+    chunk_events: int = HEALTH_CHUNK_EVENTS
+    events_crc: list = field(default_factory=list)
+    sample_id_crc: list | None = None
+    last_sample_id: int | None = None
+
+
 class _MemberStream:
     """Incremental reader over one ``.npy`` member of an ``.npz`` archive.
 
@@ -242,6 +294,43 @@ class _MemberStream:
         self._fp.close()
 
 
+def _skip_prefix(
+    ev_stream: "_MemberStream",
+    sid_stream: "_MemberStream | None",
+    skip: PrefixSkip,
+    metrics,
+    journal,
+) -> None:
+    """Discard ``skip.n_events`` from the streams, checksumming as it goes."""
+    if skip.n_events <= 0:
+        return
+    step = skip.chunk_events
+    if step <= 0:
+        raise ValueError(f"chunk_events must be > 0, got {step}")
+    skip.events_crc = []
+    skip.sample_id_crc = [] if sid_stream is not None else None
+    remaining = skip.n_events
+    while remaining > 0:
+        take = min(step, remaining)
+        ev = ev_stream.read(take)
+        if len(ev) < take:
+            raise ValueError(
+                f"cannot skip {skip.n_events} events: archive holds fewer"
+            )
+        skip.events_crc.append(zlib.crc32(ev.tobytes()))
+        if sid_stream is not None:
+            sid = sid_stream.read(take)
+            if len(sid) < take:
+                raise ValueError("sample_id member shorter than events member")
+            skip.sample_id_crc.append(zlib.crc32(sid.tobytes()))
+            skip.last_sample_id = int(sid[-1])
+        remaining -= take
+    if metrics is not None:
+        metrics.counter("trace.events_skipped").inc(skip.n_events)
+    if journal is not None:
+        journal.emit("chunk-skip", n_events=skip.n_events)
+
+
 def iter_trace_chunks(
     path,
     chunk_size: int = 1 << 20,
@@ -249,6 +338,7 @@ def iter_trace_chunks(
     align_samples: bool = True,
     metrics=None,
     journal=None,
+    skip: PrefixSkip | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
     """Yield ``(events, sample_id)`` chunks of a trace archive, streaming.
 
@@ -267,6 +357,13 @@ def iter_trace_chunks(
     ``journal`` appends one ``chunk-read`` line per chunk, so the
     journal proves how many times the trace was actually read — a fused
     multi-pass analysis shows one line per chunk, not chunks x passes.
+
+    With a :class:`PrefixSkip`, the first ``skip.n_events`` events are
+    decompressed, checksummed into ``skip``, and discarded before the
+    first chunk is yielded (one ``chunk-skip`` journal line, counted
+    under ``trace.events_skipped`` — not as chunks read). Yielding then
+    continues from the skip point, so an appended archive's new tail
+    streams without re-analyzing its cached prefix.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
@@ -283,6 +380,8 @@ def iter_trace_chunks(
             _MemberStream(zf, "sample_id.npy") if "sample_id.npy" in names else None
         )
         try:
+            if skip is not None:
+                _skip_prefix(ev_stream, sid_stream, skip, metrics, journal)
             carry_ev = np.empty(0, dtype=ev_stream.dtype)
             carry_sid = (
                 np.empty(0, dtype=sid_stream.dtype) if sid_stream is not None else None

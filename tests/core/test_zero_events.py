@@ -1,0 +1,183 @@
+"""Zero-event traces must produce well-defined zeros, never NaN or a crash.
+
+An empty trace is not an error: a filtered window, an all-constant
+sample, or a freshly created archive can all present zero events to any
+metric. Every serial function, every registered pass (through the fused
+scan and the engine), and the streamed :meth:`analyze_file` path must
+return their merge identities — and the report CLI must say "trace is
+empty" instead of dividing by zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.growth import footprint_growth
+from repro.core.hotspot import rank_hotspots
+from repro.core.metrics import (
+    captures_survivals,
+    estimated_footprint,
+    footprint,
+    footprint_by_class,
+)
+from repro.core.parallel import ParallelEngine
+from repro.core.passes import get_pass, list_passes, scan_chunk, schedule_passes
+from repro.core.reuse import (
+    ReuseHistogram,
+    max_reuse_distance,
+    mean_reuse_distance,
+    reuse_distances,
+    reuse_histogram,
+    reuse_intervals,
+)
+from repro.trace.compress import compression_ratio
+from repro.trace.event import EVENT_DTYPE, LoadClass, make_events
+from repro.trace.tracefile import TraceMeta, write_trace
+
+EMPTY = np.empty(0, dtype=EVENT_DTYPE)
+EMPTY_SID = np.empty(0, dtype=np.int32)
+
+#: params that satisfy HeatmapPass's ``needs`` on an empty trace
+HEATMAP_PARAMS = {
+    "base": 0, "size": 1 << 16, "page_size": 1 << 10,
+    "t_edges": np.array([0.0, 1.0]), "n_pages": 64, "n_bins": 1,
+}
+
+
+def _request(name):
+    return (name, HEATMAP_PARAMS) if name == "heatmap" else name
+
+
+class TestSerialFunctions:
+    def test_footprint_zero(self):
+        assert footprint(EMPTY) == 0
+        assert footprint(EMPTY, block=64) == 0
+
+    def test_footprint_by_class_all_zero(self):
+        by_cls = footprint_by_class(EMPTY)
+        assert set(by_cls) == set(LoadClass)
+        assert all(v == 0 for v in by_cls.values())
+
+    def test_captures_survivals_zero(self):
+        assert captures_survivals(EMPTY) == (0, 0)
+
+    def test_estimated_footprint_zero(self):
+        assert estimated_footprint(EMPTY, rho=5.0) == 0
+
+    def test_diagnostics_no_nan(self):
+        d = compute_diagnostics(EMPTY, rho=3.0)
+        for field in ("A_est", "F_est", "dF", "F_str_pct", "A_const_pct"):
+            value = float(getattr(d, field))
+            assert math.isfinite(value), f"{field} must be finite, got {value}"
+            assert value == 0.0
+
+    def test_compression_ratio_identity(self):
+        assert compression_ratio(EMPTY) == 1.0
+
+    def test_footprint_growth_zero(self):
+        assert footprint_growth(EMPTY) == 0.0
+
+    def test_reuse_functions_zero(self):
+        assert reuse_intervals(EMPTY).shape == (0,)
+        assert reuse_distances(EMPTY).shape == (0,)
+        assert mean_reuse_distance(EMPTY) == 0.0
+        assert max_reuse_distance(EMPTY) == 0
+        h = reuse_histogram(EMPTY)
+        assert h.n_cold == 0 and h.n_reuse == 0 and h.d_sum == 0
+        assert h.mean == 0.0
+
+    def test_rank_hotspots_empty(self):
+        assert rank_hotspots(EMPTY) == []
+
+
+class TestEveryPass:
+    @pytest.mark.parametrize("name", [p.name for p in list_passes()])
+    def test_scan_chunk_empty(self, name):
+        scheduled = schedule_passes([_request(name)])
+        partials, _ = scan_chunk(EMPTY, EMPTY_SID, [r.spec for r in scheduled], None)
+        identities = [get_pass(r.name).init(r.params) for r in scheduled]
+        for partial, identity, r in zip(partials, identities, scheduled):
+            merged = get_pass(r.name).merge(partial, identity)
+            assert type(merged) is type(partial)
+
+    @pytest.mark.parametrize("name", [p.name for p in list_passes()])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_engine_run_passes_empty(self, name, workers):
+        with ParallelEngine(workers=workers) as eng:
+            results = eng.run_passes(
+                EMPTY, [_request(name)], sample_id=EMPTY_SID, rho=2.0
+            )
+        assert name in results
+
+    def test_reuse_result_is_identity(self):
+        with ParallelEngine(workers=1) as eng:
+            h = eng.run_passes(EMPTY, ["reuse"], sample_id=EMPTY_SID)["reuse"]
+        assert isinstance(h, ReuseHistogram)
+        assert h.merge(ReuseHistogram.identity()).d_sum == 0
+        assert h.scope == "sample"
+
+    def test_empty_chunk_among_nonempty_shards(self):
+        rng = np.random.default_rng(7)
+        ev = make_events(
+            ip=rng.integers(0, 9, 600), addr=rng.integers(0, 1 << 14, 600),
+            cls=np.ones(600, dtype=np.uint8),
+        )
+        sid = (np.arange(600) // 100).astype(np.int32)
+        scheduled = schedule_passes(["diagnostics", "captures", "reuse"])
+        specs = [r.spec for r in scheduled]
+        whole, _ = scan_chunk(ev, sid, specs, None)
+        hole, _ = scan_chunk(EMPTY, EMPTY_SID, specs, None)
+        from repro.core.passes import RunContext, finalize_schedule, merge_partial_lists
+
+        padded = merge_partial_lists(
+            merge_partial_lists(hole, whole, specs), hole, specs
+        )
+        ctx = RunContext(rho=1.0, fn_names={})
+        got = finalize_schedule(scheduled, padded, ctx)
+        ref = finalize_schedule(scheduled, whole, ctx)
+        assert got["diagnostics"] == ref["diagnostics"]
+        assert got["captures"] == ref["captures"]
+        assert got["reuse"].counts.tolist() == ref["reuse"].counts.tolist()
+        assert got["reuse"].d_sum == ref["reuse"].d_sum
+        assert got["reuse"].n_cold == ref["reuse"].n_cold
+
+
+class TestEmptyArchive:
+    def _write_empty(self, tmp_path, with_sid):
+        meta = TraceMeta(
+            module="empty", kind="sampled", period=1000, buffer_capacity=256,
+            n_loads_total=0, n_samples=0,
+        )
+        path = tmp_path / "empty.npz"
+        write_trace(path, EMPTY, meta, EMPTY_SID if with_sid else None)
+        return path
+
+    @pytest.mark.parametrize("with_sid", [True, False])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_analyze_file_empty(self, tmp_path, with_sid, workers):
+        path = self._write_empty(tmp_path, with_sid)
+        with ParallelEngine(workers=workers) as eng:
+            fa = eng.analyze_file(path)
+        assert fa.n_events == 0
+        assert fa.captures == 0 and fa.survivals == 0
+        assert fa.rho == 1.0
+        assert math.isfinite(fa.diagnostics.dF)
+        assert fa.reuse.n_reuse == 0 and fa.reuse.mean == 0.0
+        assert fa.reuse_scope == "sample", "an empty trace is not degraded"
+
+    def test_analyze_file_empty_with_extra_passes(self, tmp_path):
+        path = self._write_empty(tmp_path, True)
+        with ParallelEngine(workers=1) as eng:
+            fa = eng.analyze_file(path, passes=["hotspot", "roi"])
+        assert fa.pass_results["hotspot"] == []
+
+    def test_report_cli_says_empty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_empty(tmp_path, True)
+        assert main(["report", str(path)]) == 1
+        assert "trace is empty" in capsys.readouterr().out

@@ -20,12 +20,30 @@ damage. See ``docs/observability.md`` for the how-to.
 from __future__ import annotations
 
 import io
-import json
 import shutil
 import zipfile
 from pathlib import Path
 
-__all__ = ["truncate", "bit_flip", "schema_corrupt"]
+__all__ = ["truncate", "bit_flip", "schema_corrupt", "flip_bytes"]
+
+
+def flip_bytes(path, offset_fraction: float = 0.5, n_bytes: int = 4) -> Path:
+    """XOR-flip bytes of an arbitrary file **in place** (not zip-aware).
+
+    The raw counterpart of :func:`bit_flip` for flat files such as
+    analysis-cache entries (``*.mgc``): the flip lands at
+    ``offset_fraction`` of the file's length, simulating storage
+    corruption the cache layer must absorb as a journaled miss.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        raise ValueError(f"cannot flip bytes of empty file {path}")
+    at = min(int(len(blob) * offset_fraction), len(blob) - 1)
+    for i in range(min(n_bytes, len(blob) - at)):
+        blob[at + i] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    return path
 
 
 def truncate(src, dst, keep_fraction: float = 0.7) -> Path:

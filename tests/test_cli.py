@@ -261,6 +261,96 @@ class TestValidateTrace:
         assert any(r["event"] == "trace-recovered" for r in recs)
 
 
+class TestFailureModes:
+    """Bad input exits with a clear message — never a traceback."""
+
+    def test_duplicate_pass_name_exits(self, trace_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", str(trace_file), "--passes", "diagnostics,diagnostics"])
+        assert "requested twice" in str(exc.value)
+        assert str(exc.value).startswith("memgaze report:")
+
+    def test_report_missing_archive_exits(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "does-not-exist.npz"])
+        assert "no such trace archive" in str(exc.value)
+
+    def test_validate_trace_missing_archive_exits(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["validate-trace", "does-not-exist.npz"])
+        msg = str(exc.value)
+        assert "no such trace archive" in msg
+        assert "validate-trace" in msg
+
+    def test_diff_missing_archive_exits(self, trace_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", str(trace_file), "gone.npz"])
+        assert "no such trace archive" in str(exc.value)
+
+
+class TestCacheCLI:
+    def test_warm_report_hits_disk_cache(self, trace_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["report", str(trace_file), "--passes", "diagnostics,reuse",
+                "--cache", "--cache-dir", str(cache)]
+        assert main(argv + ["--metrics", str(tmp_path / "cold.json")]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(argv + ["--metrics", str(tmp_path / "warm.json")]) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out, "cached results must render identically"
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["disk_cache"]["hits"] == 0
+        assert warm["disk_cache"]["hits"] > 0
+        assert warm["disk_cache"]["misses"] == 0
+
+    def test_cache_dir_alone_implies_cache(self, trace_file, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["report", str(trace_file), "--passes", "diagnostics",
+                     "--cache-dir", str(cache)]) == 0
+        assert list(cache.glob("*.mgc")), "--cache-dir alone must enable caching"
+
+    def test_no_cache_wins(self, trace_file, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["report", str(trace_file), "--passes", "diagnostics",
+                     "--no-cache", "--cache-dir", str(cache)]) == 0
+        assert not cache.exists(), "--no-cache must override --cache-dir"
+
+    def test_stats_prune_clear_flow(self, trace_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["report", str(trace_file), "--passes", "diagnostics,captures",
+              "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-bytes", "0"]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "cleared 0 entries" in capsys.readouterr().out
+
+    def test_stats_on_missing_dir_is_empty_not_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "never")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_prune_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        msg = str(exc.value)
+        assert "--max-bytes is required" in msg
+        assert "memgaze cache clear" in msg  # the alternative is named
+
+    def test_cache_root_must_be_directory(self, trace_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "stats", "--cache-dir", str(trace_file)])
+        assert "not a directory" in str(exc.value)
+
+    def test_unknown_action_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "vacuum"])
+
+
 class TestValidate:
     def test_validate_passes_on_microbench(self, capsys):
         rc = main(
