@@ -19,6 +19,10 @@ from repro.trace.event import make_events
 from repro.trace.packing import pack_strided_runs
 from repro.trace.sampler import SamplingConfig
 
+# every bench here asserts wall-clock behavior via pytest-benchmark:
+# excluded from default runs, opted back in by CI with -m perf
+pytestmark = pytest.mark.perf
+
 N = 100_000
 
 

@@ -99,6 +99,7 @@ def test_parallel_bit_identical(exact_trace, workers):
     (os.cpu_count() or 1) < 4,
     reason="speedup measurement needs >= 4 CPUs",
 )
+@pytest.mark.perf
 def test_parallel_scaling_4_workers(benchmark):
     ev, sid = _synthetic_trace(N_TIMED)
 
@@ -145,6 +146,7 @@ def test_parallel_scaling_4_workers(benchmark):
     assert speedup >= 2.0, f"expected >= 2x with 4 workers, got {speedup:.2f}x"
 
 
+@pytest.mark.perf
 def test_fused_scan_not_slower_than_per_metric(tmp_path):
     """One fused scan for the full report must beat N per-metric scans.
 
@@ -238,6 +240,7 @@ def _analysis_fingerprint(fa):
     )
 
 
+@pytest.mark.perf
 def test_cache_warmup_cold_vs_warm(tmp_path):
     """Acceptance: a warm cached analysis is >= 5x faster, bit-identical.
 
@@ -341,6 +344,7 @@ def test_cache_incremental_append(tmp_path):
     )
 
 
+@pytest.mark.perf
 def test_obs_overhead(tmp_path):
     """Journal + metrics instrumentation must cost < 3% wall clock.
 

@@ -61,6 +61,9 @@ from repro.core.parallel import ParallelEngine
 from repro.core.passes import UnknownPassError, get_pass, list_passes
 from repro.core.report import (
     format_quantity,
+    full_report_payload,
+    passes_payload,
+    payload_json,
     render_function_table,
     render_interval_table,
     render_region_table,
@@ -70,7 +73,7 @@ from repro.core.workingset import working_set_curve
 from repro.trace.collector import CollectionResult, collect_sampled_trace
 from repro.trace.compress import compression_ratio, sample_ratio_from
 from repro.trace.sampler import SamplingConfig
-from repro.trace.tracefile import TraceFormatError, TraceMeta, read_trace, write_trace
+from repro.trace.tracefile import TraceFormatError, TraceMeta, write_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -185,55 +188,45 @@ def _require_trace_path(path, command: str = "memgaze") -> None:
 def _load(
     path, journal=None
 ) -> tuple[CollectionResult, TraceMeta, dict[int, str], bool]:
-    """Read a trace archive, recovering the verified prefix on damage.
+    """Read a trace archive through the shared loader, reporting degradation.
 
-    A healthy archive goes through the fast :func:`read_trace` path.  A
-    damaged one (truncated tail, flipped bits, schema drift) falls back
-    to :func:`repro.trace.health.recover_read`: the checksum-verified
-    event prefix is analyzed, each finding is printed to stderr and
-    journaled as a warning, and only an unrecoverable archive (no
-    surviving metadata) aborts the command. A missing path exits
-    immediately with a clear message.
+    Delegates to :func:`repro.trace.loader.load_trace_collection` — the
+    same path the streaming service's live queries use, which is what
+    keeps ``report --json`` byte-identical to a live query. This wrapper
+    adds the CLI conventions: a missing path exits immediately; an
+    archive whose only damage is a truncated tail is reported as *still
+    growing* (a writer may be appending — the verified prefix is
+    analyzed, not an error); real damage (bit-flips, schema drift)
+    prints every finding; an unrecoverable archive aborts.
 
     The returned ``clean`` flag is False when recovery ran — the events
     in memory are then a *prefix* of the archive, so its health digest
     no longer addresses them (the analysis cache must stay off).
     """
-    import zlib
-    from zipfile import BadZipFile
+    from repro.trace.loader import load_trace_collection
 
     _require_trace_path(path)
-    clean = True
     try:
-        events, meta, sample_id = read_trace(path)
-    except (TraceFormatError, BadZipFile, OSError, ValueError, zlib.error):
-        from repro.trace.health import recover_read
-
-        clean = False
-        try:
-            events, meta, sample_id, findings = recover_read(path, journal=journal)
-        except TraceFormatError as exc:
-            raise SystemExit(f"memgaze: unrecoverable trace archive: {exc}") from exc
-        for f in findings:
+        loaded = load_trace_collection(path, journal=journal)
+    except TraceFormatError as exc:
+        raise SystemExit(f"memgaze: unrecoverable trace archive: {exc}") from exc
+    n_events = len(loaded.collection.events)
+    if loaded.growing:
+        print(
+            f"warning: {path}: archive tail is incomplete but undamaged — "
+            f"it appears to be still growing; analyzing the verified "
+            f"prefix of {n_events:,} events",
+            file=sys.stderr,
+        )
+    elif not loaded.clean:
+        for f in loaded.findings:
             print(f"warning: {path}: [{f.kind}] {f.detail}", file=sys.stderr)
         print(
             f"warning: {path}: damaged archive; analyzing the verified "
-            f"prefix of {len(events):,} events",
+            f"prefix of {n_events:,} events",
             file=sys.stderr,
         )
-    if sample_id is None:
-        sample_id = np.zeros(len(events), dtype=np.int32)
-    col = CollectionResult(
-        events=events,
-        sample_id=sample_id,
-        n_samples=meta.n_samples or (int(sample_id.max()) + 1 if len(sample_id) else 0),
-        n_loads_total=meta.n_loads_total or len(events),
-        config=SamplingConfig(
-            period=max(1, meta.period), buffer_capacity=max(1, meta.buffer_capacity)
-        ),
-    )
-    fn_names = {int(k): v for k, v in meta.extra.get("fn_names", {}).items()}
-    return col, meta, fn_names, clean
+    return loaded.collection, loaded.meta, loaded.fn_names, loaded.clean
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -307,6 +300,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
         metrics=metrics,
     )
     token = engine.window_token()
+
+    if args.json:
+        # the canonical machine-readable payload — built by the same
+        # helpers the streaming daemon serves, so this output is
+        # byte-identical to a live `memgaze query` over the same bytes
+        try:
+            if args.passes:
+                requested = [s.strip() for s in args.passes.split(",") if s.strip()]
+                results = engine.run_passes(
+                    col.events,
+                    requested,
+                    sample_id=col.sample_id,
+                    rho=rho,
+                    fn_names=fn_names,
+                    window_id=(token, "whole"),
+                    store_key=store_key,
+                )
+                payload = passes_payload(meta.module, col, rho, requested, results)
+            else:
+                payload = full_report_payload(
+                    meta.module,
+                    col,
+                    rho,
+                    fn_names,
+                    engine,
+                    window_token=token,
+                    store_key=store_key,
+                )
+        except (UnknownPassError, ValueError) as exc:
+            raise SystemExit(f"memgaze report: {exc}") from exc
+        print(payload_json(payload))
+        _report_tail(args, engine, journal, metrics)
+        return 0
 
     if args.passes:
         requested = [s.strip() for s in args.passes.split(",") if s.strip()]
@@ -591,6 +617,96 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"memgaze cache: unknown action {args.action!r}")  # pragma: no cover
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming analysis daemon (``memgaze serve``)."""
+    import asyncio
+    import signal
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.daemon import ServeConfig, TraceServer
+
+    journal = _open_journal(args)
+    metrics = MetricsRegistry()
+    config = ServeConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+
+    async def run() -> None:
+        server = TraceServer(config, journal=journal, metrics=metrics)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, lambda: asyncio.ensure_future(server.stop()))
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
+        print(f"memgaze serve: listening on {config.host}:{server.port}", flush=True)
+        await server.serve_until_stopped()
+
+    asyncio.run(run())
+    if journal is not None:
+        journal.close()
+    print("memgaze serve: stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Stream an existing archive into a live session (``memgaze submit``)."""
+    from repro.serve.client import ServeError, submit_archive
+
+    _require_trace_path(args.trace, "memgaze submit")
+    session = args.session or Path(args.trace).stem
+    try:
+        info = submit_archive(
+            args.trace,
+            host=args.host,
+            port=args.port,
+            session=session,
+            chunk_size=args.chunk_size,
+        )
+    except (ServeError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"memgaze submit: {exc}") from exc
+    shed = f" ({info['n_shed']} sheds absorbed)" if info["n_shed"] else ""
+    print(
+        f"submitted {info['n_events']:,} events in {info['n_chunks']} chunks "
+        f"to session {session!r}{shed}"
+    )
+    if info.get("archive"):
+        print(f"session archive: {info['archive']}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Query a live session's analysis (``memgaze query``)."""
+    from repro.serve.client import ServeClient, ServeError
+
+    passes = None
+    if args.passes:
+        passes = [s.strip() for s in args.passes.split(",") if s.strip()]
+    try:
+        with ServeClient(args.host, args.port) as client:
+            client.open(args.session)
+            info, payload = client.query(args.session, passes)
+    except (ServeError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"memgaze query: {exc}") from exc
+    if args.verbose:
+        print(
+            f"# session {info['session']}: {info['n_chunks']} chunks, "
+            f"{info['n_events']:,} events, last ingest mode "
+            f"{info.get('mode')!r}",
+            file=sys.stderr,
+        )
+    print(payload)
+    return 0
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -628,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--working-set", action="store_true", help="working-set curve")
     p_report.add_argument("--confidence", action="store_true", help="undersampling report")
     p_report.add_argument("--hotspots", action="store_true", help="hot-function ranking")
+    p_report.add_argument(
+        "--json", action="store_true",
+        help="print the canonical machine-readable payload instead of tables "
+        "(full report, or exactly --passes when given); byte-identical to a "
+        "live 'memgaze query' over the same archive bytes",
+    )
     p_report.add_argument(
         "--passes", default=None, metavar="NAME[,NAME...]",
         help="run exactly these registered analysis passes, fused in one scan "
@@ -715,6 +837,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_health.add_argument("trace")
     p_health.add_argument("--json", action="store_true", help="machine-readable report")
     p_health.set_defaults(fn=_cmd_validate_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming analysis daemon (live trace ingest + query)",
+    )
+    p_serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="state directory: per-session archives plus the analysis cache",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0: let the OS pick; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded ingest queue depth; a full queue sheds appends "
+        "with an explicit 'busy' response",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis worker processes per ingest/query (see report --workers)",
+    )
+    p_serve.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="events per analysis shard (default: auto)",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL run journal (per-session lines are tagged)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="stream a trace archive into a running daemon"
+    )
+    p_submit.add_argument("trace")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, required=True)
+    p_submit.add_argument(
+        "--session", default=None,
+        help="session name (default: the archive's stem)",
+    )
+    p_submit.add_argument(
+        "--chunk-size", type=int, default=1 << 16,
+        help="events per append frame (sample-aligned)",
+    )
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_query = sub.add_parser(
+        "query", help="query a live session's analysis from a running daemon"
+    )
+    p_query.add_argument("session")
+    p_query.add_argument("--host", default="127.0.0.1")
+    p_query.add_argument("--port", type=int, required=True)
+    p_query.add_argument(
+        "--passes", default=None, metavar="NAME[,NAME...]",
+        help="query exactly these passes (default: the full report payload)",
+    )
+    p_query.add_argument(
+        "--verbose", action="store_true",
+        help="print session state (chunks, events, ingest mode) to stderr",
+    )
+    p_query.set_defaults(fn=_cmd_query)
     return parser
 
 

@@ -186,6 +186,21 @@ class ArtifactStore:
         )
         self.cache.put(f"state-{digest[:32]}", state)
 
+    def get_state(self, digest: str) -> dict | None:
+        """The stored trace state for an exact digest, or ``None``.
+
+        Cheaper than :meth:`find_prefix_state` when the caller already
+        knows the digest it wants — the streaming service uses it to
+        confirm a session's archive has warm whole-trace state after an
+        ingest, without scanning every stored state.
+        """
+        state = self.cache.get(f"state-{digest[:32]}")
+        if state is MISS or not isinstance(state, dict):
+            return None
+        if state.get("schema") != SCHEMA_VERSION or state.get("digest") != digest:
+            return None
+        return state
+
     def find_prefix_state(self, health: dict) -> dict | None:
         """The longest stored trace state that is a strict prefix of ``health``.
 

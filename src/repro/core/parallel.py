@@ -916,6 +916,9 @@ class ParallelEngine:
             survivals=survivals,
             reuse=results["reuse"],
             pass_results=results,
+            digest=digest,
+            mode=mode,
+            skipped_events=skipped,
         )
 
 
@@ -932,6 +935,16 @@ class FileAnalysis:
     reuse: ReuseHistogram
     #: every scheduled pass's finalized result, keyed by pass name
     pass_results: dict = field(default_factory=dict)
+    #: content digest the analysis was addressed under (None when the
+    #: archive has no usable health record or no store was configured)
+    digest: str | None = None
+    #: how the results were obtained: ``"cached"`` (served whole from
+    #: the store), ``"incremental"`` (cached prefix + tail scan), or
+    #: ``"full"`` (cold scan). The streaming service surfaces this in
+    #: query responses so clients can see the incremental path working.
+    mode: str = "full"
+    #: events skipped by the verified-prefix scan in incremental mode
+    skipped_events: int = 0
 
     @property
     def reuse_scope(self) -> str:

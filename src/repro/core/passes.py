@@ -77,6 +77,7 @@ __all__ = [
     "merge_partial_lists",
     "finalize_schedule",
     "fused_scan",
+    "to_jsonable",
     "DiagnosticsPartial",
     "CapturesPartial",
 ]
@@ -208,6 +209,42 @@ class RunContext:
         return self.results[name]
 
 
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a pass result into JSON-serializable types.
+
+    Dataclasses become ``{field: value}`` dicts, numpy arrays become
+    (nested) lists, numpy scalars become Python ints/floats/bools, and
+    tuples become lists. Dict keys are stringified when they are not
+    already strings (JSON requires string keys; ``sort_keys`` then gives
+    a canonical ordering). The conversion is structural and
+    deterministic — no timestamps, ids, or hashes are introduced — so
+    two identical results serialize byte-identically.
+    """
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else str(k)): to_jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
 # -- the pass protocol and registry -------------------------------------------
 
 
@@ -256,6 +293,19 @@ class AnalysisPass:
     def render(self, result: Any) -> str:
         """Human-readable result block for ``memgaze report --passes``."""
         return str(result)
+
+    def jsonable(self, result: Any) -> Any:
+        """Machine-readable result for ``report --json`` and live queries.
+
+        The default converts generically (:func:`to_jsonable`:
+        dataclasses to dicts, numpy to Python scalars/lists); override
+        when a pass's result benefits from named fields the structure
+        alone does not convey (see :class:`CapturesPass`). The output
+        must be deterministic — two runs over the same trace must
+        serialize byte-identically, because the streaming service's
+        live-query/offline-report equivalence is asserted on the JSON.
+        """
+        return to_jsonable(result)
 
     @property
     def description(self) -> str:
@@ -728,6 +778,10 @@ class CapturesPass(AnalysisPass):
     def render(self, result):
         c, s = result
         return f"captures C: {c:,}   survivals S: {s:,}"
+
+    def jsonable(self, result):
+        c, s = result
+        return {"captures": to_jsonable(c), "survivals": to_jsonable(s)}
 
 
 @register_pass

@@ -1,13 +1,23 @@
-"""Paper-style table rendering for analysis results.
+"""Paper-style table rendering and canonical JSON payloads.
 
 The benchmark harness prints the same rows the paper's tables report;
 these renderers take the analysis layer's structures and format them with
 humanised quantities (2.3G, 291K) so output is directly comparable to the
 published tables.
+
+The JSON side (:func:`passes_payload`, :func:`full_report_payload`,
+:func:`payload_json`) is the **single** serialization used by both
+``memgaze report --json`` and the streaming service's live queries.
+Payloads deliberately carry no path, timestamp, or host field — only
+trace content and analysis results — so a live query against a session
+archive and an offline report over the same bytes serialize
+byte-identically. That equivalence is asserted by the serve test suite;
+any field added here must stay deterministic.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Mapping, Sequence
 
 from repro._util.tables import format_table
@@ -19,6 +29,9 @@ __all__ = [
     "render_function_table",
     "render_region_table",
     "render_interval_table",
+    "passes_payload",
+    "full_report_payload",
+    "payload_json",
 ]
 
 _UNITS = [(1e9, "G"), (1e6, "M"), (1e3, "K")]
@@ -85,6 +98,83 @@ def render_region_table(
         ]
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+# -- canonical JSON payloads ---------------------------------------------------
+
+#: Bump when the payload layout changes; golden fixtures pin it.
+PAYLOAD_SCHEMA = 1
+
+
+def passes_payload(module, collection, rho, requested, results) -> dict:
+    """The canonical machine-readable payload for finalized pass results.
+
+    ``requested`` preserves the caller's pass order only in spirit — the
+    ``passes`` mapping is serialized with sorted keys, so order never
+    affects the bytes. Every field is derived from trace content and the
+    analysis results; nothing environmental (paths, times, hosts) may
+    appear here, or live-vs-offline equivalence breaks.
+    """
+    from repro.core.passes import get_pass
+
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "module": module,
+        "n_events": int(len(collection.events)),
+        "n_samples": int(collection.n_samples),
+        "n_loads_total": int(collection.n_loads_total),
+        "rho": float(rho),
+        "passes": {
+            name: get_pass(name).jsonable(results[name]) for name in requested
+        },
+    }
+
+
+def full_report_payload(
+    module,
+    collection,
+    rho,
+    fn_names,
+    engine,
+    *,
+    window_token=None,
+    store_key=None,
+) -> dict:
+    """The whole-trace ``report --json`` payload (default pass set).
+
+    Runs the four headline passes fused (diagnostics, hotspot, captures,
+    reuse) plus the per-function code windows, through the same engine
+    path the human-readable report uses.
+    """
+    from repro.core.passes import to_jsonable
+
+    names = ["diagnostics", "hotspot", "captures", "reuse"]
+    token = window_token if window_token is not None else engine.window_token()
+    results = engine.run_passes(
+        collection.events,
+        names,
+        sample_id=collection.sample_id,
+        rho=rho,
+        fn_names=fn_names,
+        window_id=(token, "whole"),
+        store_key=store_key,
+    )
+    payload = passes_payload(module, collection, rho, names, results)
+    windows = engine.code_windows(collection.events, rho=rho, fn_names=fn_names)
+    payload["functions"] = {
+        name: to_jsonable(d) for name, d in sorted(windows.items())
+    }
+    return payload
+
+
+def payload_json(payload: dict) -> str:
+    """Serialize a payload canonically (sorted keys, 2-space indent).
+
+    One serializer for every producer — the CLI prints exactly this
+    string and the streaming daemon sends exactly this string, so a
+    byte comparison between the two is meaningful.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_interval_table(

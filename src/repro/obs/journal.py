@@ -36,7 +36,7 @@ from pathlib import Path
 from types import TracebackType
 from typing import Any, Iterator
 
-__all__ = ["RunJournal", "read_journal"]
+__all__ = ["RunJournal", "BoundJournal", "read_journal"]
 
 
 def _new_run_id() -> str:
@@ -145,6 +145,63 @@ class RunJournal:
     def record_metrics(self, registry, **fields: Any) -> None:
         """Journal a metrics registry snapshot as one ``metrics`` line."""
         self.emit("metrics", metrics=registry.as_dict(), **fields)
+
+    def bind(self, **fields: Any) -> "BoundJournal":
+        """A view of this journal that adds ``fields`` to every line.
+
+        See :class:`BoundJournal`; the streaming service binds
+        ``session=<name>`` so one daemon journal is filterable per
+        client stream.
+        """
+        return BoundJournal(self, fields)
+
+
+class BoundJournal:
+    """A journal view that stamps fixed fields onto every line.
+
+    ``journal.bind(session="s1")`` gives the streaming service (or any
+    multi-tenant caller) a handle it can pass anywhere a
+    :class:`RunJournal` goes — the engine, ``iter_trace_chunks``, pool
+    workers — and every emitted line carries the bound fields, so one
+    shared journal file can be filtered per session after the fact.
+    Binding nests (``bind(a=1).bind(b=2)``) and call-site fields win
+    over bound ones. Pickles like the underlying journal: only the
+    address and the bound fields cross process boundaries.
+    """
+
+    def __init__(self, journal: "RunJournal", fields: dict) -> None:
+        self._journal = journal
+        self._fields = dict(fields)
+
+    @property
+    def path(self):
+        return self._journal.path
+
+    @property
+    def run_id(self) -> str:
+        return self._journal.run_id
+
+    def bind(self, **fields: Any) -> "BoundJournal":
+        """A further-bound view (the new fields win on key collision)."""
+        return BoundJournal(self._journal, {**self._fields, **fields})
+
+    def emit(self, event: str, **fields: Any) -> None:
+        self._journal.emit(event, **{**self._fields, **fields})
+
+    def stage(self, stage: str, **fields: Any) -> _JournalStage:
+        return _JournalStage(self, stage, fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self.emit("warning", message=message, **fields)
+
+    def record_timers(self, timers, **fields: Any) -> None:
+        self._journal.record_timers(timers, **{**self._fields, **fields})
+
+    def record_metrics(self, registry, **fields: Any) -> None:
+        self._journal.record_metrics(registry, **{**self._fields, **fields})
+
+    def close(self) -> None:
+        """No-op: the underlying journal owns the descriptor."""
 
 
 def read_journal(path) -> Iterator[dict]:

@@ -1,0 +1,38 @@
+"""Streaming analysis service: live trace ingest + incremental analysis.
+
+The batch pipeline waits for a finished archive; this package turns the
+prefix-incremental analysis path (:mod:`repro.core.artifacts` +
+:class:`repro.trace.tracefile.PrefixSkip`) into a long-lived daemon so a
+trace can be *queried while it is still being written*:
+
+* :mod:`repro.serve.protocol` — the length-prefixed wire format shared
+  by daemon and client (JSON header + raw array payload);
+* :mod:`repro.serve.session` — per-stream session state: the growing
+  archive, its analysis snapshot, and the ingest/query workers;
+* :mod:`repro.serve.daemon` — the asyncio server: bounded ingest queue
+  with explicit load-shedding, graceful drain-and-flush shutdown;
+* :mod:`repro.serve.client` — a small blocking client library backing
+  ``memgaze submit`` / ``memgaze query``.
+
+The service contract is the same bit-identical one the parallel engine
+honors: a live ``query`` response equals ``memgaze report --json
+--passes ...`` run offline on an archive holding exactly the chunks
+ingested so far (``docs/serving.md``).
+"""
+
+from repro.serve.client import ServeBusy, ServeClient, ServeError, submit_archive
+from repro.serve.daemon import ServeConfig, TraceServer
+from repro.serve.protocol import ProtocolError
+from repro.serve.session import SessionManager, ServeSession
+
+__all__ = [
+    "ProtocolError",
+    "ServeBusy",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeSession",
+    "SessionManager",
+    "TraceServer",
+    "submit_archive",
+]

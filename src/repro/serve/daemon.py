@@ -1,0 +1,321 @@
+"""The asyncio streaming-analysis daemon (``memgaze serve``).
+
+One :class:`TraceServer` accepts any number of client connections, each
+speaking the framed protocol of :mod:`repro.serve.protocol`. The
+concurrency model is deliberately simple and fully serialized where it
+matters:
+
+* **asyncio** handles sockets — many connections, one event loop;
+* every ``append`` is enqueued on one **bounded** :class:`asyncio.Queue`
+  and executed by one single-threaded executor, in arrival order;
+* every ``query`` runs on the *same* single-threaded executor — so a
+  query never observes a half-ingested archive, and the bit-identical
+  contract with the offline report holds without locks.
+
+Backpressure is **explicit load-shedding**, not silent buffering: when
+the ingest queue is full, the ``append`` is rejected immediately with a
+``busy`` response carrying a suggested retry delay, the rejection is
+journaled, and ``serve.shed`` counts it. Clients (see
+:func:`repro.serve.client.submit_archive`) back off and retry; the
+daemon's memory stays bounded by ``queue_size`` frames regardless of how
+fast clients push.
+
+Graceful shutdown (``stop``): stop accepting connections, drain the
+ingest queue, flush and close every session, journal the final metrics
+snapshot. Because sessions publish their archive atomically on *every*
+ingest, even a SIGKILL leaves archives that ``memgaze validate-trace``
+accepts — graceful shutdown just guarantees nothing queued is dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._util.timers import StageTimers
+from repro.core.artifacts import ArtifactStore
+from repro.core.parallel import ParallelEngine
+from repro.core.report import payload_json
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_chunk,
+    pack_frame,
+    read_frame,
+)
+from repro.serve.session import SessionManager
+from repro.trace.tracefile import TraceMeta
+
+__all__ = ["ServeConfig", "TraceServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs; defaults suit tests and single-host use."""
+
+    root: Path | str = "serve-state"
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick; the bound port is self.port
+    queue_size: int = 64
+    workers: int = 1
+    chunk_size: int | None = None
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: busy responses carry this suggested client backoff
+    retry_ms: int = 50
+    #: accept the ``shutdown`` message (tests and local use; a shared
+    #: daemon would disable it)
+    allow_shutdown: bool = True
+
+
+class TraceServer:
+    """The streaming service: sockets in front, one worker thread behind.
+
+    ``ingest_hook`` is a test seam: a callable invoked at the start of
+    every ingest, *on the worker thread* — a test that blocks in it
+    holds the worker, fills the bounded queue, and observes
+    deterministic load-shedding.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        journal=None,
+        metrics=None,
+        ingest_hook=None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.journal = journal
+        self.metrics = metrics
+        self.timers = StageTimers()
+        self._ingest_hook = ingest_hook
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._worker: asyncio.Task | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._stopping = asyncio.Event()
+        self.manager: SessionManager | None = None
+        self.engine: ParallelEngine | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the ingest worker."""
+        cfg = self.config
+        root = Path(cfg.root)
+        store = ArtifactStore(
+            root / "cache", journal=self.journal, metrics=self.metrics
+        )
+        self.engine = ParallelEngine(
+            workers=cfg.workers,
+            chunk_size=cfg.chunk_size,
+            store=store,
+            journal=self.journal,
+            metrics=self.metrics,
+        )
+        self.manager = SessionManager(
+            root / "sessions", journal=self.journal, metrics=self.metrics
+        )
+        self._queue = asyncio.Queue(maxsize=cfg.queue_size)
+        # ONE thread: ingest and query interleave but never overlap, so
+        # a query always sees a complete, settled archive.
+        self._pool = ThreadPoolExecutor(max_workers=1)
+        self._worker = asyncio.create_task(self._ingest_worker())
+        self._server = await asyncio.start_server(
+            self._handle_client, cfg.host, cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.journal is not None:
+            self.journal.emit(
+                "serve-start",
+                host=cfg.host,
+                port=self.port,
+                root=str(root),
+                queue_size=cfg.queue_size,
+            )
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`stop` (or a ``shutdown`` frame) fires."""
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        """Request a graceful shutdown (idempotent)."""
+        self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        """Drain the queue, flush sessions, close everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue is not None:
+            await self._queue.join()
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+        closed = self.manager.close_all() if self.manager is not None else []
+        if self.journal is not None:
+            self.journal.emit("serve-stop", sessions_flushed=len(closed))
+            self.journal.record_timers(self.timers)
+            if self.metrics is not None:
+                self.journal.record_metrics(self.metrics)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self.engine is not None:
+            self.engine.close()
+
+    # -- the ingest pipeline ---------------------------------------------------
+
+    async def _ingest_worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            name, events, sample_id = await self._queue.get()
+            try:
+                await loop.run_in_executor(
+                    self._pool, self._do_ingest, name, events, sample_id
+                )
+            except Exception as exc:  # keep the worker alive
+                if self.journal is not None:
+                    self.journal.warning(
+                        f"ingest failed: {type(exc).__name__}: {exc}",
+                        session=name,
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("serve.ingest_errors").inc()
+            finally:
+                self._queue.task_done()
+                self._gauge_depth()
+
+    def _do_ingest(self, name: str, events, sample_id) -> None:
+        """Worker-thread body of one accepted append."""
+        if self._ingest_hook is not None:
+            self._ingest_hook(name, len(events))
+        session = self.manager.get(name)
+        t0 = time.perf_counter()
+        info = session.ingest(events, sample_id, self.engine)
+        self.timers.add("serve-ingest", time.perf_counter() - t0, items=len(events))
+        if self.metrics is not None:
+            self.metrics.counter("serve.accepted").inc()
+            self.metrics.counter("serve.events_ingested").inc(len(events))
+        if session.journal is not None:
+            session.journal.emit("chunk-ingested", **info)
+
+    def _gauge_depth(self) -> None:
+        if self.metrics is not None and self._queue is not None:
+            self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+
+    # -- per-connection protocol loop ------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        opened: set[str] = set()
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(
+                        reader, self.config.max_frame_bytes
+                    )
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    response = await self._dispatch(header, payload, opened)
+                except ProtocolError as exc:
+                    response = ({"type": "error", "error": str(exc)}, b"")
+                except (KeyError, ValueError) as exc:
+                    response = ({"type": "error", "error": str(exc)}, b"")
+                writer.write(pack_frame(*response))
+                await writer.drain()
+                if header.get("type") == "shutdown" and self._stopping.is_set():
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, header: dict, payload: bytes, opened: set[str]
+    ) -> tuple[dict, bytes]:
+        kind = header.get("type")
+        if kind == "ping":
+            return {"type": "ok", "port": self.port}, b""
+
+        if kind == "open":
+            if header.get("protocol") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol version mismatch: client "
+                    f"{header.get('protocol')!r}, server {PROTOCOL_VERSION}"
+                )
+            name = header.get("session")
+            meta = TraceMeta.from_json(
+                payload.decode("utf-8")
+            ) if payload else TraceMeta(module=str(name))
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._pool, self.manager.open, name, meta
+            )
+            opened.add(name)
+            return {"type": "ok", "session": name}, b""
+
+        if kind == "append":
+            name = header.get("session")
+            if name not in opened:
+                raise ProtocolError(f"append before open for session {name!r}")
+            events, sample_id = decode_chunk(header, payload)
+            try:
+                self._queue.put_nowait((name, events, sample_id))
+            except asyncio.QueueFull:
+                if self.metrics is not None:
+                    self.metrics.counter("serve.shed").inc()
+                if self.journal is not None:
+                    self.journal.warning(
+                        "ingest queue full — append load-shed",
+                        session=name,
+                        n_events=int(len(events)),
+                        queue_size=self.config.queue_size,
+                        reason="queue-full",
+                    )
+                return {
+                    "type": "busy",
+                    "retry_ms": self.config.retry_ms,
+                    "queue_size": self.config.queue_size,
+                }, b""
+            self._gauge_depth()
+            return {"type": "ok", "queued": True}, b""
+
+        if kind == "query":
+            name = header.get("session")
+            session = self.manager.get(name)
+            passes = header.get("passes")  # None: full report
+            loop = asyncio.get_running_loop()
+            info, payload_obj = await loop.run_in_executor(
+                self._pool, session.query, passes, self.engine
+            )
+            if self.metrics is not None:
+                self.metrics.counter("serve.queries").inc()
+            text = payload_json(payload_obj)
+            return {"type": "result", **info}, text.encode("utf-8")
+
+        if kind == "close":
+            name = header.get("session")
+            if self._queue is not None:
+                await self._queue.join()  # everything queued lands first
+            info = self.manager.close(name)
+            opened.discard(name)
+            return {"type": "ok", **info}, b""
+
+        if kind == "shutdown":
+            if not self.config.allow_shutdown:
+                raise ProtocolError("shutdown is disabled on this server")
+            await self.stop()
+            return {"type": "ok", "stopping": True}, b""
+
+        raise ProtocolError(f"unknown message type {kind!r}")

@@ -33,6 +33,7 @@ needed to identify the trace and salvage its event prefix.
 from __future__ import annotations
 
 import json
+import os
 import zipfile
 import zlib
 from dataclasses import asdict, dataclass, field
@@ -137,16 +138,26 @@ def write_trace(
     events: np.ndarray,
     meta: TraceMeta,
     sample_id: np.ndarray | None = None,
+    *,
+    atomic: bool = False,
 ) -> int:
-    """Write a trace archive; returns the on-disk size in bytes."""
+    """Write a trace archive; returns the on-disk size in bytes.
+
+    With ``atomic=True`` the archive is written to a temporary sibling
+    and published with ``os.replace``, so a concurrent reader only ever
+    sees a complete archive — never a half-written zip. The streaming
+    service rewrites per-session archives on every ingest through this
+    path; live ``memgaze report`` / ``validate-trace`` runs against a
+    growing session archive therefore always find a valid file.
+    """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     path = Path(path)
+    # small identifying members first: a tail-truncated file keeps them
     if sample_id is not None:
         if len(sample_id) != len(events):
             raise ValueError("sample_id length must match events")
         sample_id = np.asarray(sample_id, dtype=np.int32)
-    # small identifying members first: a tail-truncated file keeps them
     health = _health_record(events, sample_id)
     arrays = {
         "meta": np.frombuffer(meta.to_json().encode("utf-8"), dtype=np.uint8),
@@ -155,9 +166,14 @@ def write_trace(
     }
     if sample_id is not None:
         arrays["sample_id"] = sample_id
-    np.savez_compressed(path, **arrays)
     # numpy appends .npz when missing
     actual = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+    if atomic:
+        tmp = actual.with_name(f".{actual.stem}.tmp.npz")
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, actual)
+    else:
+        np.savez_compressed(path, **arrays)
     return actual.stat().st_size
 
 

@@ -1,13 +1,63 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Randomness discipline (``docs/testing.md``): tests never call
+``np.random.default_rng`` with an ad-hoc literal — they take the ``rng``
+(or ``make_rng``) fixture, which derives a generator from one suite-wide
+seed plus the test's node id via :func:`repro._util.rng.derive_rng`. Every
+test is reproducible in isolation (the stream depends only on the seed
+and the test's identity, not on execution order), and the whole suite
+can be re-rolled with ``MEMGAZE_TEST_SEED=n pytest`` to shake out
+seed-lottery assertions.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.simmem import AccessRecorder, AddressSpace
 from repro.trace.event import LoadClass, make_events
 from repro.trace.sampler import SamplingConfig
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report fixtures under tests/integration/"
+        "golden/ from current analysis output instead of comparing",
+    )
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The suite-wide base seed (override with ``MEMGAZE_TEST_SEED``)."""
+    return int(os.environ.get("MEMGAZE_TEST_SEED", "20220828"))
+
+
+@pytest.fixture
+def make_rng(test_seed: int, request: pytest.FixtureRequest):
+    """Factory for named, decoupled per-test generators.
+
+    ``make_rng()`` is the test's main stream; ``make_rng("writer")``
+    etc. give statistically independent side streams. All derive from
+    the suite seed and this test's node id.
+    """
+
+    def make(*context: str | int) -> np.random.Generator:
+        return derive_rng(test_seed, request.node.nodeid, *context)
+
+    return make
+
+
+@pytest.fixture
+def rng(make_rng) -> np.random.Generator:
+    """This test's deterministic random generator."""
+    return make_rng()
 
 
 @pytest.fixture
@@ -26,9 +76,9 @@ def small_config() -> SamplingConfig:
 
 
 @pytest.fixture
-def mixed_events() -> np.ndarray:
+def mixed_events(test_seed: int) -> np.ndarray:
     """A deterministic stream mixing strided, irregular, and constant loads."""
-    rng = np.random.default_rng(42)
+    rng = derive_rng(test_seed, "mixed-events")
     n = 20_000
     kind = np.arange(n) % 4
     addr = np.where(

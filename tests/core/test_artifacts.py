@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.artifacts import MISS, SCHEMA_VERSION, ArtifactStore, freeze_params
 from repro.core.parallel import ParallelEngine
 from repro.obs.journal import RunJournal, read_journal
@@ -32,7 +33,7 @@ SAMPLE = 500
 
 def _trace(n, seed=0):
     """Deterministic mixed trace; sample ids are runs of SAMPLE events."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, "artifacts-trace")
     ev = make_events(
         ip=rng.integers(0, 40, n),
         addr=rng.integers(0, 1 << 18, n),

@@ -75,18 +75,17 @@ class TestPrefetcher:
         assert warm.hit_ratio > cold.hit_ratio
         assert warm.hit_ratio > 0.95
 
-    def test_prefetch_does_not_help_random(self):
-        rng = np.random.default_rng(0)
+    def test_prefetch_does_not_help_random(self, rng):
         ev = make_events(ip=1, addr=rng.integers(0, 1 << 20, 5000) * 64, cls=2)
         cfg = CacheConfig(size_bytes=4096, line_bytes=64, ways=4, prefetch_next_line=True)
         assert simulate_cache(ev, cfg).hit_ratio < 0.05
 
 
 class TestDistancePredictsHits:
-    def test_fully_associative_matches_reuse_distance(self):
+    def test_fully_associative_matches_reuse_distance(self, make_rng):
         """An access hits a fully-associative LRU of capacity C iff its
         spatio-temporal reuse distance (in lines) is < C."""
-        rng = np.random.default_rng(1)
+        rng = make_rng("fa-lru")
         addr = rng.integers(0, 256, 4000) * 64
         ev = make_events(ip=1, addr=addr, cls=2)
         ways = 32
@@ -96,8 +95,7 @@ class TestDistancePredictsHits:
         predicted_hits = int(((d >= 0) & (d < ways)).sum())
         assert stats.n_hits == predicted_hits
 
-    def test_hit_ratio_monotone_in_size(self):
-        rng = np.random.default_rng(2)
+    def test_hit_ratio_monotone_in_size(self, rng):
         ev = make_events(ip=1, addr=rng.integers(0, 4096, 5000) * 64, cls=2)
         ratios = [
             simulate_cache(ev, CacheConfig(size_bytes=s, line_bytes=64, ways=8)).hit_ratio

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.diff import diff_traces
 from repro.trace.collector import collect_sampled_trace
 from repro.trace.event import LoadClass, make_events
@@ -15,7 +16,7 @@ def _collection(per_fn: dict[int, tuple[int, int]]):
     """Build a collection: fn -> (n_accesses, cls)."""
     parts = []
     for fid, (n, cls) in per_fn.items():
-        rng = np.random.default_rng(fid)
+        rng = derive_rng(fid, "diff-collection")
         addr = (
             (np.arange(n) * 8) % 65536
             if cls == int(LoadClass.STRIDED)

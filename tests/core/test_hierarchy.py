@@ -42,8 +42,7 @@ class TestHierarchy:
         assert stats.l2_hits > stats.l1_hits
         assert stats.misses <= 256
 
-    def test_giant_working_set_goes_to_memory(self):
-        rng = np.random.default_rng(0)
+    def test_giant_working_set_goes_to_memory(self, rng):
         addr = rng.integers(0, 1 << 22, 5000) * 64
         cfg = HierarchyConfig(
             l1=CacheConfig(size_bytes=4096, ways=8),
@@ -85,11 +84,11 @@ class TestHierarchy:
 
 
 class TestCostModelGrounding:
-    def test_amat_ratio_justifies_cost_constants(self):
+    def test_amat_ratio_justifies_cost_constants(self, make_rng):
         """The MemoryCostModel charges irregular accesses ~60x a strided
         one; the hierarchy's AMAT ratio for pure streams vs pure random
         traffic lands in the same order of magnitude."""
-        rng = np.random.default_rng(1)
+        rng = make_rng("amat-ratio")
         strided = make_events(ip=1, addr=np.arange(30_000) * 8, cls=1)
         irregular = make_events(ip=1, addr=rng.integers(0, 1 << 22, 30_000) * 64, cls=2)
         amat_s = simulate_hierarchy(strided).amat

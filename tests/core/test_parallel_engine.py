@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro._util.rng import derive_rng
 from repro.core.diagnostics import compute_diagnostics
 from repro.core.heatmap import access_heatmap
 from repro.core.metrics import captures_survivals, footprint, footprint_by_class
@@ -32,7 +33,7 @@ WORKERS = [1, 2, 8]
 
 def _trace(n=4000, seed=0, n_samples=13, const_frac=0.2):
     """A deterministic mixed-class trace with sample ids."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, "parallel-engine-trace")
     ev = make_events(
         ip=rng.integers(0, 40, n),
         addr=rng.integers(0, 1 << 18, n),
@@ -58,8 +59,7 @@ class TestPlanShards:
     def test_empty(self):
         assert plan_shards(0, chunk_size=10) == []
 
-    def test_never_splits_a_sample(self):
-        rng = np.random.default_rng(3)
+    def test_never_splits_a_sample(self, rng):
         sid = np.sort(rng.integers(0, 20, 500))
         for chunk in (1, 7, 64, 500, 1000):
             for lo, hi in plan_shards(500, sid, chunk_size=chunk):
@@ -85,7 +85,7 @@ class TestPlanShards:
     )
     @settings(max_examples=40, deadline=None)
     def test_property_partition(self, n, chunk, seed):
-        rng = np.random.default_rng(seed)
+        rng = derive_rng(seed, "plan-shards-property")
         sid = np.sort(rng.integers(0, 9, n))
         shards = plan_shards(n, sid, chunk_size=chunk)
         flat = [i for lo, hi in shards for i in range(lo, hi)]

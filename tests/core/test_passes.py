@@ -15,6 +15,7 @@ import json
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.diagnostics import compute_diagnostics
 from repro.core.heatmap import access_heatmap, heatmap_geometry
 from repro.core.hotspot import find_hotspots, roi_from_hotspots
@@ -42,7 +43,7 @@ FN_NAMES = {i: f"f{i}" for i in range(6)}
 
 
 def _trace(n=3000, seed=0, n_samples=13, const_frac=0.2):
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, "passes-trace")
     ev = make_events(
         ip=rng.integers(0x400000, 0x400000 + 4 * 40, n),
         addr=rng.integers(0, 1 << 18, n),

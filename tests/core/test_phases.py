@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.phases import detect_phases, sample_features
 from repro.trace.collector import collect_sampled_trace
 from repro.trace.event import LoadClass, make_events
@@ -11,7 +12,7 @@ from repro.trace.sampler import SamplingConfig
 
 def _alternating_collection(phase_loads=20_000, n_phases=4):
     """Alternating strided / irregular phases."""
-    rng = np.random.default_rng(0)
+    rng = derive_rng(0, "phases-alternating")
     parts = []
     for k in range(n_phases):
         if k % 2 == 0:
@@ -78,7 +79,7 @@ class TestDetectPhases:
     def test_high_threshold_merges_mild_variation(self):
         # phases with strided shares ~0.6 and ~0.4: a 0.3 threshold sees
         # one mixed phase; a 0.05 threshold splits them
-        rng = np.random.default_rng(3)
+        rng = derive_rng(3, "phases-threshold")
         parts = []
         for k in range(4):
             n = 20_000

@@ -120,8 +120,7 @@ class TestEveryPass:
         assert h.merge(ReuseHistogram.identity()).d_sum == 0
         assert h.scope == "sample"
 
-    def test_empty_chunk_among_nonempty_shards(self):
-        rng = np.random.default_rng(7)
+    def test_empty_chunk_among_nonempty_shards(self, rng):
         ev = make_events(
             ip=rng.integers(0, 9, 600), addr=rng.integers(0, 1 << 14, 600),
             cls=np.ones(600, dtype=np.uint8),

@@ -3,13 +3,14 @@
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
 from repro.trace.event import make_events
 
 
 def _two_region_stream(n=8000):
     """Half the accesses sweep region A (64 KiB), half hammer region B (4 KiB)."""
-    rng = np.random.default_rng(0)
+    rng = derive_rng(0, "zoom-two-region")
     a = 0x10_0000 + (np.arange(n // 2) * 8) % 65536
     b = 0x40_0000 + rng.integers(0, 512, n // 2) * 8
     addr = np.empty(n, dtype=np.uint64)

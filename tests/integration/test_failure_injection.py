@@ -82,7 +82,7 @@ class TestAnnotationMismatch:
 
 
 class TestDropsThroughRebuild:
-    def test_dropped_packets_resync_end_to_end(self):
+    def test_dropped_packets_resync_end_to_end(self, rng):
         """perf-style burst drops on the raw packet stream -> resync
         rebuild recovers every intact record."""
         b = ProgramBuilder("m")
@@ -98,7 +98,6 @@ class TestDropsThroughRebuild:
         res = Interpreter(inst.module, space).run("f", 0x1000, mode="instrumented")
         packets = res.packets
 
-        rng = np.random.default_rng(0)
         keep = np.ones(len(packets), dtype=bool)
         for start in rng.integers(0, len(packets) - 64, 12):
             keep[start : start + 64] = False

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 import faults
+from repro._util.rng import derive_rng
 from repro.obs.journal import RunJournal, read_journal
 from repro.trace.event import make_events
 from repro.trace.health import (
@@ -30,9 +31,9 @@ N_EVENTS = 3 * HEALTH_CHUNK_EVENTS + 1234  # spans four checksum chunks
 
 
 @pytest.fixture(scope="module")
-def archive(tmp_path_factory):
+def archive(tmp_path_factory, test_seed):
     """A healthy multi-chunk trace archive (events + sample_id)."""
-    rng = np.random.default_rng(11)
+    rng = derive_rng(test_seed, "health-archive")
     ev = make_events(
         ip=rng.integers(0, 64, N_EVENTS),
         addr=rng.integers(0, 1 << 24, N_EVENTS),

@@ -57,10 +57,9 @@ class TestSemantics:
             hmap.insert(k, float(k))
         assert sorted(hmap.items()) == [(3, 3.0), (5, 5.0), (9, 9.0)]
 
-    def test_neighborhood_invariant(self, space, recorder):
+    def test_neighborhood_invariant(self, space, recorder, rng):
         """Every key is within H slots of its home bucket."""
         m = HopscotchMap(space, recorder, capacity=32)
-        rng = np.random.default_rng(0)
         for k in rng.integers(0, 10_000, 60):
             m.insert(int(k), 1.0)
         for s in np.flatnonzero(m._keys != -1):

@@ -229,8 +229,14 @@ class TestValidateTrace:
         assert "TRUNCATION" in capsys.readouterr().out
 
     @pytest.mark.faults
-    def test_report_survives_truncated_archive(self, tmp_path, capsys):
-        """Acceptance: report on a damaged archive completes, journaled."""
+    def test_report_survives_truncated_archive(self, tmp_path, capsys, rng):
+        """Acceptance: report on a tail-truncated archive completes.
+
+        Pure tail truncation is exactly what a reader racing a
+        still-appending writer sees, so the report treats it as a
+        *still-growing* archive (not corruption): the verified prefix is
+        analyzed and the journal carries a ``still-growing`` warning.
+        """
         import numpy as np
 
         from obs import faults
@@ -238,7 +244,6 @@ class TestValidateTrace:
         from repro.trace.tracefile import HEALTH_CHUNK_EVENTS, TraceMeta, write_trace
 
         n = 3 * HEALTH_CHUNK_EVENTS
-        rng = np.random.default_rng(5)
         ev = make_events(
             ip=rng.integers(0, 32, n),
             addr=rng.integers(0, 1 << 22, n),
@@ -255,9 +260,10 @@ class TestValidateTrace:
         captured = capsys.readouterr()
         assert rc == 0, "report must complete on a tail-truncated archive"
         assert "footprint access diagnostics" in captured.out
-        assert "damaged archive" in captured.err
+        assert "still growing" in captured.err
+        assert "verified prefix" in captured.err
         recs = [json.loads(line) for line in journal.read_text().splitlines()]
-        assert any(r["event"] == "warning" for r in recs)
+        assert any(r.get("reason") == "still-growing" for r in recs)
         assert any(r["event"] == "trace-recovered" for r in recs)
 
 

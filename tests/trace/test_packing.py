@@ -80,8 +80,7 @@ class TestRoundTrip:
         ev = _strided(64)
         assert np.array_equal(unpack_strided_runs(pack_strided_runs(ev)), ev)
 
-    def test_mixed_stream(self):
-        rng = np.random.default_rng(0)
+    def test_mixed_stream(self, rng):
         parts = []
         t = 0
         for k in range(6):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.trace.event import make_events
 from repro.trace.tracefile import (
     TraceFormatError,
@@ -58,7 +59,7 @@ class TestRoundTrip:
 
 
 def _big_trace(n=5000, n_samples=17, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed, "tracefile-big-trace")
     ev = make_events(
         ip=rng.integers(0, 30, n),
         addr=rng.integers(0, 1 << 16, n),

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro._util.rng import derive_rng
 from repro.core.diagnostics import compute_diagnostics
 from repro.trace.collector import collect_sampled_trace
 from repro.trace.event import make_events
@@ -11,7 +12,7 @@ from repro.workloads.parallel import interleave_streams, split_vertices
 
 
 def _thread_stream(tid: int, n=30_000):
-    rng = np.random.default_rng(tid)
+    rng = derive_rng(tid, "parallel-thread-stream")
     addr = np.where(
         np.arange(n) % 2 == 0,
         0x10_0000 + tid * (1 << 20) + (np.arange(n) * 8) % 65536,
