@@ -1,0 +1,110 @@
+"""Generated CLI reference: ``memgaze`` parser → markdown.
+
+``docs/cli.md`` is *rendered from* :func:`repro.cli.build_parser`, never
+written by hand, so it cannot drift from the real flags:
+
+* regenerate with ``PYTHONPATH=src python -m repro._util.clidoc > docs/cli.md``;
+* ``tests/docs/test_cli_reference.py`` re-renders it and fails the build
+  when the committed file differs from the parser.
+
+The renderer walks the parser's subcommands and emits one section per
+verb with its positionals and options — name, value placeholder,
+default, and help text — in the parser's declaration order (which is
+deterministic), so identical parsers always render identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["render_cli_markdown"]
+
+_HEADER = """\
+# `memgaze` command reference
+
+> **Generated file — do not edit.** Regenerate with
+> `PYTHONPATH=src python -m repro._util.clidoc > docs/cli.md`;
+> `tests/docs/test_cli_reference.py` fails when this file drifts from
+> the argument parser in `src/repro/cli.py`.
+"""
+
+
+def _option_name(action: argparse.Action) -> str:
+    """The flag cell: every alias, plus a metavar for valued options."""
+    if not action.option_strings:
+        return f"`{action.dest}`"
+    names = ", ".join(f"`{s}`" for s in action.option_strings)
+    if isinstance(
+        action, (argparse._StoreTrueAction, argparse.BooleanOptionalAction)
+    ) or action.nargs == 0:
+        return names
+    if action.choices is not None:
+        return f"{names} `{{{','.join(str(c) for c in action.choices)}}}`"
+    metavar = action.metavar or action.dest.upper()
+    return f"{names} `{metavar}`"
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if not action.option_strings or isinstance(action, argparse._StoreTrueAction):
+        return ""
+    if action.required:
+        return "required"
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return ""
+    return f"`{action.default}`"
+
+
+def _escape(text: str) -> str:
+    return " ".join((text or "").split()).replace("|", "\\|")
+
+
+def _render_actions(sub: argparse.ArgumentParser, lines: list[str]) -> None:
+    actions = [
+        a
+        for a in sub._actions
+        if not isinstance(a, (argparse._HelpAction, argparse._SubParsersAction))
+    ]
+    if not actions:
+        return
+    lines.append("| argument | default | description |")
+    lines.append("| --- | --- | --- |")
+    for a in actions:
+        lines.append(
+            f"| {_option_name(a)} | {_default_cell(a)} | {_escape(a.help or '')} |"
+        )
+    lines.append("")
+
+
+def render_cli_markdown(parser: argparse.ArgumentParser | None = None) -> str:
+    """Render the full ``memgaze`` reference as deterministic markdown."""
+    if parser is None:
+        from repro.cli import build_parser
+
+        parser = build_parser()
+    lines: list[str] = [_HEADER]
+    lines.append(f"`{parser.prog}` — {_escape(parser.description or '')}")
+    lines.append("")
+    subactions = [
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    ]
+    for subaction in subactions:
+        # _choices_actions carries (name, help) in declaration order;
+        # choices maps names (and aliases) to the subparsers themselves
+        for choice in subaction._choices_actions:
+            sub = subaction.choices[choice.dest]
+            lines.append(f"## `{parser.prog} {choice.dest}`")
+            lines.append("")
+            if choice.help:
+                lines.append(f"{_escape(choice.help)}.")
+                lines.append("")
+            usage = " ".join(sub.format_usage().split())
+            if usage.startswith("usage: "):
+                usage = usage[len("usage: ") :]
+            lines.append(f"```\n{usage}\n```")
+            lines.append("")
+            _render_actions(sub, lines)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the drift test
+    print(render_cli_markdown(), end="")

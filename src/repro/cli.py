@@ -12,8 +12,11 @@ Three subcommands mirror the tool's workflow:
     locality over time, working-set curve, and sampling confidence.
     ``--workers N`` shards the window analyses over a process pool
     (bit-identical results; see :mod:`repro.core.parallel`),
-    ``--chunk-size`` overrides the shard size, and ``--stats`` prints
-    per-stage timings, throughput, and cache hit rates.
+    ``--chunk-size`` overrides the shard size, ``--shm``/``--no-shm``
+    toggles the zero-copy shared-memory shard handoff,
+    ``--reuse-kernel`` picks the reuse-distance kernel
+    (``docs/performance.md``), and ``--stats`` prints per-stage
+    timings, throughput, and cache hit rates.
 
 ``memgaze info``
     Show a trace archive's collection metadata.
@@ -292,12 +295,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 "analysis cache is disabled for this run",
                 path=str(args.trace),
             )
+    if args.reuse_kernel:
+        # via the environment so forked pool workers pick the same kernel
+        os.environ["MEMGAZE_REUSE_KERNEL"] = args.reuse_kernel
     engine = ParallelEngine(
         workers=args.workers,
         chunk_size=args.chunk_size,
         store=store,
         journal=journal,
         metrics=metrics,
+        shm=args.shm,
     )
     token = engine.window_token()
 
@@ -766,6 +773,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--chunk-size", type=int, default=None,
         help="events per shard (default: auto from trace size and workers)",
+    )
+    p_report.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=None,
+        help="hand shards to workers through zero-copy shared memory "
+        "(default: on unless MEMGAZE_SHM=0; --no-shm pickles event "
+        "slices instead — results are bit-identical either way)",
+    )
+    p_report.add_argument(
+        "--reuse-kernel", choices=["vector", "fenwick"], default=None,
+        help="reuse-distance kernel: 'vector' (numpy batched mergesort, "
+        "the default) or 'fenwick' (reference per-event loop); both are "
+        "bit-identical (sets MEMGAZE_REUSE_KERNEL so pool workers inherit)",
     )
     p_report.add_argument(
         "--stats", action="store_true",

@@ -10,24 +10,70 @@ It doubles as an internal validator: reuse distance D predicts cache
 behaviour (an access hits a fully-associative LRU cache of capacity C
 iff D < C blocks), which ``tests/core/test_cachesim.py`` checks against
 the analytical metrics.
+
+That same equivalence powers the vectorised kernel: each cache set is
+an independent fully-associative LRU over its own access substream, so
+a stable reorder of the trace by set index turns the simulation into
+one batched stack-distance sweep (:func:`repro.core.reuse.stack_distances`
+with windows = sets) and ``hit iff 0 <= D < ways`` — no per-event
+Python loop. The equivalence breaks when the next-line prefetcher is
+on (prefetches install *below* the MRU slot, which plain stack
+distance cannot express), so prefetching configurations automatically
+fall back to the per-event reference loop; ``kernel="python"`` (or
+``MEMGAZE_CACHE_KERNEL=python``) forces that loop everywhere. Both
+paths produce identical :class:`CacheStats` — down to dict insertion
+order — for any non-prefetching configuration (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.reuse import stack_distances
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
 __all__ = [
     "CacheConfig",
     "CacheStats",
     "simulate_cache",
+    "default_cache_kernel",
     "HierarchyConfig",
     "HierarchyStats",
     "simulate_hierarchy",
 ]
+
+#: environment override for the simulation kernel ("auto"/"vector"/"python")
+_KERNEL_ENV = "MEMGAZE_CACHE_KERNEL"
+_KERNELS = ("auto", "vector", "python")
+
+
+def default_cache_kernel() -> str:
+    """The kernel used when a call does not pick one explicitly."""
+    kernel = os.environ.get(_KERNEL_ENV, "auto")
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"{_KERNEL_ENV}={kernel!r} is not a cache kernel; pick one of {_KERNELS}"
+        )
+    return kernel
+
+
+def _resolve_kernel(kernel: str | None, prefetching: bool) -> str:
+    """Map (requested kernel, prefetch policy) to "vector" or "python"."""
+    kernel = kernel or default_cache_kernel()
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown cache kernel {kernel!r}; pick one of {_KERNELS}")
+    if kernel == "vector" and prefetching:
+        raise ValueError(
+            "kernel='vector' cannot model prefetch_next_line (prefetches "
+            "install below the MRU slot); use kernel='auto' or 'python'"
+        )
+    if kernel == "auto":
+        return "python" if prefetching else "vector"
+    return kernel
 
 
 @dataclass(frozen=True)
@@ -80,18 +126,95 @@ class CacheStats:
         return self.hits_by_class.get(cls, 0) / a if a else 0.0
 
 
+def _fold_class_counts(
+    cls_vals: np.ndarray, positions: np.ndarray, extras: np.ndarray
+) -> dict[LoadClass, int]:
+    """Per-class totals, keyed in the insertion order the reference
+    per-event loop produces (first occurrence in the stream; suppressed-
+    constant extras count as a Constant occurrence *after* their
+    carrier record's own class), so the vector path's dicts are
+    indistinguishable from the loop's even under repr comparison."""
+    entries: dict[LoadClass, list] = {}
+    if len(cls_vals):
+        uniq, first, counts = np.unique(cls_vals, return_index=True, return_counts=True)
+        for u, f, c in zip(uniq, first, counts):
+            entries[LoadClass(int(u))] = [(int(positions[f]), 0), int(c)]
+    extra_total = int(extras.sum()) if len(extras) else 0
+    if extra_total:
+        key = (int(np.flatnonzero(extras)[0]), 1)
+        cur = entries.get(LoadClass.CONSTANT)
+        if cur is None:
+            entries[LoadClass.CONSTANT] = [key, extra_total]
+        else:
+            entries[LoadClass.CONSTANT] = [min(cur[0], key), cur[1] + extra_total]
+    ordered = sorted(entries.items(), key=lambda kv: kv[1][0])
+    return {k: v[1] for k, v in ordered}
+
+
+def _set_local_hits(lines: np.ndarray, config: CacheConfig) -> np.ndarray:
+    """Per-access hit mask of one LRU level, via batched stack distance.
+
+    A stable reorder by set index makes each set's substream contiguous;
+    each set is then an independent fully-associative LRU of ``ways``
+    lines, where an access hits iff fewer than ``ways`` distinct lines
+    were touched since its previous access to the same line.
+    """
+    sets = lines % np.uint64(config.n_sets)
+    perm = np.argsort(sets, kind="stable")
+    d = stack_distances(lines[perm], sets[perm])
+    hit = np.empty(len(lines), dtype=bool)
+    hit[perm] = (d >= 0) & (d < config.ways)
+    return hit
+
+
+def _simulate_cache_vector(events: np.ndarray, config: CacheConfig) -> CacheStats:
+    """Vectorised simulation (non-prefetching configurations)."""
+    n = len(events)
+    stats = CacheStats(config=config)
+    lines = events["addr"] // np.uint64(config.line_bytes)
+    hit = _set_local_hits(lines, config)
+    n_const = events["n_const"]
+    classes = events["cls"]
+    extra_total = int(n_const.sum()) if n else 0
+    stats.n_accesses = n + extra_total
+    stats.n_hits = int(hit.sum()) + extra_total
+    stats.accesses_by_class = _fold_class_counts(
+        classes, np.arange(n, dtype=np.int64), n_const
+    )
+    hit_pos = np.flatnonzero(hit)
+    stats.hits_by_class = _fold_class_counts(classes[hit_pos], hit_pos, n_const)
+    return stats
+
+
 def simulate_cache(
-    events: np.ndarray, config: CacheConfig | None = None
+    events: np.ndarray,
+    config: CacheConfig | None = None,
+    *,
+    kernel: str | None = None,
 ) -> CacheStats:
     """Drive a set-associative LRU cache with ``events``.
 
     Constant-class records are simulated too (they hit essentially
     always, modelling the paper's 'one unit of space' view); suppressed
     constants carried on proxies are counted as guaranteed hits.
+
+    ``kernel`` picks the implementation: ``"auto"`` (default, via
+    :func:`default_cache_kernel`) uses the vectorised stack-distance
+    kernel unless the configuration prefetches, ``"python"`` forces the
+    per-event reference loop, ``"vector"`` forces the kernel (and
+    rejects prefetching configs it cannot model). Both produce
+    identical results.
     """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     config = config or CacheConfig()
+    if _resolve_kernel(kernel, config.prefetch_next_line) == "vector":
+        return _simulate_cache_vector(events, config)
+    return _simulate_cache_python(events, config)
+
+
+def _simulate_cache_python(events: np.ndarray, config: CacheConfig) -> CacheStats:
+    """Reference per-event loop (kernel ``"python"``; models prefetch)."""
     stats = CacheStats(config=config)
     n_sets = config.n_sets
 
@@ -190,8 +313,33 @@ class HierarchyStats:
         return total / self.n_accesses
 
 
+def _simulate_hierarchy_vector(
+    events: np.ndarray, config: HierarchyConfig
+) -> HierarchyStats:
+    """Vectorised two-level simulation (non-prefetching configurations).
+
+    L2's contents depend only on the substream of L1 misses, so the L1
+    hit mask selects L2's accesses and the same batched stack-distance
+    kernel runs per level.
+    """
+    n = len(events)
+    lines = events["addr"] // np.uint64(config.l1.line_bytes)
+    l1_hit = _set_local_hits(lines, config.l1)
+    l2_hit = _set_local_hits(lines[~l1_hit], config.l2)
+    extra = int(events["n_const"].sum()) if n else 0
+    return HierarchyStats(
+        config=config,
+        n_accesses=n + extra,
+        l1_hits=int(l1_hit.sum()) + extra,
+        l2_hits=int(l2_hit.sum()),
+    )
+
+
 def simulate_hierarchy(
-    events: np.ndarray, config: HierarchyConfig | None = None
+    events: np.ndarray,
+    config: HierarchyConfig | None = None,
+    *,
+    kernel: str | None = None,
 ) -> HierarchyStats:
     """Drive an inclusive two-level hierarchy with ``events``.
 
@@ -199,10 +347,25 @@ def simulate_hierarchy(
     missing line, so the hierarchy is inclusive by construction. The
     resulting AMAT is the physically-grounded counterpart of
     :class:`repro.workloads.cost.MemoryCostModel`'s per-class constants.
+
+    ``kernel`` selects the implementation exactly as in
+    :func:`simulate_cache`; the default configuration prefetches on
+    both levels, so it runs the reference loop unless prefetching is
+    disabled.
     """
     if events.dtype != EVENT_DTYPE:
         raise TypeError(f"expected EVENT_DTYPE events, got {events.dtype}")
     config = config or HierarchyConfig()
+    prefetching = config.l1.prefetch_next_line or config.l2.prefetch_next_line
+    if _resolve_kernel(kernel, prefetching) == "vector":
+        return _simulate_hierarchy_vector(events, config)
+    return _simulate_hierarchy_python(events, config)
+
+
+def _simulate_hierarchy_python(
+    events: np.ndarray, config: HierarchyConfig
+) -> HierarchyStats:
+    """Reference per-event loop (kernel ``"python"``; models prefetch)."""
 
     def _mk(c: CacheConfig):
         return [[] for _ in range(c.n_sets)]

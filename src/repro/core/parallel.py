@@ -10,11 +10,14 @@ exploits that by
    a shard never splits a sample, so intra-sample computations are
    unaffected by the cut);
 2. **fanning out** per-shard evaluation across a ``concurrent.futures``
-   process pool — one :func:`~repro.core.passes.scan_chunk` call per
-   shard evaluates *every* scheduled pass, so a shard's records cross
-   the process boundary once and shared intermediates (block ids, class
-   masks, reuse distances) are computed once per shard regardless of how
-   many passes read them; and
+   process pool — the event arrays are published once into named
+   shared-memory segments (:mod:`repro.core.shm`) and workers attach
+   zero-copy, so only a tiny :class:`~repro.core.shm.ShardRef` crosses
+   the pipe (``shm=False`` or ``MEMGAZE_SHM=0`` falls back to pickling
+   the slices); one :func:`~repro.core.passes.scan_chunk` call per
+   shard evaluates *every* scheduled pass, so shared intermediates
+   (block ids, class masks, reuse distances) are computed once per
+   shard regardless of how many passes read them; and
 3. **merging** partials with each pass's associative ``merge`` operator
    (:class:`~repro.core.passes.DiagnosticsPartial.merge`,
    :class:`~repro.core.passes.CapturesPartial.merge`,
@@ -64,7 +67,9 @@ writer is process-safe and pickles down to a path). Pass a
 :class:`~repro.obs.metrics.MetricsRegistry` and the engine counts
 shards, events, merges, and artifact-cache hits/misses
 (``passes.artifact_hits`` / ``passes.artifact_misses``) and fills the
-``parallel.shard_events`` histogram; ``memgaze report
+``parallel.shard_events`` histogram; the zero-copy handoff adds
+``shm.*`` counters and journal lines (segment publish/release, so a
+leaked segment is visible as a counter imbalance); ``memgaze report
 --journal/--metrics`` exports both.
 """
 
@@ -97,6 +102,7 @@ from repro.core.passes import (
     schedule_passes,
 )
 from repro.core.reuse import _HIST_MAX_EXP, ReuseHistogram
+from repro.core.shm import ShardRef, SharedSlab, attach_shard, publish_shard
 from repro.trace.event import EVENT_DTYPE, LoadClass
 
 __all__ = [
@@ -169,6 +175,28 @@ def plan_shards(
     return shards
 
 
+#: environment kill-switch for the shared-memory handoff
+_SHM_ENV = "MEMGAZE_SHM"
+
+
+def _shm_default() -> bool:
+    """Whether engines use the zero-copy handoff when not told explicitly."""
+    return os.environ.get(_SHM_ENV, "1").lower() not in ("0", "off", "false", "no")
+
+
+def scan_chunk_shm(ref: ShardRef, specs, journal):
+    """Worker entry for the zero-copy path: attach, then scan as usual.
+
+    The attached views alias the parent's pages; ``scan_chunk`` and the
+    passes it runs never mutate their input, and partials own their
+    buffers (a requirement the pickle handoff imposed all along), so the
+    mapping can rotate out of the attachment cache once the scan
+    returns.
+    """
+    events, sid = attach_shard(ref)
+    return scan_chunk(events, sid, specs, journal)
+
+
 def _fn_window_worker(
     events: np.ndarray, rho: float, block: int
 ) -> FootprintDiagnostics:
@@ -214,11 +242,16 @@ class ParallelEngine:
         timers: StageTimers | None = None,
         journal=None,
         metrics=None,
+        shm: bool | None = None,
     ) -> None:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         self.chunk_size = chunk_size
+        #: zero-copy shard handoff (:mod:`repro.core.shm`). ``None``
+        #: resolves to on unless ``MEMGAZE_SHM=0``; ``False`` pickles
+        #: event slices into the workers as the engine originally did
+        self.shm = _shm_default() if shm is None else bool(shm)
         self.cache = LRUCache(cache_size)
         #: optional persistent ArtifactStore — merged pass partials are
         #: read from and written to it whenever a content digest is
@@ -297,6 +330,33 @@ class ParallelEngine:
                 chunk_size=self.chunk_size,
             )
 
+    def _publish(
+        self, events: np.ndarray, sample_id: np.ndarray | None
+    ) -> "SharedSlab | None":
+        """Publish arrays for zero-copy workers; None = use the pickle path.
+
+        Shared memory being unavailable (exhausted ``/dev/shm``, an
+        exotic platform) downgrades the scan with a journaled warning
+        rather than failing it.
+        """
+        if not self.shm:
+            return None
+        try:
+            with self.timers.stage("publish", items=len(events)):
+                return publish_shard(
+                    events, sample_id, journal=self.journal, metrics=self.metrics
+                )
+        except OSError as exc:
+            if self.metrics is not None:
+                self.metrics.counter("shm.publish_failures").inc()
+            if self.journal is not None:
+                self.journal.warning(
+                    f"shared-memory publish failed ({exc}); falling back to "
+                    "pickled shard handoff for this scan",
+                    n_events=len(events),
+                )
+            return None
+
     def _scan(
         self,
         events: np.ndarray,
@@ -327,22 +387,37 @@ class ParallelEngine:
         partials: list[list] = []
         if use_pool:
             pool = self._executor()
-            with self.timers.stage("scatter", items=n):
-                futures: list[Future] = [
-                    pool.submit(
-                        scan_chunk,
-                        events[lo:hi],
-                        sample_id[lo:hi] if sample_id is not None else None,
-                        specs,
-                        self.journal,
-                    )
-                    for lo, hi in shards
-                ]
-            with self.timers.stage("compute", items=n):
-                for f in futures:
-                    shard_partials, stats = f.result()
-                    account_scan_stats(stats, metrics=self.metrics, timers=self.timers)
-                    partials.append(shard_partials)
+            slab = self._publish(events, sample_id)
+            try:
+                with self.timers.stage("scatter", items=n):
+                    if slab is not None:
+                        futures: list[Future] = [
+                            pool.submit(
+                                scan_chunk_shm, slab.ref(lo, hi), specs, self.journal
+                            )
+                            for lo, hi in shards
+                        ]
+                    else:
+                        futures = [
+                            pool.submit(
+                                scan_chunk,
+                                events[lo:hi],
+                                sample_id[lo:hi] if sample_id is not None else None,
+                                specs,
+                                self.journal,
+                            )
+                            for lo, hi in shards
+                        ]
+                with self.timers.stage("compute", items=n):
+                    for f in futures:
+                        shard_partials, stats = f.result()
+                        account_scan_stats(
+                            stats, metrics=self.metrics, timers=self.timers
+                        )
+                        partials.append(shard_partials)
+            finally:
+                if slab is not None:
+                    slab.release()
         else:
             with self.timers.stage("compute", items=n):
                 for lo, hi in shards:
@@ -629,7 +704,7 @@ class ParallelEngine:
         last_sid: int | None = None
         sid_seen = False
         pool = self._executor() if self.workers > 1 else None
-        in_flight: list[Future] = []
+        in_flight: list[tuple[Future, SharedSlab | None]] = []
 
         def fold(result: tuple[list, dict]) -> None:
             nonlocal merged
@@ -642,24 +717,48 @@ class ParallelEngine:
                     else merge_partial_lists(merged, partials, specs)
                 )
 
-        with self.timers.stage("stream"):
-            for ev, sid in chunks:
-                n_events += len(ev)
-                if sid is not None and len(sid):
-                    sid_seen = True
-                    last_sid = int(sid[-1])
-                if pool is None:
-                    fold(scan_chunk(ev, sid, specs, self.journal))
-                    continue
-                in_flight.append(
-                    pool.submit(scan_chunk, ev, sid, specs, self.journal)
-                )
-                if self.metrics is not None:
-                    self.metrics.gauge("parallel.peak_in_flight").set(len(in_flight))
-                while len(in_flight) >= 2 * self.workers:
-                    fold(in_flight.pop(0).result())
-            for fut in in_flight:
-                fold(fut.result())
+        def fold_future(entry: tuple[Future, "SharedSlab | None"]) -> None:
+            fut, slab = entry
+            try:
+                result = fut.result()
+            finally:
+                if slab is not None:
+                    slab.release()
+            fold(result)
+
+        try:
+            with self.timers.stage("stream"):
+                for ev, sid in chunks:
+                    n_events += len(ev)
+                    if sid is not None and len(sid):
+                        sid_seen = True
+                        last_sid = int(sid[-1])
+                    if pool is None:
+                        fold(scan_chunk(ev, sid, specs, self.journal))
+                        continue
+                    # each streamed chunk rides its own short-lived slab,
+                    # released as soon as its partials fold — peak shm
+                    # usage stays bounded by chunks in flight
+                    slab = self._publish(ev, sid)
+                    if slab is not None:
+                        fut = pool.submit(
+                            scan_chunk_shm, slab.ref(0, len(ev)), specs, self.journal
+                        )
+                    else:
+                        fut = pool.submit(scan_chunk, ev, sid, specs, self.journal)
+                    in_flight.append((fut, slab))
+                    if self.metrics is not None:
+                        self.metrics.gauge("parallel.peak_in_flight").set(
+                            len(in_flight)
+                        )
+                    while len(in_flight) >= 2 * self.workers:
+                        fold_future(in_flight.pop(0))
+                while in_flight:
+                    fold_future(in_flight.pop(0))
+        finally:
+            for _, slab in in_flight:
+                if slab is not None:
+                    slab.release()
         return merged, n_events, last_sid, sid_seen
 
     def _tail_scan(self, path, specs, size: int, state: dict):

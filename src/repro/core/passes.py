@@ -47,6 +47,12 @@ from typing import Any, Iterable, Iterator
 
 import numpy as np
 
+from repro._util.sortedset import (
+    intersect_sorted,
+    setdiff_sorted,
+    setxor_sorted,
+    union_sorted,
+)
 from repro.core.diagnostics import FootprintDiagnostics, finalize_diagnostics
 from repro.core.heatmap import accumulate_heatmap, finalize_heatmap, region_points
 from repro.core.hotspot import access_counts, rank_hotspots, roi_from_ranges
@@ -90,7 +96,7 @@ ARTIFACT_KEYS = frozenset(
         "block_ids",  # ctx.block_ids(block): addr >> log2(block), per block size
         "class_masks",  # ctx.class_masks: constant/strided/irregular/nonconst
         "nonconstant",  # ctx.nonconstant: the non-Constant view + sample ids
-        "reuse_distances",  # ctx.reuse_distances(block, nonconst=...): Fenwick D
+        "reuse_distances",  # ctx.reuse_distances(block, nonconst=...): D kernel
         "sample_boundaries",  # ctx.sample_boundaries: window start indices
     ]
 )
@@ -629,9 +635,9 @@ class DiagnosticsPartial:
     def merge(self, other: "DiagnosticsPartial") -> "DiagnosticsPartial":
         """Associative merge: set unions plus counter sums."""
         return DiagnosticsPartial(
-            blocks=np.union1d(self.blocks, other.blocks),
-            strided=np.union1d(self.strided, other.strided),
-            irregular=np.union1d(self.irregular, other.irregular),
+            blocks=union_sorted(self.blocks, other.blocks),
+            strided=union_sorted(self.strided, other.strided),
+            irregular=union_sorted(self.irregular, other.irregular),
             has_const=self.has_const or other.has_const,
             a_obs=self.a_obs + other.a_obs,
             n_suppressed=self.n_suppressed + other.n_suppressed,
@@ -705,14 +711,12 @@ class CapturesPartial:
     def merge(self, other: "CapturesPartial") -> "CapturesPartial":
         """Associative merge of saturated counts."""
         # seen >= 2 total: already multi on either side, or once on both
-        multi = np.union1d(
-            np.union1d(self.multi, other.multi),
-            np.intersect1d(self.once, other.once),
+        multi = union_sorted(
+            union_sorted(self.multi, other.multi),
+            intersect_sorted(self.once, other.once),
         )
         # seen exactly once total: once on exactly one side, never multi
-        once = np.setdiff1d(
-            np.setxor1d(self.once, other.once), multi, assume_unique=True
-        )
+        once = setdiff_sorted(setxor_sorted(self.once, other.once), multi)
         return CapturesPartial(once=once, multi=multi)
 
     def finalize(self) -> tuple[int, int]:
@@ -867,10 +871,19 @@ class RoiPass(AnalysisPass):
 
     def update(self, partial, chunk, params):
         ev = chunk.events
+        if len(ev) == 0:
+            return partial
+        # grouped min/max without a per-function loop: sort by function id,
+        # then reduce each contiguous run in one ufunc call
+        order = np.argsort(ev["fn"], kind="stable")
+        fn = ev["fn"][order]
+        ip = ev["ip"][order]
+        starts = np.flatnonzero(np.concatenate([[True], fn[1:] != fn[:-1]]))
+        los = np.minimum.reduceat(ip, starts)
+        his = np.maximum.reduceat(ip, starts)
         out = dict(partial)
-        for fid in np.unique(ev["fn"]):
-            ips = ev["ip"][ev["fn"] == fid]
-            lo, hi = int(ips.min()), int(ips.max())
+        for fid, lo, hi in zip(fn[starts], los, his):
+            lo, hi = int(lo), int(hi)
             prev = out.get(int(fid))
             out[int(fid)] = (
                 (lo, hi) if prev is None else (min(prev[0], lo), max(prev[1], hi))

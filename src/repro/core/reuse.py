@@ -7,12 +7,26 @@ Definitions (cf. the paper's distinction):
   estimate of unique blocks;
 * the **reuse distance** (stack distance) is the number of *unique*
   blocks accessed in that interval — the quantity that predicts cache
-  behaviour. Computed here with the classic Fenwick-tree algorithm
-  (O(n log n)): one marker bit per position holds "this position is the
-  most recent access to its block"; the distance of an access is the
-  marker count strictly between the previous access to its block and now.
+  behaviour.
 
-Both computations respect sample boundaries when ``sample_id`` is given:
+Two exact kernels compute the distance (selectable per call or through
+``MEMGAZE_REUSE_KERNEL``, see ``docs/performance.md``):
+
+* ``"vector"`` (default) — pure numpy. With ``prev[i]`` the index of
+  the previous same-block access inside the window, the distance
+  collapses to ``D[i] = rank(i) - prev[i] - 1`` where
+  ``rank(i) = #{j < i in window : prev[j] <= prev[i]}``: every
+  ``j <= prev[i]`` trivially satisfies ``prev[j] < j <= prev[i]``, and
+  a ``j`` strictly between ``prev[i]`` and ``i`` satisfies it exactly
+  when ``j`` is the first access to its block since position
+  ``prev[i]`` — i.e. when ``j`` contributes one unique block. The rank
+  sweep is :func:`repro._util.rank.count_le_left`.
+* ``"fenwick"`` — the classic per-event Fenwick-tree walk
+  (O(n log n) interpreted steps), kept as the independent reference
+  implementation that the property suite compares the kernel against.
+
+Both kernels are exact integer computations and return bit-identical
+arrays. Both respect sample boundaries when ``sample_id`` is given:
 tracking state resets at each boundary, so distances are *intra-sample*
 (the paper's preference for cache-scale analysis — inter-sample reuse is
 estimated through footprint growth instead).
@@ -22,11 +36,13 @@ Cold accesses (first touch of a block in a window) get ``-1``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro._util.fenwick import FenwickTree
+from repro._util.rank import count_le_left
 from repro._util.validate import check_power_of_two
 from repro.core.metrics import block_ids, nonconstant
 from repro.trace.event import EVENT_DTYPE
@@ -34,6 +50,8 @@ from repro.trace.event import EVENT_DTYPE
 __all__ = [
     "reuse_intervals",
     "reuse_distances",
+    "stack_distances",
+    "default_reuse_kernel",
     "mean_reuse_distance",
     "max_reuse_distance",
     "inter_sample_distance",
@@ -42,6 +60,21 @@ __all__ = [
     "reuse_histogram",
     "histogram_from_distances",
 ]
+
+#: environment override for the reuse-distance kernel ("vector"/"fenwick");
+#: the CLI's ``--reuse-kernel`` flag sets it so forked pool workers inherit it
+_KERNEL_ENV = "MEMGAZE_REUSE_KERNEL"
+_KERNELS = ("vector", "fenwick")
+
+
+def default_reuse_kernel() -> str:
+    """The kernel used when a call does not pick one explicitly."""
+    kernel = os.environ.get(_KERNEL_ENV, "vector")
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"{_KERNEL_ENV}={kernel!r} is not a reuse kernel; pick one of {_KERNELS}"
+        )
+    return kernel
 
 
 def _check(events: np.ndarray) -> None:
@@ -91,22 +124,63 @@ def reuse_intervals(
     return out
 
 
-def reuse_distances(
-    events: np.ndarray, block: int = 1, sample_id: np.ndarray | None = None
-) -> np.ndarray:
-    """Per-access spatio-temporal reuse distance D; -1 for first touches.
+def stack_distances(ids: np.ndarray, win: np.ndarray) -> np.ndarray:
+    """LRU stack distance of each access; -1 for first touches.
 
-    D counts unique blocks *strictly between* consecutive accesses to the
-    same block, so an immediate re-access has D = 0.
+    The fully vectorised distance kernel, shared by
+    :func:`reuse_distances` (windows = samples) and the cache model
+    (windows = cache sets after a stable reorder): ``ids`` are the
+    per-access block/line identifiers (any integer dtype), ``win`` the
+    per-access window ids, which must be *contiguous* (equal values
+    adjacent — e.g. a non-decreasing window index). Tracking state never
+    crosses a window boundary.
+
+    Exact integer arithmetic throughout: the output is bit-identical to
+    the reference Fenwick walk for any input.
     """
-    _check(events)
-    check_power_of_two("block", block)
-    n = len(events)
+    ids = np.asarray(ids)
+    win = np.asarray(win)
+    n = ids.size
     out = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return out
-    ids = block_ids(events, block)
-    starts = _boundaries(n, sample_id)
+    if win.size != n:
+        raise ValueError("win length must match ids")
+    pos = np.arange(n, dtype=np.int64)
+    # contiguous window index + per-element window start
+    brk = np.empty(n, dtype=bool)
+    brk[0] = False
+    brk[1:] = win[1:] != win[:-1]
+    widx = np.cumsum(brk)
+    wstart = np.concatenate([[0], np.flatnonzero(brk)])[widx]
+    # prev[i]: index of the previous same-id access in the same window
+    # (grouping each (window, id) pair's positions makes it a shift)
+    order = np.lexsort((pos, ids, widx))
+    so_ids, so_widx = ids[order], widx[order]
+    same = (so_ids[1:] == so_ids[:-1]) & (so_widx[1:] == so_widx[:-1])
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[order[1:][same]] = order[:-1][same]
+    # D = rank - prev - 1 with rank the within-window left-count of
+    # prev values <= prev[i] (see the module docstring for why)
+    prev_local = np.where(prev >= 0, prev - wstart, np.int64(-1))
+    rank = count_le_left(prev_local, widx)
+    reused = prev >= 0
+    out[reused] = rank[reused] - prev_local[reused] - 1
+    return out
+
+
+def _reuse_distances_fenwick(
+    ids: np.ndarray, starts: np.ndarray, n: int
+) -> np.ndarray:
+    """Reference per-event Fenwick walk (kernel ``"fenwick"``).
+
+    One marker bit per position holds "this position is the most recent
+    access to its block"; the distance of an access is the marker count
+    strictly between the previous access to its block and now. Kept as
+    the independently-derived implementation the property suite checks
+    the vector kernel against.
+    """
+    out = np.full(n, -1, dtype=np.int64)
     ends = np.append(starts[1:], n)
     for lo, hi in zip(starts, ends):
         window = ids[lo:hi]
@@ -123,6 +197,39 @@ def reuse_distances(
             tree.add(i, 1)
             last[b] = i
     return out
+
+
+def reuse_distances(
+    events: np.ndarray,
+    block: int = 1,
+    sample_id: np.ndarray | None = None,
+    *,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Per-access spatio-temporal reuse distance D; -1 for first touches.
+
+    D counts unique blocks *strictly between* consecutive accesses to the
+    same block, so an immediate re-access has D = 0. ``kernel`` picks the
+    implementation (``"vector"`` / ``"fenwick"``, see the module
+    docstring); both are exact and bit-identical, defaulting to
+    :func:`default_reuse_kernel`.
+    """
+    _check(events)
+    check_power_of_two("block", block)
+    kernel = kernel or default_reuse_kernel()
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown reuse kernel {kernel!r}; pick one of {_KERNELS}")
+    n = len(events)
+    if n == 0:
+        return np.full(n, -1, dtype=np.int64)
+    ids = block_ids(events, block)
+    starts = _boundaries(n, sample_id)
+    if kernel == "fenwick":
+        return _reuse_distances_fenwick(ids, starts, n)
+    widx = np.zeros(n, dtype=np.int64)
+    widx[starts[1:]] = 1
+    np.cumsum(widx, out=widx)
+    return stack_distances(ids, widx)
 
 
 def mean_reuse_distance(

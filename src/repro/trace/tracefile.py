@@ -368,11 +368,14 @@ def iter_trace_chunks(
     the archive and the member, instead of ``zipfile``'s bare
     ``KeyError``. Passing a
     :class:`~repro.obs.metrics.MetricsRegistry` as ``metrics`` counts
-    chunks and events read under ``trace.chunks_read`` /
-    ``trace.events_read``; a :class:`~repro.obs.journal.RunJournal` as
-    ``journal`` appends one ``chunk-read`` line per chunk, so the
-    journal proves how many times the trace was actually read — a fused
-    multi-pass analysis shows one line per chunk, not chunks x passes.
+    chunks, events, and decompressed bytes read under
+    ``trace.chunks_read`` / ``trace.events_read`` /
+    ``trace.bytes_read``; a :class:`~repro.obs.journal.RunJournal` as
+    ``journal`` appends one ``chunk-read`` line per chunk (with
+    ``n_events`` and ``nbytes``), so the journal proves how many times
+    the trace was actually read — a fused multi-pass analysis shows one
+    line per chunk, not chunks x passes — and how many bytes each
+    zero-copy publish will move (see ``docs/performance.md``).
 
     With a :class:`PrefixSkip`, the first ``skip.n_events`` events are
     decompressed, checksummed into ``skip``, and discarded before the
@@ -423,11 +426,13 @@ def iter_trace_chunks(
                         continue
                     carry_ev, carry_sid = ev[cut:], sid[cut:]
                     ev, sid = ev[:cut], sid[:cut]
+                nbytes = ev.nbytes + (sid.nbytes if sid is not None else 0)
                 if metrics is not None:
                     metrics.counter("trace.chunks_read").inc()
                     metrics.counter("trace.events_read").inc(len(ev))
+                    metrics.counter("trace.bytes_read").inc(nbytes)
                 if journal is not None:
-                    journal.emit("chunk-read", n_events=len(ev))
+                    journal.emit("chunk-read", n_events=len(ev), nbytes=nbytes)
                 yield ev, sid
                 if done:
                     break

@@ -1,0 +1,79 @@
+"""The sorted-set kernels must be bit-identical to numpy's ``*1d`` ops.
+
+The merge path of the engine's partials (``DiagnosticsPartial``,
+``CapturesPartial``) replaced ``np.union1d``-family calls with these
+kernels, relying on the sorted-unique invariant of partial state; this
+suite pins the substitution: same values, same dtype, same order, for
+every operator, including empty and disjoint inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.sortedset import (
+    intersect_sorted,
+    setdiff_sorted,
+    setxor_sorted,
+    union_sorted,
+)
+
+PAIRS = [
+    (union_sorted, np.union1d),
+    (intersect_sorted, np.intersect1d),
+    (setxor_sorted, np.setxor1d),
+    (setdiff_sorted, lambda a, b: np.setdiff1d(a, b, assume_unique=True)),
+]
+
+
+def _sets(rng, na, nb, lo=0, hi=1000):
+    a = np.unique(rng.integers(lo, hi, na).astype(np.uint64))
+    b = np.unique(rng.integers(lo, hi, nb).astype(np.uint64))
+    return a, b
+
+
+@pytest.mark.parametrize("ours,ref", PAIRS, ids=["union", "intersect", "xor", "diff"])
+class TestAgainstNumpy:
+    def test_overlapping(self, ours, ref, rng):
+        a, b = _sets(rng, 400, 300)
+        got, want = ours(a, b), ref(a, b)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+    def test_disjoint(self, ours, ref):
+        a = np.arange(0, 100, 2, dtype=np.uint64)
+        b = np.arange(1, 101, 2, dtype=np.uint64)
+        assert np.array_equal(ours(a, b), ref(a, b))
+
+    def test_identical(self, ours, ref):
+        a = np.arange(50, dtype=np.uint64)
+        assert np.array_equal(ours(a, a), ref(a, a))
+
+    @pytest.mark.parametrize("na,nb", [(0, 0), (0, 5), (5, 0)])
+    def test_empty_sides(self, ours, ref, na, nb):
+        a = np.arange(na, dtype=np.uint64)
+        b = np.arange(nb, dtype=np.uint64)
+        got, want = ours(a, b), ref(a, b)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+    def test_extreme_values(self, ours, ref):
+        m = np.iinfo(np.uint64).max
+        a = np.array([0, 1, m - 1, m], dtype=np.uint64)
+        b = np.array([1, 2, m], dtype=np.uint64)
+        assert np.array_equal(ours(a, b), ref(a, b))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 200), max_size=80),
+    b=st.lists(st.integers(0, 200), max_size=80),
+)
+def test_property_equivalence(a, b):
+    sa = np.unique(np.asarray(a, dtype=np.uint64))
+    sb = np.unique(np.asarray(b, dtype=np.uint64))
+    for ours, ref in PAIRS:
+        assert np.array_equal(ours(sa, sb), ref(sa, sb))

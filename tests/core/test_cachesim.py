@@ -102,3 +102,74 @@ class TestDistancePredictsHits:
             for s in (8 * 1024, 32 * 1024, 128 * 1024)
         ]
         assert ratios[0] <= ratios[1] <= ratios[2]
+
+
+# -- kernel equivalence -------------------------------------------------------
+
+
+class TestCacheKernelEquivalence:
+    """The set-local stack-distance kernel matches the reference loop."""
+
+    def _events(self, rng, n=2500):
+        return make_events(
+            ip=1,
+            addr=rng.integers(0, 1 << 14, n) * 8,
+            cls=rng.integers(0, 3, n).astype(np.uint8),
+            n_const=rng.choice([0, 0, 3], n).astype(np.uint16),
+        )
+
+    @pytest.mark.parametrize("ways,sets", [(1, 64), (8, 64), (4, 1), (16, 512)])
+    def test_vector_equals_python(self, make_rng, ways, sets):
+        rng = make_rng(f"cache-eq-{ways}-{sets}")
+        ev = self._events(rng)
+        cfg = CacheConfig(size_bytes=ways * sets * 64, line_bytes=64, ways=ways)
+        a = simulate_cache(ev, cfg, kernel="vector")
+        b = simulate_cache(ev, cfg, kernel="python")
+        # repr covers every field including the class-count dict order
+        assert repr(a) == repr(b)
+
+    def test_hierarchy_vector_equals_python(self, make_rng):
+        from repro.core.cachesim import HierarchyConfig, simulate_hierarchy
+
+        rng = make_rng("hier-eq")
+        ev = self._events(rng)
+        cfg = HierarchyConfig(
+            l1=CacheConfig(
+                size_bytes=32 * 1024, line_bytes=64, ways=8, prefetch_next_line=False
+            ),
+            l2=CacheConfig(
+                size_bytes=256 * 1024, line_bytes=64, ways=8, prefetch_next_line=False
+            ),
+        )
+        a = simulate_hierarchy(ev, cfg, kernel="vector")
+        b = simulate_hierarchy(ev, cfg, kernel="python")
+        assert repr(a) == repr(b)
+
+    def test_vector_rejects_prefetch(self):
+        ev = make_events(ip=1, addr=[0, 64], cls=2)
+        cfg = CacheConfig(
+            size_bytes=4096, line_bytes=64, ways=4, prefetch_next_line=True
+        )
+        with pytest.raises(ValueError, match="prefetch"):
+            simulate_cache(ev, cfg, kernel="vector")
+
+    def test_auto_falls_back_for_prefetch(self):
+        """auto must pick the python loop when prefetching is on — and
+        still produce a result (no exception)."""
+        ev = make_events(ip=1, addr=[0, 64, 0], cls=2)
+        cfg = CacheConfig(
+            size_bytes=4096, line_bytes=64, ways=4, prefetch_next_line=True
+        )
+        stats = simulate_cache(ev, cfg, kernel="auto")
+        assert stats.n_accesses == 3
+
+    def test_env_default(self, monkeypatch):
+        from repro.core.cachesim import default_cache_kernel
+
+        monkeypatch.setenv("MEMGAZE_CACHE_KERNEL", "python")
+        assert default_cache_kernel() == "python"
+        monkeypatch.delenv("MEMGAZE_CACHE_KERNEL")
+        assert default_cache_kernel() == "auto"
+        monkeypatch.setenv("MEMGAZE_CACHE_KERNEL", "bogus")
+        with pytest.raises(ValueError, match="MEMGAZE_CACHE_KERNEL"):
+            default_cache_kernel()

@@ -120,3 +120,68 @@ def test_distance_bounded_by_footprint(addrs):
     d = reuse_distances(_ev(addrs))
     if len(addrs):
         assert d.max() < max(1, len(set(addrs)))
+
+
+# -- kernel equivalence -------------------------------------------------------
+
+
+class TestKernelEquivalence:
+    """The vectorised kernel and the Fenwick reference are bit-identical."""
+
+    def _random_trace(self, rng, n=3000):
+        ev = _ev(rng.integers(0, 200, n))
+        sid = np.sort(rng.integers(0, 17, n)).astype(np.int32)
+        return ev, sid
+
+    @pytest.mark.parametrize("block", [1, 64, 4096])
+    def test_vector_equals_fenwick(self, make_rng, block):
+        rng = make_rng(f"kernel-eq-{block}")
+        ev, sid = self._random_trace(rng)
+        v = reuse_distances(ev, block, sid, kernel="vector")
+        f = reuse_distances(ev, block, sid, kernel="fenwick")
+        assert np.array_equal(v, f)
+
+    def test_vector_equals_fenwick_no_samples(self, make_rng):
+        rng = make_rng("kernel-eq-flat")
+        ev = _ev(rng.integers(0, 50, 2000))
+        assert np.array_equal(
+            reuse_distances(ev, kernel="vector"),
+            reuse_distances(ev, kernel="fenwick"),
+        )
+
+    def test_non_monotone_sample_ids(self, make_rng):
+        """Boundaries come from id *changes*, not sorted ids — both
+        kernels must cut windows identically for non-monotone ids."""
+        rng = make_rng("kernel-eq-nonmono")
+        ev = _ev(rng.integers(0, 30, 500))
+        sid = rng.integers(0, 5, 500).astype(np.int32)  # deliberately unsorted
+        assert np.array_equal(
+            reuse_distances(ev, 1, sid, kernel="vector"),
+            reuse_distances(ev, 1, sid, kernel="fenwick"),
+        )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            reuse_distances(_ev([1, 2]), kernel="gpu")
+
+    def test_env_default(self, monkeypatch):
+        from repro.core.reuse import default_reuse_kernel
+
+        monkeypatch.setenv("MEMGAZE_REUSE_KERNEL", "fenwick")
+        assert default_reuse_kernel() == "fenwick"
+        monkeypatch.delenv("MEMGAZE_REUSE_KERNEL")
+        assert default_reuse_kernel() == "vector"
+        monkeypatch.setenv("MEMGAZE_REUSE_KERNEL", "bogus")
+        with pytest.raises(ValueError, match="MEMGAZE_REUSE_KERNEL"):
+            default_reuse_kernel()
+
+
+@settings(max_examples=60)
+@given(
+    addrs=st.lists(st.integers(0, 30), max_size=120),
+    block=st.sampled_from([1, 4, 64]),
+)
+def test_vector_kernel_matches_naive(addrs, block):
+    """Property: the vectorised kernel equals the O(n^2) reference."""
+    got = reuse_distances(_ev(addrs), block=block, kernel="vector")
+    assert list(got) == _naive_distance(addrs, block)

@@ -1,0 +1,298 @@
+"""Lifecycle tests for the zero-copy shard handoff.
+
+The contract under test (``repro.core.shm`` + the engine's publish /
+release discipline): a published segment is visible to workers by name,
+both fan-out paths produce **bit-identical** results to the pickle
+handoff, and no segment outlives its analysis — on normal exit, after a
+worker is SIGKILLed mid-scan, and with two engines sharing one archive.
+"Leaked" is checked two ways: the process-wide registry
+(:func:`repro.core.shm.active_segments`) must drain to empty, and
+``/dev/shm`` must hold no ``mg-`` entries this process created.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelEngine
+from repro.core.shm import (
+    SegmentRegistry,
+    active_segments,
+    attach_shard,
+    publish_shard,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.trace.event import make_events
+from repro.trace.tracefile import TraceMeta, write_trace
+
+SHM_DIR = "/dev/shm"
+
+
+def _live_segments() -> set[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-tmpfs platform
+        return set()
+    return {f for f in os.listdir(SHM_DIR) if f.startswith("mg-")}
+
+
+def _trace(n=40_000, seed=11):
+    rng = np.random.default_rng(seed)
+    ev = make_events(
+        ip=rng.integers(0, 40, n),
+        addr=rng.integers(0, 1 << 18, n) * 8,
+        cls=rng.integers(0, 3, n).astype(np.uint8),
+        fn=rng.integers(0, 6, n),
+    )
+    sid = np.sort(rng.integers(0, 37, n)).astype(np.int32)
+    return ev, sid
+
+
+@pytest.fixture(autouse=True)
+def _no_preexisting_leaks():
+    before = _live_segments()
+    yield
+    leaked = _live_segments() - before
+    assert not leaked, f"test leaked shm segments: {sorted(leaked)}"
+
+
+class TestPublishAttach:
+    def test_round_trip(self):
+        ev, sid = _trace(n=5000)
+        slab = publish_shard(ev, sid)
+        try:
+            got_ev, got_sid = attach_shard(slab.ref(0, len(ev)))
+            assert np.array_equal(got_ev, ev)
+            assert np.array_equal(got_sid, sid)
+            lo, hi = 1200, 4100
+            part_ev, part_sid = attach_shard(slab.ref(lo, hi))
+            assert np.array_equal(part_ev, ev[lo:hi])
+            assert np.array_equal(part_sid, sid[lo:hi])
+        finally:
+            slab.release()
+        assert active_segments() == []
+
+    def test_no_sample_id(self):
+        ev, _ = _trace(n=300)
+        slab = publish_shard(ev)
+        try:
+            got_ev, got_sid = attach_shard(slab.ref(0, len(ev)))
+            assert got_sid is None
+            assert np.array_equal(got_ev, ev)
+        finally:
+            slab.release()
+
+    def test_bad_range_rejected(self):
+        ev, _ = _trace(n=100)
+        slab = publish_shard(ev)
+        try:
+            with pytest.raises(ValueError, match="shard range"):
+                slab.ref(50, 200)
+            with pytest.raises(ValueError, match="shard range"):
+                slab.ref(-1, 10)
+        finally:
+            slab.release()
+
+    def test_sample_id_length_mismatch(self):
+        ev, _ = _trace(n=100)
+        with pytest.raises(ValueError, match="sample_id"):
+            publish_shard(ev, np.zeros(7, dtype=np.int32))
+
+    def test_release_is_idempotent(self):
+        ev, _ = _trace(n=64)
+        slab = publish_shard(ev)
+        slab.release()
+        slab.release()
+        assert active_segments() == []
+
+    def test_metrics_balance(self):
+        metrics = MetricsRegistry()
+        ev, sid = _trace(n=1000)
+        for _ in range(3):
+            publish_shard(ev, sid, metrics=metrics).release()
+        assert metrics.counter("shm.segments_created").value == 3
+        assert metrics.counter("shm.segments_released").value == 3
+        # the gauge is a high-watermark: sequential publish/release peaks at 1
+        assert metrics.gauge("shm.active_segments").value == 1
+        assert metrics.counter("shm.bytes_published").value >= 3 * ev.nbytes
+
+
+class TestRegistry:
+    def test_release_all_unlinks_everything(self):
+        reg = SegmentRegistry()
+        ev, _ = _trace(n=128)
+        slabs = [publish_shard(ev) for _ in range(3)]
+        for s in slabs:
+            reg.track(s)
+        assert len(reg.names()) == 3
+        # pull them out of the module registry so only `reg` owns them
+        from repro.core import shm as shm_mod
+
+        for s in slabs:
+            shm_mod._REGISTRY.untrack(s.name)
+        assert reg.release_all() == 3
+        assert reg.names() == []
+
+    def test_sigterm_unlinks_segments(self, tmp_path):
+        """A SIGTERMed publisher must leave no /dev/shm entry behind."""
+        script = (
+            "import os, signal, sys, time\n"
+            "import numpy as np\n"
+            "from repro.core.shm import publish_shard\n"
+            "from repro.trace.event import make_events\n"
+            "ev = make_events(ip=1, addr=np.arange(1000, dtype=np.uint64), cls=2)\n"
+            "slab = publish_shard(ev)\n"
+            "print(slab.name, flush=True)\n"
+            "time.sleep(30)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=os.getcwd(),
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name.startswith("mg-")
+            assert name in _live_segments()
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+        finally:
+            proc.kill()
+        assert name not in _live_segments()
+
+
+class TestEngineLifecycle:
+    def test_run_passes_releases_segments(self):
+        ev, sid = _trace()
+        before = _live_segments()
+        with ParallelEngine(workers=2, chunk_size=8192, shm=True) as engine:
+            engine.run_passes(ev, ["diagnostics", "captures", "reuse"], sample_id=sid)
+            assert active_segments() == []
+        assert _live_segments() - before == set()
+
+    def test_shm_matches_pickle(self):
+        ev, sid = _trace()
+        requests = ["diagnostics", "captures", "reuse", "hotspot", "roi"]
+        with ParallelEngine(workers=2, chunk_size=8192, shm=True) as e:
+            a = e.run_passes(ev, requests, sample_id=sid)
+        with ParallelEngine(workers=2, chunk_size=8192, shm=False) as e:
+            b = e.run_passes(ev, requests, sample_id=sid)
+        assert repr(a["diagnostics"]) == repr(b["diagnostics"])
+        assert a["captures"] == b["captures"]
+        assert np.array_equal(a["reuse"].counts, b["reuse"].counts)
+        assert repr(a["roi"]) == repr(b["roi"])
+
+    def test_analyze_file_releases_segments(self, tmp_path):
+        ev, sid = _trace()
+        path = tmp_path / "t.npz"
+        write_trace(path, ev, TraceMeta(module="shm-test", period=1000), sample_id=sid)
+        before = _live_segments()
+        with ParallelEngine(workers=2, chunk_size=8192, shm=True) as engine:
+            fa = engine.analyze_file(path)
+        assert fa.n_events == len(ev)
+        assert active_segments() == []
+        assert _live_segments() - before == set()
+
+    def test_two_engines_one_archive(self, tmp_path):
+        """Concurrent engines on one archive must not cross-release or
+        leak each other's segments, and must agree on every result."""
+        ev, sid = _trace()
+        path = tmp_path / "t.npz"
+        write_trace(path, ev, TraceMeta(module="shm-test", period=1000), sample_id=sid)
+        before = _live_segments()
+        results: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def run(idx: int) -> None:
+            try:
+                with ParallelEngine(workers=2, chunk_size=8192, shm=True) as e:
+                    results[idx] = e.analyze_file(path)
+            except BaseException as exc:  # noqa: BLE001 - report in main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        a, b = results[0], results[1]
+        assert a.n_events == b.n_events == len(ev)
+        assert repr(a.diagnostics) == repr(b.diagnostics)
+        assert np.array_equal(a.reuse.counts, b.reuse.counts)
+        assert active_segments() == []
+        assert _live_segments() - before == set()
+
+    def test_shm_kill_switch_env(self, monkeypatch):
+        monkeypatch.setenv("MEMGAZE_SHM", "0")
+        assert ParallelEngine(workers=2).shm is False
+        monkeypatch.setenv("MEMGAZE_SHM", "off")
+        assert ParallelEngine(workers=2).shm is False
+        monkeypatch.delenv("MEMGAZE_SHM")
+        assert ParallelEngine(workers=2).shm is True
+        # explicit argument beats the environment
+        monkeypatch.setenv("MEMGAZE_SHM", "0")
+        assert ParallelEngine(workers=2, shm=True).shm is True
+
+
+# -- worker crash -------------------------------------------------------------
+
+
+class _KillWorkerPass:
+    """A pass whose update SIGKILLs the evaluating pool worker."""
+
+    name = "test-kill-worker"
+    requires = ()
+    provides = ""
+    defaults = {"parent_pid": -1}
+    needs = ()
+    whole_without_samples = False
+    description = "test helper: kill the worker mid-scan"
+
+    def init(self, params):
+        return 0
+
+    def update(self, partial, chunk, params):
+        if os.getpid() != params["parent_pid"]:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return partial
+
+    def merge(self, a, b):
+        return a + b
+
+    def finalize(self, partial, ctx, params):
+        return partial
+
+
+@pytest.mark.faults
+class TestWorkerCrash:
+    def test_killed_worker_releases_segments(self):
+        """SIGKILLing a worker mid-scan breaks the pool — but the
+        parent's ``finally`` must still unlink every published segment."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core.passes import register_pass, unregister_pass
+
+        register_pass(_KillWorkerPass())
+        try:
+            ev, sid = _trace()
+            before = _live_segments()
+            with ParallelEngine(workers=2, chunk_size=8192, shm=True) as engine:
+                with pytest.raises(BrokenProcessPool):
+                    engine.run_passes(
+                        ev,
+                        [("test-kill-worker", {"parent_pid": os.getpid()})],
+                        sample_id=sid,
+                    )
+            assert active_segments() == []
+            assert _live_segments() - before == set()
+        finally:
+            unregister_pass("test-kill-worker")
