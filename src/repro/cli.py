@@ -634,6 +634,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     journal = _open_journal(args)
     metrics = MetricsRegistry()
+    serve_workers = args.serve_workers
+    if serve_workers is None:
+        serve_workers = int(os.environ.get("MEMGAZE_SERVE_WORKERS", "1"))
     config = ServeConfig(
         root=args.root,
         host=args.host,
@@ -641,6 +644,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        serve_workers=serve_workers,
+        session_queue_size=args.session_queue_size,
     )
 
     async def run() -> None:
@@ -654,7 +659,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pass
         if args.port_file:
             Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
-        print(f"memgaze serve: listening on {config.host}:{server.port}", flush=True)
+        print(
+            f"memgaze serve: listening on {config.host}:{server.port} "
+            f"({config.serve_workers} session worker"
+            f"{'s' if config.serve_workers != 1 else ''})",
+            flush=True,
+        )
         await server.serve_until_stopped()
 
     asyncio.run(run())
@@ -876,8 +886,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--queue-size", type=int, default=64,
-        help="bounded ingest queue depth; a full queue sheds appends "
-        "with an explicit 'busy' response",
+        help="daemon-wide bound on queued appends; a full queue sheds "
+        "appends with an explicit 'busy' response",
+    )
+    p_serve.add_argument(
+        "--session-queue-size", type=int, default=16,
+        help="per-session cap on queued appends (inner backpressure "
+        "layer); one flooding session is shed before it can fill the "
+        "global queue",
+    )
+    p_serve.add_argument(
+        "--serve-workers", type=int, default=None, metavar="N",
+        help="session-shard worker processes; each session is pinned to "
+        "one worker by crc32(session) mod N, so per-session ordering is "
+        "preserved while independent sessions run concurrently "
+        "(default: $MEMGAZE_SERVE_WORKERS or 1)",
     )
     p_serve.add_argument(
         "--workers", type=int, default=1,

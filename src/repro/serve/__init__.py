@@ -8,22 +8,28 @@ trace can be *queried while it is still being written*:
 * :mod:`repro.serve.protocol` — the length-prefixed wire format shared
   by daemon and client (JSON header + raw array payload);
 * :mod:`repro.serve.session` — per-stream session state: the growing
-  archive, its analysis snapshot, and the ingest/query workers;
-* :mod:`repro.serve.daemon` — the asyncio server: bounded ingest queue
-  with explicit load-shedding, graceful drain-and-flush shutdown;
+  archive, its analysis snapshot, and the ingest/query paths;
+* :mod:`repro.serve.shard` — the session-shard worker processes: each
+  session is pinned to one worker (``crc32(name) % serve_workers``) so
+  per-session ordering is preserved while independent sessions run
+  concurrently;
+* :mod:`repro.serve.daemon` — the asyncio server: per-worker dispatch
+  queues, layered (per-session + global) load-shedding, worker-crash
+  isolation, graceful drain-and-flush shutdown;
 * :mod:`repro.serve.client` — a small blocking client library backing
   ``memgaze submit`` / ``memgaze query``.
 
 The service contract is the same bit-identical one the parallel engine
 honors: a live ``query`` response equals ``memgaze report --json
 --passes ...`` run offline on an archive holding exactly the chunks
-ingested so far (``docs/serving.md``).
+ingested so far, per session at any worker count (``docs/serving.md``).
 """
 
 from repro.serve.client import ServeBusy, ServeClient, ServeError, submit_archive
 from repro.serve.daemon import ServeConfig, TraceServer
 from repro.serve.protocol import ProtocolError
 from repro.serve.session import SessionManager, ServeSession
+from repro.serve.shard import ServeOpError, WorkerCrashed, route_session
 
 __all__ = [
     "ProtocolError",
@@ -31,8 +37,11 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeOpError",
     "ServeSession",
     "SessionManager",
     "TraceServer",
+    "WorkerCrashed",
+    "route_session",
     "submit_archive",
 ]

@@ -33,11 +33,29 @@ class ServeError(Exception):
 
 
 class ServeBusy(ServeError):
-    """An append was load-shed; retry after :attr:`retry_ms`."""
+    """An append was load-shed; retry after :attr:`retry_ms`.
 
-    def __init__(self, retry_ms: int) -> None:
-        super().__init__(f"server busy (retry in {retry_ms} ms)")
+    The daemon's backpressure is layered (see ``docs/serving.md``):
+    :attr:`scope` is ``"session"`` when this session's own queue cap
+    was hit and ``"global"`` when the daemon-wide bound was, and
+    :attr:`queue_depth` is the number of this session's appends still
+    queued at the rejection — a client streaming several sessions can
+    tell *which* of them is backed up and throttle just that one.
+    """
+
+    def __init__(
+        self,
+        retry_ms: int,
+        *,
+        scope: str = "global",
+        queue_depth: int | None = None,
+    ) -> None:
+        super().__init__(
+            f"server busy ({scope} queue full; retry in {retry_ms} ms)"
+        )
         self.retry_ms = int(retry_ms)
+        self.scope = scope
+        self.queue_depth = queue_depth
 
 
 class ServeClient:
@@ -75,7 +93,11 @@ class ServeClient:
         resp, resp_payload = read_frame_sync(self._fp, self._max_bytes)
         kind = resp.get("type")
         if kind == "busy":
-            raise ServeBusy(resp.get("retry_ms", 50))
+            raise ServeBusy(
+                resp.get("retry_ms", 50),
+                scope=resp.get("scope", "global"),
+                queue_depth=resp.get("queue_depth"),
+            )
         if kind == "error":
             raise ServeError(resp.get("error", "unknown server error"))
         return resp, resp_payload

@@ -2,43 +2,56 @@
 
 One :class:`TraceServer` accepts any number of client connections, each
 speaking the framed protocol of :mod:`repro.serve.protocol`. The
-concurrency model is deliberately simple and fully serialized where it
-matters:
+concurrency model is **session-sharded**:
 
 * **asyncio** handles sockets — many connections, one event loop;
-* every ``append`` is enqueued on one **bounded** :class:`asyncio.Queue`
-  and executed by one single-threaded executor, in arrival order;
-* every ``query`` runs on the *same* single-threaded executor — so a
-  query never observes a half-ingested archive, and the bit-identical
-  contract with the offline report holds without locks.
+* every session is pinned to one of ``serve_workers`` persistent
+  worker *processes* (:mod:`repro.serve.shard`) by
+  ``crc32(session) % serve_workers``, and each worker executes its
+  sessions' opens, appends, queries, and closes strictly in arrival
+  order — so per-session ordering (and with it the live-query ==
+  offline-report byte-identity) holds exactly as it did under the old
+  single serialized executor, while *independent* sessions no longer
+  head-of-line-block each other;
+* a dispatcher task per worker pulls from that worker's FIFO queue and
+  drives the blocking pipe round trip on a dedicated one-per-worker
+  thread, keeping the event loop free.
 
-Backpressure is **explicit load-shedding**, not silent buffering: when
-the ingest queue is full, the ``append`` is rejected immediately with a
-``busy`` response carrying a suggested retry delay, the rejection is
-journaled, and ``serve.shed`` counts it. Clients (see
-:func:`repro.serve.client.submit_archive`) back off and retry; the
-daemon's memory stays bounded by ``queue_size`` frames regardless of how
-fast clients push.
+Backpressure is **layered, explicit load-shedding**, not silent
+buffering: an append is rejected immediately with a ``busy`` response
+when its *session* already has ``session_queue_size`` appends queued
+(scope ``session``) or when ``queue_size`` appends are queued daemon-
+wide (scope ``global``). Either way the response carries the session's
+current queue depth and a suggested retry delay, the rejection is
+journaled, and both the global ``serve.shed`` counter and the
+per-session ``serve.shed.session.<name>`` counter increment. Clients
+(see :func:`repro.serve.client.submit_archive`) back off and retry; the
+daemon's memory stays bounded by ``queue_size`` frames regardless of
+how fast clients push.
 
-Graceful shutdown (``stop``): stop accepting connections, drain the
-ingest queue, flush and close every session, journal the final metrics
-snapshot. Because sessions publish their archive atomically on *every*
-ingest, even a SIGKILL leaves archives that ``memgaze validate-trace``
-accepts — graceful shutdown just guarantees nothing queued is dropped.
+A worker process crash is a *session* failure, not a daemon failure:
+the dead worker is respawned (``serve.worker.restarts``), its in-memory
+sessions are dropped (their on-disk archives survive and rehydrate on
+reopen), and the operation that observed the crash gets an ``error``
+response telling the client to reopen.
+
+Graceful shutdown (``stop``): stop accepting connections, drain every
+worker's queue, stop each worker (which flushes and closes its
+sessions and hands back its metrics for an exact merge), journal the
+final metrics snapshot. Because sessions publish their archive
+atomically on *every* ingest, even a SIGKILL leaves archives that
+``memgaze validate-trace`` accepts — graceful shutdown just guarantees
+nothing queued is dropped.
 """
 
 from __future__ import annotations
 
 import asyncio
-import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro._util.timers import StageTimers
-from repro.core.artifacts import ArtifactStore
-from repro.core.parallel import ParallelEngine
-from repro.core.report import payload_json
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -47,7 +60,7 @@ from repro.serve.protocol import (
     pack_frame,
     read_frame,
 )
-from repro.serve.session import SessionManager
+from repro.serve.shard import ServeOpError, ShardWorker, WorkerCrashed, route_session
 from repro.trace.tracefile import TraceMeta
 
 __all__ = ["ServeConfig", "TraceServer"]
@@ -69,15 +82,22 @@ class ServeConfig:
     #: accept the ``shutdown`` message (tests and local use; a shared
     #: daemon would disable it)
     allow_shutdown: bool = True
+    #: session-shard worker processes (``--serve-workers``); each
+    #: session is pinned to one by ``crc32(name) % serve_workers``
+    serve_workers: int = 1
+    #: per-session cap on queued appends, the inner layer of the
+    #: backpressure (the global ``queue_size`` is the outer one)
+    session_queue_size: int = 16
 
 
 class TraceServer:
-    """The streaming service: sockets in front, one worker thread behind.
+    """The streaming service: sockets in front, shard workers behind.
 
-    ``ingest_hook`` is a test seam: a callable invoked at the start of
-    every ingest, *on the worker thread* — a test that blocks in it
-    holds the worker, fills the bounded queue, and observes
-    deterministic load-shedding.
+    ``ingest_hook`` / ``query_hook`` are test seams: callables invoked
+    at the start of every ingest / query, *inside the owning worker
+    process* — a test that blocks in one holds exactly that shard,
+    fills its bounded queues, and observes deterministic load-shedding
+    (or, with the other shards, the absence of head-of-line blocking).
     """
 
     def __init__(
@@ -87,49 +107,61 @@ class TraceServer:
         journal=None,
         metrics=None,
         ingest_hook=None,
+        query_hook=None,
     ) -> None:
         self.config = config or ServeConfig()
         self.journal = journal
         self.metrics = metrics
         self.timers = StageTimers()
         self._ingest_hook = ingest_hook
+        self._query_hook = query_hook
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
-        self._queue: asyncio.Queue | None = None
-        self._worker: asyncio.Task | None = None
-        self._pool: ThreadPoolExecutor | None = None
+        self.workers: list[ShardWorker] = []
+        self._pumps: list[asyncio.Task] = []
+        self._queued_total = 0
+        self._session_queued: dict[str, int] = {}
         self._stopping = asyncio.Event()
-        self.manager: SessionManager | None = None
-        self.engine: ParallelEngine | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the ingest worker."""
+        """Spawn the shard workers, then bind the socket.
+
+        Order matters: workers fork *before* the listening socket
+        exists, so no child inherits it and closing the listener at
+        shutdown actually releases the port.
+        """
         cfg = self.config
+        if cfg.serve_workers < 1:
+            raise ValueError(f"serve_workers must be >= 1, got {cfg.serve_workers}")
+        if cfg.session_queue_size < 1:
+            raise ValueError(
+                f"session_queue_size must be >= 1, got {cfg.session_queue_size}"
+            )
         root = Path(cfg.root)
-        store = ArtifactStore(
-            root / "cache", journal=self.journal, metrics=self.metrics
-        )
-        self.engine = ParallelEngine(
-            workers=cfg.workers,
-            chunk_size=cfg.chunk_size,
-            store=store,
-            journal=self.journal,
-            metrics=self.metrics,
-        )
-        self.manager = SessionManager(
-            root / "sessions", journal=self.journal, metrics=self.metrics
-        )
-        self._queue = asyncio.Queue(maxsize=cfg.queue_size)
-        # ONE thread: ingest and query interleave but never overlap, so
-        # a query always sees a complete, settled archive.
-        self._pool = ThreadPoolExecutor(max_workers=1)
-        self._worker = asyncio.create_task(self._ingest_worker())
+        engine_kwargs = {"workers": cfg.workers, "chunk_size": cfg.chunk_size}
+        self.workers = [
+            ShardWorker(
+                i,
+                root,
+                journal=self.journal,
+                engine_kwargs=engine_kwargs,
+                ingest_hook=self._ingest_hook,
+                query_hook=self._query_hook,
+            )
+            for i in range(cfg.serve_workers)
+        ]
+        for w in self.workers:
+            w.spawn()
+            w.queue = asyncio.Queue()
+        self._pumps = [asyncio.create_task(self._pump(w)) for w in self.workers]
         self._server = await asyncio.start_server(
             self._handle_client, cfg.host, cfg.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics is not None:
+            self.metrics.gauge("serve.workers").set(cfg.serve_workers)
         if self.journal is not None:
             self.journal.emit(
                 "serve-start",
@@ -137,6 +169,8 @@ class TraceServer:
                 port=self.port,
                 root=str(root),
                 queue_size=cfg.queue_size,
+                session_queue_size=cfg.session_queue_size,
+                serve_workers=cfg.serve_workers,
             )
 
     async def serve_until_stopped(self) -> None:
@@ -149,68 +183,192 @@ class TraceServer:
         self._stopping.set()
 
     async def _shutdown(self) -> None:
-        """Drain the queue, flush sessions, close everything."""
+        """Close the listener, drain every worker, stop every worker."""
+        loop = asyncio.get_running_loop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._queue is not None:
-            await self._queue.join()
-        if self._worker is not None:
-            self._worker.cancel()
+        for w in self.workers:
+            if w.queue is not None:
+                await w.queue.join()
+        for task in self._pumps:
+            task.cancel()
+        await asyncio.gather(*self._pumps, return_exceptions=True)
+        flushed = 0
+        for w in self.workers:
             try:
-                await self._worker
-            except asyncio.CancelledError:
-                pass
-        closed = self.manager.close_all() if self.manager is not None else []
+                reply = await loop.run_in_executor(w.executor, w.stop)
+            except WorkerCrashed:
+                if self.journal is not None:
+                    self.journal.warning(
+                        "serve worker died before graceful stop", worker=w.index
+                    )
+                continue
+            finally:
+                w.executor.shutdown(wait=True)
+            flushed += len(reply.get("closed", []))
+            if self.metrics is not None and reply.get("metrics"):
+                self.metrics.merge(MetricsRegistry.from_dict(reply["metrics"]))
         if self.journal is not None:
-            self.journal.emit("serve-stop", sessions_flushed=len(closed))
+            self.journal.emit("serve-stop", sessions_flushed=flushed)
             self.journal.record_timers(self.timers)
             if self.metrics is not None:
                 self.journal.record_metrics(self.metrics)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-        if self.engine is not None:
-            self.engine.close()
 
-    # -- the ingest pipeline ---------------------------------------------------
+    # -- routing and dispatch --------------------------------------------------
 
-    async def _ingest_worker(self) -> None:
+    def _worker_for(self, name) -> ShardWorker:
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("message carries no session name")
+        return self.workers[route_session(name, len(self.workers))]
+
+    async def _submit(self, worker: ShardWorker, req: dict) -> dict:
+        """Enqueue one op on the worker's FIFO and await its reply."""
+        future = asyncio.get_running_loop().create_future()
+        worker.queue.put_nowait({"req": req, "future": future})
+        self._gauge_depth(worker)
+        return await future
+
+    async def _pump(self, worker: ShardWorker) -> None:
+        """One dispatcher per worker: FIFO queue → pipe round trip."""
         loop = asyncio.get_running_loop()
         while True:
-            name, events, sample_id = await self._queue.get()
+            item = await worker.queue.get()
+            req, future = item["req"], item["future"]
+            name = req.get("name")
+            if req["op"] == "ingest":
+                # only buffered event chunks count against the bounds —
+                # queue_size is the daemon's memory bound, not an op cap
+                self._queued_total -= 1
+                left = self._session_queued.get(name, 1) - 1
+                if left > 0:
+                    self._session_queued[name] = left
+                else:
+                    self._session_queued.pop(name, None)
             try:
-                await loop.run_in_executor(
-                    self._pool, self._do_ingest, name, events, sample_id
-                )
-            except Exception as exc:  # keep the worker alive
+                try:
+                    reply = await loop.run_in_executor(
+                        worker.executor, worker.request, req
+                    )
+                except WorkerCrashed as crash:
+                    self._on_worker_crash(worker, req, future, crash)
+                    continue
+                self._settle(worker, req, future, reply)
+            finally:
+                worker.queue.task_done()
+                self._gauge_depth(worker)
+
+    def _settle(self, worker: ShardWorker, req: dict, future, reply: dict) -> None:
+        """Turn one worker reply into metrics, timers, and a result."""
+        op, name = req["op"], req.get("name")
+        if not reply.get("ok"):
+            error = ServeOpError(reply.get("error", "worker error"))
+            if future is not None and not future.cancelled():
+                future.set_exception(error)
+            elif op == "ingest":
                 if self.journal is not None:
                     self.journal.warning(
-                        f"ingest failed: {type(exc).__name__}: {exc}",
+                        f"ingest failed: {reply.get('etype')}: "
+                        f"{reply.get('error')}",
                         session=name,
                     )
                 if self.metrics is not None:
                     self.metrics.counter("serve.ingest_errors").inc()
-            finally:
-                self._queue.task_done()
-                self._gauge_depth()
+            return
+        if op == "ingest":
+            self.timers.add(
+                "serve-ingest", reply["seconds"], items=reply["n_chunk_events"]
+            )
+            if self.metrics is not None:
+                self.metrics.counter("serve.accepted").inc()
+                self.metrics.counter("serve.events_ingested").inc(
+                    reply["n_chunk_events"]
+                )
+                self.metrics.counter(f"serve.worker.{worker.index}.ingests").inc()
+        elif op == "query" and self.metrics is not None:
+            self.metrics.counter("serve.queries").inc()
+            self.metrics.counter(f"serve.worker.{worker.index}.queries").inc()
+        if future is not None and not future.cancelled():
+            future.set_result(reply)
 
-    def _do_ingest(self, name: str, events, sample_id) -> None:
-        """Worker-thread body of one accepted append."""
-        if self._ingest_hook is not None:
-            self._ingest_hook(name, len(events))
-        session = self.manager.get(name)
-        t0 = time.perf_counter()
-        info = session.ingest(events, sample_id, self.engine)
-        self.timers.add("serve-ingest", time.perf_counter() - t0, items=len(events))
+    def _on_worker_crash(
+        self, worker: ShardWorker, req: dict, future, crash: WorkerCrashed
+    ) -> None:
+        """A shard died mid-op: fail the op, respawn, keep serving."""
+        op, name = req["op"], req.get("name")
+        lost = sorted(worker.sessions)
+        if self.journal is not None:
+            self.journal.warning(
+                "serve worker crashed; respawning (its open sessions need "
+                "reopening — archives on disk are preserved)",
+                worker=worker.index,
+                op=op,
+                session=name,
+                sessions_lost=lost,
+            )
         if self.metrics is not None:
-            self.metrics.counter("serve.accepted").inc()
-            self.metrics.counter("serve.events_ingested").inc(len(events))
-        if session.journal is not None:
-            session.journal.emit("chunk-ingested", **info)
+            self.metrics.counter("serve.worker.restarts").inc()
+            self.metrics.counter(f"serve.worker.{worker.index}.crashes").inc()
+        worker.respawn()
+        self._gauge_sessions()
+        if future is not None and not future.cancelled():
+            future.set_exception(
+                ServeOpError(
+                    f"serve worker {worker.index} crashed during {op} for "
+                    f"session {name!r}; reopen the session and retry"
+                )
+            )
+        elif op == "ingest":
+            if self.journal is not None:
+                self.journal.warning(
+                    "queued append lost to a worker crash", session=name
+                )
+            if self.metrics is not None:
+                self.metrics.counter("serve.ingest_errors").inc()
 
-    def _gauge_depth(self) -> None:
-        if self.metrics is not None and self._queue is not None:
-            self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+    # -- gauges ----------------------------------------------------------------
+
+    def _gauge_depth(self, worker: ShardWorker | None = None) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge("serve.queue_depth").set(self._queued_total)
+        if worker is not None and worker.queue is not None:
+            self.metrics.gauge(f"serve.worker.{worker.index}.queue_depth").set(
+                worker.queue.qsize()
+            )
+
+    def _gauge_sessions(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.sessions_active").set(
+                sum(len(w.sessions) for w in self.workers)
+            )
+
+    # -- backpressure ----------------------------------------------------------
+
+    def _shed(self, name: str, n_events: int, scope: str) -> tuple[dict, bytes]:
+        """Reject one append with an explicit, observable ``busy``."""
+        cfg = self.config
+        depth = self._session_queued.get(name, 0)
+        if self.metrics is not None:
+            self.metrics.counter("serve.shed").inc()
+            self.metrics.counter(f"serve.shed.session.{name}").inc()
+        if self.journal is not None:
+            self.journal.warning(
+                "ingest queue full — append load-shed",
+                session=name,
+                n_events=int(n_events),
+                queue_size=cfg.queue_size,
+                queue_depth=depth,
+                reason="queue-full" if scope == "global" else "session-queue-full",
+            )
+        return {
+            "type": "busy",
+            "retry_ms": cfg.retry_ms,
+            "scope": scope,
+            "queue_size": cfg.queue_size,
+            "session_queue_size": cfg.session_queue_size,
+            "queue_depth": depth,
+        }, b""
 
     # -- per-connection protocol loop ------------------------------------------
 
@@ -226,7 +384,7 @@ class TraceServer:
                     break
                 try:
                     response = await self._dispatch(header, payload, opened)
-                except ProtocolError as exc:
+                except (ProtocolError, ServeOpError) as exc:
                     response = ({"type": "error", "error": str(exc)}, b"")
                 except (KeyError, ValueError) as exc:
                     response = ({"type": "error", "error": str(exc)}, b"")
@@ -258,11 +416,11 @@ class TraceServer:
             meta = TraceMeta.from_json(
                 payload.decode("utf-8")
             ) if payload else TraceMeta(module=str(name))
-            loop = asyncio.get_running_loop()
-            await loop.run_in_executor(
-                self._pool, self.manager.open, name, meta
-            )
+            worker = self._worker_for(name)
+            await self._submit(worker, {"op": "open", "name": name, "meta": meta})
             opened.add(name)
+            worker.sessions.add(name)
+            self._gauge_sessions()
             return {"type": "ok", "session": name}, b""
 
         if kind == "append":
@@ -270,47 +428,47 @@ class TraceServer:
             if name not in opened:
                 raise ProtocolError(f"append before open for session {name!r}")
             events, sample_id = decode_chunk(header, payload)
-            try:
-                self._queue.put_nowait((name, events, sample_id))
-            except asyncio.QueueFull:
-                if self.metrics is not None:
-                    self.metrics.counter("serve.shed").inc()
-                if self.journal is not None:
-                    self.journal.warning(
-                        "ingest queue full — append load-shed",
-                        session=name,
-                        n_events=int(len(events)),
-                        queue_size=self.config.queue_size,
-                        reason="queue-full",
-                    )
-                return {
-                    "type": "busy",
-                    "retry_ms": self.config.retry_ms,
-                    "queue_size": self.config.queue_size,
-                }, b""
-            self._gauge_depth()
+            cfg = self.config
+            if self._session_queued.get(name, 0) >= cfg.session_queue_size:
+                return self._shed(name, len(events), "session")
+            if self._queued_total >= cfg.queue_size:
+                return self._shed(name, len(events), "global")
+            worker = self._worker_for(name)
+            self._queued_total += 1
+            self._session_queued[name] = self._session_queued.get(name, 0) + 1
+            worker.queue.put_nowait(
+                {
+                    "req": {
+                        "op": "ingest",
+                        "name": name,
+                        "events": events,
+                        "sample_id": sample_id,
+                    },
+                    "future": None,
+                }
+            )
+            self._gauge_depth(worker)
             return {"type": "ok", "queued": True}, b""
 
         if kind == "query":
             name = header.get("session")
-            session = self.manager.get(name)
-            passes = header.get("passes")  # None: full report
-            loop = asyncio.get_running_loop()
-            info, payload_obj = await loop.run_in_executor(
-                self._pool, session.query, passes, self.engine
+            worker = self._worker_for(name)
+            reply = await self._submit(
+                worker,
+                {"op": "query", "name": name, "passes": header.get("passes")},
             )
-            if self.metrics is not None:
-                self.metrics.counter("serve.queries").inc()
-            text = payload_json(payload_obj)
-            return {"type": "result", **info}, text.encode("utf-8")
+            return {"type": "result", **reply["info"]}, reply["text"].encode("utf-8")
 
         if kind == "close":
             name = header.get("session")
-            if self._queue is not None:
-                await self._queue.join()  # everything queued lands first
-            info = self.manager.close(name)
+            worker = self._worker_for(name)
+            # the close rides the same FIFO as the session's appends, so
+            # everything acked-as-queued lands before the detach
+            reply = await self._submit(worker, {"op": "close", "name": name})
             opened.discard(name)
-            return {"type": "ok", **info}, b""
+            worker.sessions.discard(name)
+            self._gauge_sessions()
+            return {"type": "ok", **reply["info"]}, b""
 
         if kind == "shutdown":
             if not self.config.allow_shutdown:

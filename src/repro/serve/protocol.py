@@ -15,7 +15,11 @@ so arrays cross the socket as raw bytes, never base64.
 
 Client requests: ``open``, ``append``, ``query``, ``close``, ``ping``,
 ``shutdown``. Server responses: ``ok``, ``result``, ``busy`` (the
-load-shedding rejection — see :mod:`repro.serve.daemon`), ``error``.
+load-shedding rejection — see :mod:`repro.serve.daemon`; it carries
+``retry_ms``, the shed ``scope`` (``"session"`` or ``"global"``), and
+``queue_depth``, the rejected session's queued-append count, so a
+multi-session client can throttle exactly the stream that is backed
+up), ``error``.
 
 Event chunks travel as ``events.tobytes()`` (:data:`EVENT_DTYPE`,
 little-endian packed records) followed by the optional ``int32`` sample

@@ -20,10 +20,16 @@ A query then loads the archive through the same
 is warm, so the scan is skipped, and the resulting JSON payload is
 byte-identical to ``memgaze report --json`` over the same archive.
 
-The :class:`SessionManager` maps stream names to sessions and owns the
-shared engine/store; it does no locking — the daemon serializes every
-ingest and query through one single-threaded executor, which is what
-makes "the archive never changes mid-query" true.
+The :class:`SessionManager` maps stream names to sessions; it does no
+locking because it never needs any. Each shard worker process of the
+daemon (:mod:`repro.serve.shard`) owns one manager over the shared
+``sessions/`` directory, every session is routed to exactly one worker
+(``crc32(name) % serve_workers``), and that worker executes the
+session's ingests and queries strictly in arrival order — which is what
+makes "the archive never changes mid-query" true. Re-opening a session
+rehydrates its on-disk archive *in whichever worker owns the name*, so
+the ownership survives daemon restarts, worker crashes, and
+``--serve-workers`` changes (the route moves, the archive follows).
 """
 
 from __future__ import annotations
@@ -92,7 +98,7 @@ class ServeSession:
         self.n_events = int(len(events))
         return True
 
-    # -- ingest (called on the daemon's single worker thread) -----------------
+    # -- ingest (called inside the session's owning shard worker) --------------
 
     def ingest(self, events: np.ndarray, sample_id: np.ndarray | None, engine) -> dict:
         """Append one chunk, publish the archive, refresh the analysis.
@@ -134,7 +140,7 @@ class ServeSession:
             "skipped_events": analysis.skipped_events,
         }
 
-    # -- query (same worker thread, so the archive is stable) -----------------
+    # -- query (same shard worker, so the archive is stable) -------------------
 
     def query(self, passes: list[str] | None, engine) -> tuple[dict, dict]:
         """Analyze the archive as it stands; returns ``(info, payload)``.

@@ -91,6 +91,7 @@ class ServerHarness:
     def join(self, timeout: float = 60) -> None:
         """Wait for the server to exit on its own (client shutdown)."""
         self._thread.join(timeout=timeout)
+        self._reap()
         assert not self._thread.is_alive(), "server did not shut down"
 
     def stop(self, timeout: float = 60) -> None:
@@ -100,7 +101,13 @@ class ServerHarness:
             except RuntimeError:
                 pass  # loop already closed
         self._thread.join(timeout=timeout)
+        self._reap()
         assert not self._thread.is_alive(), "server did not shut down"
+
+    def _reap(self) -> None:
+        """Best-effort shard-worker cleanup so pytest never leaks them."""
+        for w in self.server.workers:
+            w.kill()
 
 
 @pytest.fixture
@@ -118,10 +125,15 @@ def serve_harness(tmp_path):
         journal = kwargs.pop("journal", None)
         metrics = kwargs.pop("metrics", None)
         ingest_hook = kwargs.pop("ingest_hook", None)
+        query_hook = kwargs.pop("query_hook", None)
         kwargs.setdefault("root", tmp_path / "serve-state")
         config = ServeConfig(**kwargs)
         h = ServerHarness(
-            config, journal=journal, metrics=metrics, ingest_hook=ingest_hook
+            config,
+            journal=journal,
+            metrics=metrics,
+            ingest_hook=ingest_hook,
+            query_hook=query_hook,
         )
         harnesses.append(h)
         port = h.start()

@@ -8,6 +8,7 @@ payload must be **byte-identical** to what offline ``memgaze report
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 
@@ -73,17 +74,20 @@ def test_ping(serve_harness):
         assert c.ping() == {"type": "ok", "port": port}
 
 
+@pytest.mark.parametrize("serve_workers", [1, 4])
 def test_live_queries_bit_identical_to_offline_report(
-    tmp_path, make_rng, serve_harness, build_archive, capsys
+    tmp_path, make_rng, serve_harness, build_archive, capsys, serve_workers
 ):
     """Two concurrent clients; every intermediate live query must equal
-    the offline report over that exact archive prefix, byte for byte."""
+    the offline report over that exact archive prefix, byte for byte —
+    at one shard worker and at four (the sharded dispatcher must keep
+    the per-session contract intact)."""
     a1 = tmp_path / "alpha.npz"
     a2 = tmp_path / "beta.npz"
     build_archive(a1, make_rng("alpha"), n_samples=12, per_sample=300, module="alpha-mod")
     build_archive(a2, make_rng("beta"), n_samples=8, per_sample=500, module="beta-mod")
 
-    _, port = serve_harness(queue_size=16)
+    _, port = serve_harness(queue_size=16, serve_workers=serve_workers)
     out: dict = {}
     threads = [
         threading.Thread(target=_stream_session, args=(port, name, archive, cs, out))
@@ -129,8 +133,10 @@ def test_queue_overflow_sheds_with_journaled_busy(
     journal_path = tmp_path / "journal.jsonl"
     journal = RunJournal(journal_path)
     metrics = MetricsRegistry()
-    gate = threading.Event()
-    entered = threading.Event()
+    # the hook runs inside the forked shard-worker process, so the
+    # gates must be multiprocessing primitives, not threading ones
+    gate = multiprocessing.Event()
+    entered = multiprocessing.Event()
 
     def hook(name, n_events):  # parks the single worker inside an ingest
         entered.set()
