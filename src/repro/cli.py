@@ -375,6 +375,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # the header metrics run as ONE fused scan: each shard of the trace
     # is visited once for diagnostics and (when shown) hotspots together
     header = ["diagnostics"] + (["hotspot"] if everything or args.hotspots else [])
+    if everything or args.functions:
+        header.append("windows")
     results = engine.run_passes(
         col.events,
         header,
@@ -398,7 +400,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print(
             render_function_table(
-                engine.code_windows(col.events, rho=rho, fn_names=fn_names),
+                results["windows"],
                 title="code windows (per-function locality)",
             )
         )
@@ -539,6 +541,106 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     )
     print(diff.render(top=args.top))
     return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    """Analyze a corpus of archives and gate regressions (``memgaze matrix``)."""
+    from repro.core.corpus import CorpusSpec, CorpusSpecError
+    from repro.core.diff import ThresholdError, Thresholds, corpus_diff
+    from repro.core.matrix import run_matrix
+
+    journal = _open_journal(args)
+    metrics = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    try:
+        spec = CorpusSpec.load(args.spec, baseline=args.baseline)
+    except CorpusSpecError as exc:
+        raise SystemExit(f"memgaze matrix: {exc}") from exc
+    thresholds = None
+    if args.gate:
+        try:
+            thresholds = Thresholds.from_file(args.gate)
+        except ThresholdError as exc:
+            raise SystemExit(f"memgaze matrix: {exc}") from exc
+
+    # --cache-dir alone enables the cache; --no-cache always wins
+    use_cache = args.cache is True or (
+        args.cache is None and args.cache_dir is not None
+    )
+    cache_dir = (args.cache_dir or _default_cache_dir()) if use_cache else None
+    try:
+        result = run_matrix(
+            spec,
+            cache_dir=cache_dir,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            journal=journal,
+            metrics=metrics,
+        )
+    except TraceFormatError as exc:
+        raise SystemExit(
+            f"memgaze matrix: unrecoverable trace archive: {exc}"
+        ) from exc
+    payload = result.corpus_payload()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload_json(payload) + "\n")
+
+    diff = corpus_diff(payload, thresholds, min_accesses=args.min_accesses)
+    verdict = diff.verdict_payload()
+    regressed = [c.label for c in diff.cells if c.regressed]
+    if metrics is not None:
+        metrics.counter("matrix.regressions").inc(len(regressed))
+    if journal is not None:
+        journal.emit(
+            "matrix-verdict",
+            corpus=spec.name,
+            baseline=diff.baseline,
+            verdict=diff.verdict,
+            gated=args.gate is not None,
+            regressed_cells=regressed,
+        )
+    if args.verdict:
+        with open(args.verdict, "w", encoding="utf-8") as fh:
+            fh.write(payload_json(verdict) + "\n")
+
+    if args.json:
+        # with a gate the machine-readable product is the verdict;
+        # otherwise it is the aggregated corpus payload itself
+        print(payload_json(verdict if args.gate else payload))
+    else:
+        print(
+            f"== corpus {spec.name}: {len(result.cells)} cells "
+            f"(baseline {spec.baseline}) =="
+        )
+        for label, r in sorted(result.cells.items()):
+            marker = "*" if label == spec.baseline else " "
+            print(
+                f" {marker} {label:<20} {r.mode:<12} "
+                f"{r.n_events:>12,} events  {r.seconds:8.3f}s"
+            )
+        print()
+        print(diff.render(top=args.top))
+
+    if args.metrics:
+        export = {
+            "spec": str(args.spec),
+            "run": journal.run_id if journal is not None else None,
+            "metrics": metrics.as_dict(),
+            "modes": dict(result.modes),
+            "verdict": diff.verdict,
+        }
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(export, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if journal is not None:
+        if metrics is not None:
+            journal.record_metrics(metrics)
+        journal.close()
+    return 1 if (args.gate and diff.verdict == "regressed") else 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -830,6 +932,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("after")
     p_diff.add_argument("--top", type=int, default=12, help="movers to show")
     p_diff.set_defaults(fn=_cmd_diff)
+
+    p_matrix = sub.add_parser(
+        "matrix",
+        help="analyze a corpus of trace archives, N-way diff against a "
+        "baseline, and gate regressions for CI",
+    )
+    p_matrix.add_argument(
+        "spec",
+        help="corpus spec file (.toml/.json with [[cell]] tables) or a "
+        "directory of .npz archives (one cell per archive, labelled by stem)",
+    )
+    p_matrix.add_argument(
+        "--baseline", default=None, metavar="LABEL",
+        help="cell label to diff every other cell against (default: the "
+        "spec's 'baseline', or the first cell)",
+    )
+    p_matrix.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the aggregated corpus payload (canonical JSON) to PATH",
+    )
+    p_matrix.add_argument(
+        "--json", action="store_true",
+        help="print canonical JSON instead of tables: the corpus payload, "
+        "or the verdict payload when --gate is given",
+    )
+    p_matrix.add_argument(
+        "--gate", default=None, metavar="THRESHOLDS",
+        help="regression thresholds file (.toml/.json, one [metric] table "
+        "with max_abs/max_rel bounds); exit 1 when any cell regresses "
+        "past a bound (exactly-at-threshold passes)",
+    )
+    p_matrix.add_argument(
+        "--verdict", default=None, metavar="PATH",
+        help="write the machine-readable per-cell per-metric verdict JSON "
+        "to PATH (written for pass and regressed runs alike)",
+    )
+    p_matrix.add_argument("--top", type=int, default=12, help="function movers to show per cell")
+    p_matrix.add_argument(
+        "--min-accesses", type=int, default=100,
+        help="drop functions below this many observed records on both sides",
+    )
+    p_matrix.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis worker processes per cell (>1 shards chunks across a pool)",
+    )
+    p_matrix.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="events per streamed chunk (default: engine auto)",
+    )
+    p_matrix.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="serve warm cells from the persistent analysis cache "
+        "(--no-cache disables it even when --cache-dir is given)",
+    )
+    p_matrix.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="analysis cache directory (implies --cache; default: "
+        "$MEMGAZE_CACHE_DIR or ~/.cache/memgaze)",
+    )
+    p_matrix.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a JSONL run journal (matrix-cell/matrix-run/"
+        "matrix-verdict lines plus the engine's) to PATH",
+    )
+    p_matrix.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the matrix.* metrics registry plus per-cell modes as JSON",
+    )
+    p_matrix.set_defaults(fn=_cmd_matrix)
 
     p_val = sub.add_parser(
         "validate", help="Fig.6-style accuracy check: sampled vs full metrics"

@@ -789,6 +789,51 @@ class CapturesPass(AnalysisPass):
 
 
 @register_pass
+class WindowsPass(AnalysisPass):
+    """Per-function code windows: the diagnostics bundle per function (SS:VI-A)."""
+
+    name = "windows"
+    requires = ("block_ids", "class_masks")
+    defaults = {"block": 1}
+
+    def init(self, params):
+        return {}
+
+    def update(self, partial, chunk, params):
+        ev = chunk.events
+        if len(ev) == 0:
+            return partial
+        out = dict(partial)
+        for fid in np.unique(ev["fn"]):
+            sub = DiagnosticsPartial.from_events(
+                ev[ev["fn"] == fid], params["block"]
+            )
+            prev = out.get(int(fid))
+            out[int(fid)] = sub if prev is None else prev.merge(sub)
+        return out
+
+    def merge(self, a, b):
+        out = dict(a)
+        for fid, p in b.items():
+            prev = out.get(fid)
+            out[fid] = p if prev is None else prev.merge(p)
+        return out
+
+    def finalize(self, partial, ctx, params):
+        # ascending function id, so a name collision resolves the same
+        # way the serial code_windows loop does (highest id wins)
+        return {
+            ctx.fn_names.get(fid, f"fn{fid}"): p.finalize(ctx.rho)
+            for fid, p in sorted(partial.items())
+        }
+
+    def render(self, result):
+        from repro.core.report import render_function_table
+
+        return render_function_table(result)
+
+
+@register_pass
 class ReusePass(AnalysisPass):
     """Intra-sample reuse-distance histogram over power-of-two bins."""
 

@@ -290,9 +290,13 @@ class MemGaze:
                 digest = ArtifactStore.digest_events(
                     collection.events, collection.sample_id
                 )
+            extra_names = {r if isinstance(r, str) else r[0] for r in extra}
+            requests = [("diagnostics", {"block": self.config.block})] + extra
+            if "windows" not in extra_names:
+                requests.append(("windows", {"block": self.config.block}))
             results = engine.run_passes(
                 collection.events,
-                [("diagnostics", {"block": self.config.block})] + extra,
+                requests,
                 sample_id=collection.sample_id,
                 rho=rho,
                 fn_names=fn_names,
@@ -300,10 +304,14 @@ class MemGaze:
                 store_key=digest,
             )
             diagnostics = results.pop("diagnostics")
-            pass_results = results
-            per_function = engine.code_windows(
-                collection.events, rho=rho, block=self.config.block, fn_names=fn_names
+            # the per-function code windows ride the same fused scan; a
+            # caller-requested windows pass stays visible in pass_results
+            per_function = (
+                results["windows"]
+                if "windows" in extra_names
+                else results.pop("windows")
             )
+            pass_results = results
         else:
             engine = None
             diagnostics = compute_diagnostics(

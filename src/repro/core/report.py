@@ -142,9 +142,11 @@ def full_report_payload(
 ) -> dict:
     """The whole-trace ``report --json`` payload (default pass set).
 
-    Runs the four headline passes fused (diagnostics, hotspot, captures,
-    reuse) plus the per-function code windows, through the same engine
-    path the human-readable report uses.
+    Runs the four headline passes plus the per-function code windows in
+    one fused scan, through the same engine path the human-readable
+    report uses. The ``windows`` results surface as the payload's
+    ``functions`` mapping (not under ``passes``), so the layout — and
+    the bytes — match the original split computation.
     """
     from repro.core.passes import to_jsonable
 
@@ -152,7 +154,7 @@ def full_report_payload(
     token = window_token if window_token is not None else engine.window_token()
     results = engine.run_passes(
         collection.events,
-        names,
+        names + ["windows"],
         sample_id=collection.sample_id,
         rho=rho,
         fn_names=fn_names,
@@ -160,9 +162,8 @@ def full_report_payload(
         store_key=store_key,
     )
     payload = passes_payload(module, collection, rho, names, results)
-    windows = engine.code_windows(collection.events, rho=rho, fn_names=fn_names)
     payload["functions"] = {
-        name: to_jsonable(d) for name, d in sorted(windows.items())
+        name: to_jsonable(d) for name, d in sorted(results["windows"].items())
     }
     return payload
 

@@ -44,6 +44,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro._util.crc import crc32_chunks
 from repro.trace.event import EVENT_DTYPE
 from repro.trace.tracefile import (
     TraceFormatError,
@@ -309,20 +310,24 @@ def _verified_prefix(
     step = int(health["chunk_events"])
     n_expected = int(health["n_events"])
     report.n_events_expected = n_expected
+    # one batched sweep over zero-copy chunk views; at_least_one matches
+    # the writer's empty-trace record (a single checksum of zero bytes)
+    n_avail = min(len(events), n_expected)
+    got = crc32_chunks(events[:n_avail], step, at_least_one=True)
     keep = 0
     for i, crc in enumerate(health["events_crc"]):
         lo = i * step
         hi = min(lo + step, n_expected)
-        chunk = events[lo:hi]
-        if len(chunk) < hi - lo:
+        avail = max(0, min(n_avail, hi) - lo)
+        if avail < hi - lo:
             report.add(
                 KIND_BIT_FLIP if corrupt else KIND_TRUNCATION,
-                f"events chunk {i} is short ({len(chunk):,} of {hi - lo:,} records)",
+                f"events chunk {i} is short ({avail:,} of {hi - lo:,} records)",
                 member="events",
                 chunk=i,
             )
             break
-        if zlib.crc32(chunk.tobytes()) != int(crc):
+        if got[i] != int(crc):
             report.add(
                 KIND_BIT_FLIP
                 if (corrupt or member_complete)

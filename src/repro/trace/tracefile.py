@@ -42,6 +42,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro._util.crc import crc32_chunks, crc32_of
 from repro.trace.event import EVENT_DTYPE
 
 __all__ = [
@@ -114,22 +115,21 @@ class TraceMeta:
 
 
 def _health_record(events: np.ndarray, sample_id: np.ndarray | None) -> dict:
-    """Per-chunk CRC32 checksums over the raw array bytes."""
+    """Per-chunk CRC32 checksums over the raw array bytes.
+
+    An empty trace still records one checksum per member (of zero
+    bytes); content digests key off this record, so the empty-case
+    layout must never change.
+    """
     step = HEALTH_CHUNK_EVENTS
     return {
         "version": _HEALTH_VERSION,
         "chunk_events": step,
         "n_events": len(events),
-        "events_crc": [
-            zlib.crc32(events[i : i + step].tobytes())
-            for i in range(0, max(len(events), 1), step)
-        ],
+        "events_crc": crc32_chunks(events, step, at_least_one=True),
         "sample_id_crc": None
         if sample_id is None
-        else [
-            zlib.crc32(sample_id[i : i + step].tobytes())
-            for i in range(0, max(len(sample_id), 1), step)
-        ],
+        else crc32_chunks(sample_id, step, at_least_one=True),
     }
 
 
@@ -333,12 +333,12 @@ def _skip_prefix(
             raise ValueError(
                 f"cannot skip {skip.n_events} events: archive holds fewer"
             )
-        skip.events_crc.append(zlib.crc32(ev.tobytes()))
+        skip.events_crc.append(crc32_of(ev))
         if sid_stream is not None:
             sid = sid_stream.read(take)
             if len(sid) < take:
                 raise ValueError("sample_id member shorter than events member")
-            skip.sample_id_crc.append(zlib.crc32(sid.tobytes()))
+            skip.sample_id_crc.append(crc32_of(sid))
             skip.last_sample_id = int(sid[-1])
         remaining -= take
     if metrics is not None:

@@ -1,0 +1,93 @@
+"""Equivalence of the zero-copy CRC sweep with the tobytes reference.
+
+The health layer's checksums are content-digest inputs (cache keys,
+golden archives), so :func:`repro._util.crc.crc32_chunks` must agree
+bit-for-bit with the original ``chunk.tobytes()`` sweep on every dtype
+and chunk geometry the archive format uses.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro._util.crc import crc32_chunks, crc32_of
+from repro.trace.event import make_events
+from repro.trace.tracefile import HEALTH_CHUNK_EVENTS, _health_record
+
+
+def _reference(arr: np.ndarray, step: int, at_least_one: bool) -> list[int]:
+    stop = max(len(arr), 1) if at_least_one else len(arr)
+    return [zlib.crc32(arr[i : i + step].tobytes()) for i in range(0, stop, step)]
+
+
+def _event_array(rng, n):
+    return make_events(
+        ip=rng.integers(0, 1 << 40, n),
+        addr=rng.integers(0, 1 << 44, n),
+        cls=rng.integers(0, 3, n).astype(np.uint8),
+        fn=rng.integers(0, 7, n).astype(np.uint32),
+    )
+
+
+@pytest.mark.parametrize("n", [0, 1, 16, 17, 64, 1000])
+@pytest.mark.parametrize("step", [1, 7, 16, 1024])
+def test_structured_dtype_matches_reference(make_rng, n, step):
+    events = _event_array(make_rng("crc-events"), n)
+    assert crc32_chunks(events, step) == _reference(events, step, False)
+    assert crc32_chunks(events, step, at_least_one=True) == _reference(
+        events, step, True
+    )
+
+
+@pytest.mark.parametrize("dtype", [np.int32, np.uint8, np.float64])
+def test_plain_dtypes_match_reference(make_rng, dtype):
+    rng = make_rng("crc-plain")
+    arr = rng.integers(0, 100, 333).astype(dtype)
+    for step in (1, 50, 333, 1000):
+        assert crc32_chunks(arr, step) == _reference(arr, step, False)
+
+
+def test_empty_array_quirk():
+    """Empty + at_least_one yields exactly one CRC of zero bytes."""
+    empty = np.empty(0, dtype=np.int32)
+    assert crc32_chunks(empty, 8) == []
+    assert crc32_chunks(empty, 8, at_least_one=True) == [zlib.crc32(b"")]
+
+
+def test_noncontiguous_input_is_packed_first(make_rng):
+    arr = make_rng("crc-strided").integers(0, 100, 64).astype(np.int64)
+    view = arr[::2]
+    assert not view.flags.c_contiguous
+    assert crc32_chunks(view, 5) == _reference(np.ascontiguousarray(view), 5, False)
+    assert crc32_of(view) == zlib.crc32(view.tobytes())
+
+
+def test_readonly_buffer(make_rng):
+    """frombuffer views (the archive read path) are read-only buffers."""
+    events = _event_array(make_rng("crc-readonly"), 32)
+    ro = np.frombuffer(events.tobytes(), dtype=events.dtype)
+    assert not ro.flags.writeable
+    assert crc32_chunks(ro, 10) == _reference(events, 10, False)
+
+
+def test_step_validation():
+    with pytest.raises(ValueError, match="step"):
+        crc32_chunks(np.zeros(4, dtype=np.int32), 0)
+
+
+def test_health_record_layout_unchanged(make_rng):
+    """The writer's record keeps the legacy per-chunk layout exactly."""
+    rng = make_rng("crc-health")
+    for n in (0, 100, HEALTH_CHUNK_EVENTS + 5):
+        events = _event_array(rng, n)
+        sid = np.repeat(
+            np.arange(max(1, n // 64 + 1), dtype=np.int32), 64
+        )[:n]
+        rec = _health_record(events, sid)
+        assert rec["n_events"] == n
+        assert rec["events_crc"] == _reference(events, HEALTH_CHUNK_EVENTS, True)
+        assert rec["sample_id_crc"] == _reference(sid, HEALTH_CHUNK_EVENTS, True)
+        assert _health_record(events, None)["sample_id_crc"] is None

@@ -1,0 +1,149 @@
+"""Corpus spec parsing and validation (``repro.core.corpus``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import CellSpec, CorpusSpec, CorpusSpecError
+from repro.trace.event import LoadClass, make_events
+from repro.trace.tracefile import TraceMeta, write_trace
+
+
+def _write_archive(path, n=512, seed=0, module=None):
+    rng = np.random.default_rng(1000 + seed)
+    events = make_events(
+        ip=rng.integers(0, 1 << 20, n),
+        addr=rng.integers(0, 1 << 30, n),
+        cls=np.full(n, int(LoadClass.STRIDED), dtype=np.uint8),
+    )
+    sample_id = np.repeat(np.arange(max(1, n // 128), dtype=np.int32), 128)[:n]
+    meta = TraceMeta(
+        module=module or path.stem,
+        kind="sampled",
+        period=997,
+        buffer_capacity=128,
+        n_loads_total=n * 4,
+        n_samples=int(sample_id[-1]) + 1 if n else 1,
+        extra={"fn_names": {}, "mode": "ldlat"},
+    )
+    write_trace(path, events, meta, sample_id)
+    return path
+
+
+class TestFromDirectory:
+    def test_labels_and_default_baseline(self, tmp_path):
+        for stem in ("v2", "v1", "pr"):
+            _write_archive(tmp_path / f"{stem}.npz")
+        spec = CorpusSpec.from_directory(tmp_path)
+        assert [c.label for c in spec.cells] == ["pr", "v1", "v2"]  # sorted
+        assert spec.baseline == "pr"
+        assert spec.name == tmp_path.name
+
+    def test_baseline_override(self, tmp_path):
+        for stem in ("a", "b"):
+            _write_archive(tmp_path / f"{stem}.npz")
+        spec = CorpusSpec.from_directory(tmp_path, baseline="b")
+        assert spec.baseline == "b"
+        assert [c.label for c in spec.candidates] == ["a"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(CorpusSpecError, match="no \\*.npz"):
+            CorpusSpec.from_directory(tmp_path)
+
+
+class TestFromFile:
+    def _spec_toml(self, tmp_path, body):
+        p = tmp_path / "corpus.toml"
+        p.write_text(body, encoding="utf-8")
+        return p
+
+    def test_toml_cells_params_and_relative_paths(self, tmp_path):
+        (tmp_path / "traces").mkdir()
+        _write_archive(tmp_path / "traces" / "base.npz")
+        _write_archive(tmp_path / "traces" / "cand.npz")
+        p = self._spec_toml(
+            tmp_path,
+            'name = "nightly"\nbaseline = "base"\n\n'
+            '[[cell]]\nlabel = "base"\ntrace = "traces/base.npz"\n\n'
+            '[[cell]]\ntrace = "traces/cand.npz"\nblock = 4\nreuse_block = 128\n',
+        )
+        spec = CorpusSpec.from_file(p)
+        assert spec.name == "nightly"
+        assert spec.baseline == "base"
+        cand = spec.cell("cand")  # label defaults to the trace stem
+        assert cand.block == 4 and cand.reuse_block == 128
+        assert cand.trace == tmp_path / "traces" / "cand.npz"
+
+    def test_json_spec(self, tmp_path):
+        _write_archive(tmp_path / "a.npz")
+        p = tmp_path / "corpus.json"
+        p.write_text(json.dumps({"cell": [{"trace": "a.npz"}]}), encoding="utf-8")
+        spec = CorpusSpec.from_file(p)
+        assert spec.baseline == "a"
+        assert spec.name == "corpus"  # file stem
+
+    def test_kwarg_baseline_beats_file(self, tmp_path):
+        _write_archive(tmp_path / "a.npz")
+        _write_archive(tmp_path / "b.npz")
+        p = self._spec_toml(
+            tmp_path,
+            'baseline = "a"\n[[cell]]\ntrace = "a.npz"\n[[cell]]\ntrace = "b.npz"\n',
+        )
+        assert CorpusSpec.from_file(p, baseline="b").baseline == "b"
+
+    @pytest.mark.parametrize(
+        "body,match",
+        [
+            ("", "no \\[\\[cell\\]\\]"),
+            ("[[cell]]\nlabel = 'x'\n", "no 'trace'"),
+            ("[[cell]]\ntrace = 'a.npz'\nblok = 2\n", "unknown keys: blok"),
+            ("nmae = 'x'\n[[cell]]\ntrace = 'a.npz'\n", "unknown keys: nmae"),
+            ("cell = 3\n", "array of tables"),
+            ("x ==", "invalid TOML"),
+        ],
+    )
+    def test_malformed_specs_rejected(self, tmp_path, body, match):
+        _write_archive(tmp_path / "a.npz")
+        p = self._spec_toml(tmp_path, body)
+        with pytest.raises(CorpusSpecError, match=match):
+            CorpusSpec.from_file(p)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        p = tmp_path / "corpus.json"
+        p.write_text("{nope", encoding="utf-8")
+        with pytest.raises(CorpusSpecError, match="invalid JSON"):
+            CorpusSpec.from_file(p)
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self, tmp_path):
+        a = _write_archive(tmp_path / "a.npz")
+        with pytest.raises(CorpusSpecError, match="duplicate cell labels: x"):
+            CorpusSpec(
+                cells=(CellSpec("x", a), CellSpec("x", a)), baseline="x"
+            )
+
+    def test_unknown_baseline_rejected(self, tmp_path):
+        a = _write_archive(tmp_path / "a.npz")
+        with pytest.raises(CorpusSpecError, match="baseline 'z' names no cell"):
+            CorpusSpec(cells=(CellSpec("a", a),), baseline="z")
+
+    def test_missing_trace_rejected(self, tmp_path):
+        with pytest.raises(CorpusSpecError, match="not found"):
+            CorpusSpec(
+                cells=(CellSpec("a", tmp_path / "gone.npz"),), baseline="a"
+            )
+
+    def test_no_cells_rejected(self):
+        with pytest.raises(CorpusSpecError, match="no cells"):
+            CorpusSpec(cells=(), baseline="a")
+
+    def test_load_dispatch(self, tmp_path):
+        _write_archive(tmp_path / "a.npz")
+        assert CorpusSpec.load(tmp_path).baseline == "a"
+        spec_file = tmp_path / "c.toml"
+        spec_file.write_text('[[cell]]\ntrace = "a.npz"\n', encoding="utf-8")
+        assert CorpusSpec.load(spec_file).baseline == "a"
+        with pytest.raises(CorpusSpecError, match="not found"):
+            CorpusSpec.load(tmp_path / "nope.toml")

@@ -98,3 +98,255 @@ class TestCliDiff:
         out = capsys.readouterr().out
         assert "trace diff" in out
         assert "map.insert" in out
+
+
+# -- N-way corpus diff ---------------------------------------------------------
+
+
+def _fd(A_est=1000.0, dF=0.5, **over):
+    """A full FootprintDiagnostics field dict for synthetic payloads."""
+    d = dict(
+        A_obs=1000, A_implied=1000, A_est=A_est, F=100, F_est=100.0,
+        F_str=80, F_irr=20, dF=dF, dF_str=0.4, dF_irr=0.1, A_const_pct=0.0,
+    )
+    d.update(over)
+    return d
+
+
+def _cell(*, dF=0.5, dF_irr=0.1, F=100, F_est=100.0, A_est=1000.0,
+          captures=50, survivals=50, counts=(0,), n_reuse=0, d_sum=0,
+          functions=None):
+    """A synthetic cell payload with just the fields the N-way diff reads."""
+    return {
+        "schema": 1, "module": "m", "n_events": 1000, "n_samples": 4,
+        "n_loads_total": 4000, "rho": 4.0,
+        "passes": {
+            "diagnostics": {
+                "A_obs": 1000, "A_implied": 1000, "A_est": A_est, "F": F,
+                "F_est": F_est, "F_str": 80, "F_irr": 20, "dF": dF,
+                "dF_str": 0.4, "dF_irr": dF_irr, "A_const_pct": 0.0,
+            },
+            "hotspot": [],
+            "captures": {"captures": captures, "survivals": survivals},
+            "reuse": {"counts": list(counts), "n_cold": 0, "n_reuse": n_reuse,
+                      "d_sum": d_sum, "d_max": 0, "scope": "sample"},
+        },
+        "functions": functions if functions is not None else {"main": _fd()},
+    }
+
+
+def _corpus(cells, baseline="base", name="synthetic"):
+    return {"schema": 1, "corpus": name, "baseline": baseline,
+            "n_cells": len(cells), "cells": cells}
+
+
+def _gate(**metrics):
+    from repro.core.diff import Thresholds
+
+    return Thresholds.from_mapping(metrics)
+
+
+def _only_evidence(diff, cell, metric):
+    (cd,) = [c for c in diff.cells if c.label == cell]
+    (ev,) = [e for e in cd.evidence if e.metric == metric]
+    return ev
+
+
+class TestReuseQuantile:
+    def test_empty_histogram_is_zero(self):
+        from repro.core.diff import _reuse_quantile
+
+        assert _reuse_quantile({"counts": [0, 0], "n_reuse": 0}, 0.5) == 0.0
+
+    def test_bin_edges(self):
+        from repro.core.diff import _reuse_quantile
+
+        # bin 0 = D==0, bin 1 = [1,2), bin 2 = [2,4)
+        h = {"counts": [5, 5, 10], "n_reuse": 20}
+        assert _reuse_quantile(h, 0.25) == 0.0  # cum 5 >= 5 at bin 0
+        assert _reuse_quantile(h, 0.50) == 1.0  # cum 10 >= 10 at bin 1
+        assert _reuse_quantile(h, 0.90) == 2.0
+        assert _reuse_quantile(h, 0.99) == 2.0
+
+
+class TestThresholds:
+    def test_from_file_toml_and_json(self, tmp_path):
+        import json as _json
+
+        from repro.core.diff import Thresholds
+
+        t = tmp_path / "t.toml"
+        t.write_text("[dF]\nmax_abs = 0.25\nmax_rel = 0.5\n", encoding="utf-8")
+        th = Thresholds.from_file(t)
+        assert th.get("dF").max_abs == 0.25 and th.get("dF").max_rel == 0.5
+        j = tmp_path / "t.json"
+        j.write_text(_json.dumps({"F": {"max_abs": 2}}), encoding="utf-8")
+        assert Thresholds.from_file(j).get("F").max_abs == 2.0
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ({"bogus": {"max_abs": 1}}, "unknown metric 'bogus'"),
+            ({"dF": 3}, "must be a table"),
+            ({"dF": {"max_ab": 1}}, "unknown keys: max_ab"),
+            ({"dF": {}}, "neither max_abs nor max_rel"),
+            ({"dF": {"max_abs": -1}}, "finite and >= 0"),
+            ({"dF": {"max_rel": float("nan")}}, "finite and >= 0"),
+        ],
+    )
+    def test_bad_mappings_rejected(self, raw, match):
+        from repro.core.diff import ThresholdError, Thresholds
+
+        with pytest.raises(ThresholdError, match=match):
+            Thresholds.from_mapping(raw)
+
+
+class TestCorpusDiff:
+    def test_single_cell_corpus_passes(self):
+        from repro.core.diff import corpus_diff
+
+        diff = corpus_diff(_corpus({"base": _cell()}), _gate(dF={"max_abs": 0.0}))
+        assert diff.verdict == "pass"
+        assert diff.cells == []
+        assert "(baseline only — nothing to compare)" in diff.render()
+
+    def test_baseline_missing_function_reads_as_new(self):
+        from repro.core.diff import corpus_diff
+
+        payload = _corpus({
+            "base": _cell(functions={"main": _fd()}),
+            "cand": _cell(functions={"main": _fd(), "helper": _fd(A_est=2000.0)}),
+        })
+        diff = corpus_diff(payload)
+        (cd,) = diff.cells
+        by_fn = {d.function: d for d in cd.deltas}
+        assert by_fn["helper"].before is None
+        assert by_fn["helper"].accesses_ratio == float("inf")
+        assert "new" in diff.render()
+
+    def test_zero_event_cells_pass_any_gate(self):
+        from repro.core.diff import corpus_diff
+
+        empty = _cell(dF=0.0, dF_irr=0.0, F=0, F_est=0.0, A_est=0.0,
+                      captures=0, survivals=0, functions={})
+        gate = _gate(**{m: {"max_abs": 0.0} for m in
+                        ("dF", "dF_irr", "F", "F_est", "A_est",
+                         "reuse_mean", "capture_rate")})
+        diff = corpus_diff(_corpus({"base": empty, "cand": empty}), gate)
+        assert diff.verdict == "pass"
+        (cd,) = diff.cells
+        assert cd.deltas == [] and cd.total_ratio == 1.0
+        assert "cand: pass" in diff.render()
+
+    def test_zero_baseline_gates_abs_only(self):
+        from repro.core.diff import corpus_diff
+
+        zero = _cell(dF=0.0, functions={})
+        loud = _cell(dF=1.0, functions={})
+        # relative bound cannot apply to a zero baseline: delta_rel is None
+        diff = corpus_diff(
+            _corpus({"base": zero, "cand": loud}), _gate(dF={"max_rel": 0.1})
+        )
+        ev = _only_evidence(diff, "cand", "dF")
+        assert ev.delta_rel is None and not ev.regressed
+        assert diff.verdict == "pass"
+        # ... but an absolute bound still gates
+        diff = corpus_diff(
+            _corpus({"base": zero, "cand": loud}), _gate(dF={"max_abs": 0.5})
+        )
+        assert diff.verdict == "regressed"
+
+    def test_exactly_at_threshold_is_a_pass(self):
+        from repro.core.diff import corpus_diff
+
+        payload = _corpus({"base": _cell(dF=0.5), "cand": _cell(dF=0.75)})
+        # delta_abs = 0.25 and delta_rel = 0.5, both exactly representable
+        at_abs = corpus_diff(payload, _gate(dF={"max_abs": 0.25}))
+        assert _only_evidence(at_abs, "cand", "dF").delta_abs == 0.25
+        assert at_abs.verdict == "pass"
+        at_rel = corpus_diff(payload, _gate(dF={"max_rel": 0.5}))
+        assert _only_evidence(at_rel, "cand", "dF").delta_rel == 0.5
+        assert at_rel.verdict == "pass"
+        # one ulp of headroom less and it regresses
+        assert corpus_diff(payload, _gate(dF={"max_abs": 0.2})).verdict == "regressed"
+        assert corpus_diff(payload, _gate(dF={"max_rel": 0.4})).verdict == "regressed"
+
+    def test_capture_rate_regresses_downward(self):
+        from repro.core.diff import corpus_diff
+
+        base = _cell(captures=50, survivals=50)  # rate 0.5
+        worse = _cell(captures=10, survivals=70)  # rate 0.125, delta 0.375
+        better = _cell(captures=75, survivals=25)  # rate 0.75, delta -0.25
+        gate = _gate(capture_rate={"max_abs": 0.25})
+        assert corpus_diff(_corpus({"base": base, "cand": worse}), gate).verdict == "regressed"
+        diff = corpus_diff(_corpus({"base": base, "cand": better}), gate)
+        ev = _only_evidence(diff, "cand", "capture_rate")
+        assert ev.delta_abs == -0.25  # improvement: negative in worse direction
+        assert diff.verdict == "pass"
+
+    def test_unknown_baseline_rejected(self):
+        from repro.core.diff import ThresholdError, corpus_diff
+
+        with pytest.raises(ThresholdError, match="names no corpus cell"):
+            corpus_diff(_corpus({"base": _cell()}), baseline="zzz")
+
+    def test_verdict_payload_shape(self):
+        import json as _json
+
+        from repro.core.diff import VERDICT_SCHEMA, corpus_diff
+
+        payload = _corpus({"base": _cell(dF=0.5), "cand": _cell(dF=1.0)})
+        v = corpus_diff(payload, _gate(dF={"max_abs": 0.25})).verdict_payload()
+        _json.dumps(v)  # must be pure JSON
+        assert v["schema"] == VERDICT_SCHEMA
+        assert v["verdict"] == "regressed"
+        assert v["thresholds"]["dF"] == {"max_abs": 0.25, "max_rel": None}
+        cand = v["cells"]["cand"]
+        assert cand["verdict"] == "regressed"
+        ev = cand["metrics"]["dF"]
+        assert ev["regressed"] is True and ev["delta_abs"] == 0.5
+        # ungated metrics still report evidence, bounds None
+        assert cand["metrics"]["F"]["regressed"] is False
+        assert cand["metrics"]["F"]["max_abs"] is None
+
+    def test_pairwise_table_is_the_shared_renderer(self):
+        from repro.core.diagnostics import FootprintDiagnostics
+        from repro.core.diff import TraceDiff, _function_deltas, corpus_diff
+
+        fa = {"main": _fd(A_est=1000.0), "aux": _fd(A_est=500.0, dF=0.2)}
+        fb = {"main": _fd(A_est=3000.0), "aux": _fd(A_est=500.0, dF=0.9)}
+        payload = _corpus({"base": _cell(functions=fa), "cand": _cell(functions=fb)})
+        cwa = {k: FootprintDiagnostics(**v) for k, v in fa.items()}
+        cwb = {k: FootprintDiagnostics(**v) for k, v in fb.items()}
+        pairwise = TraceDiff(
+            label_before="base",
+            label_after="cand",
+            deltas=_function_deltas(cwa, cwb, 100),
+            total_before=sum(d.A_est for d in cwa.values()),
+            total_after=sum(d.A_est for d in cwb.values()),
+        ).render(top=5)
+        assert pairwise in corpus_diff(payload).render(top=5)
+
+
+class TestRenderTruncationNote:
+    def _diff_with(self, n_functions):
+        from repro.core.diagnostics import FootprintDiagnostics
+        from repro.core.diff import TraceDiff, _function_deltas
+
+        fns = {f"fn{i}": FootprintDiagnostics(**_fd(A_est=1000.0 * (i + 1)))
+               for i in range(n_functions)}
+        moved = {k: FootprintDiagnostics(**_fd(A_est=v.A_est * 2))
+                 for k, v in fns.items()}
+        return TraceDiff(
+            label_before="a", label_after="b",
+            deltas=_function_deltas(fns, moved, 100),
+            total_before=1.0, total_after=1.0,
+        )
+
+    def test_truncated_render_counts_omissions(self):
+        out = self._diff_with(5).render(top=2)
+        assert "(3 of 5 function rows omitted; raise --top to see all)" in out
+
+    def test_untruncated_render_has_no_note(self):
+        assert "omitted" not in self._diff_with(5).render(top=5)
+        assert "omitted" not in self._diff_with(2).render(top=12)

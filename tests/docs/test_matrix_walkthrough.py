@@ -1,0 +1,79 @@
+"""Execute the corpus/gating walkthrough from ``docs/matrix.md``.
+
+The handbook's worked example (trace a three-cell corpus, run it cold,
+re-run it warm from the content-addressed cache, prove the payloads
+byte-identical, pass a loose gate, trip a strict one) is extracted
+from the markdown and run verbatim under ``bash -euo pipefail`` — so
+editing the walkthrough into something that no longer works, or
+changing the CLI out from under it, fails the build instead of
+shipping a broken handbook. A ``memgaze`` shim on ``PATH`` maps the
+doc's commands onto ``python -m repro.cli`` from this checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import stat
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+MATRIX_MD = REPO_ROOT / "docs" / "matrix.md"
+
+_FENCE_RE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+
+
+def _walkthrough() -> str:
+    text = MATRIX_MD.read_text(encoding="utf-8")
+    blocks = _FENCE_RE.findall(text)
+    assert len(blocks) == 1, (
+        "docs/matrix.md must contain exactly one executable ```bash "
+        f"walkthrough block, found {len(blocks)}"
+    )
+    assert "memgaze matrix" in blocks[0], "the walkthrough must run the matrix"
+    assert "--gate" in blocks[0], "the walkthrough must gate"
+    assert "cmp cold.json warm.json" in blocks[0], (
+        "the walkthrough must prove warm == cold bytes"
+    )
+    return blocks[0]
+
+
+def test_matrix_walkthrough_runs_end_to_end(tmp_path):
+    shim_dir = tmp_path / "bin"
+    shim_dir.mkdir()
+    shim = shim_dir / "memgaze"
+    src = REPO_ROOT / "src"
+    shim.write_text(
+        "#!/bin/sh\n"
+        f'PYTHONPATH="{src}${{PYTHONPATH:+:$PYTHONPATH}}" '
+        f'exec "{sys.executable}" -m repro.cli "$@"\n'
+    )
+    shim.chmod(shim.stat().st_mode | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)
+
+    script = tmp_path / "walkthrough.sh"
+    script.write_text(_walkthrough())
+
+    env = dict(os.environ)
+    env["PATH"] = f"{shim_dir}{os.pathsep}{env['PATH']}"
+    proc = subprocess.run(
+        ["bash", "-euo", "pipefail", str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=560,
+    )
+    assert proc.returncode == 0, (
+        f"walkthrough failed (exit {proc.returncode})\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    # the walkthrough's own checks passed; spot-check its artifacts
+    assert (tmp_path / "cold.json").read_bytes() == (tmp_path / "warm.json").read_bytes()
+    verdict = json.loads((tmp_path / "verdict-fail.json").read_text(encoding="utf-8"))
+    assert verdict["verdict"] == "regressed"
+    assert verdict["cells"]["irr"]["metrics"]["dF_irr"]["regressed"] is True
+    journal = (tmp_path / "matrix.jsonl").read_text(encoding="utf-8")
+    assert journal.count('"mode": "cached"') >= 3  # the warm run hit the cache
