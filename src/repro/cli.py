@@ -40,6 +40,7 @@ Workloads are named ``family:variant``::
     pagerank:pr|pr-spmv  GAP-style PageRank
     cc:cc|cc-sv          GAP-style Connected Components
     darknet:alexnet|resnet152
+    kvreuse:prefix|tail|sessions   KV-cache serving streams
 
 Example::
 
@@ -113,6 +114,17 @@ def _run_workload(name: str, scale: int, seed: int):
 
         r = run_darknet(variant or "alexnet", seed=seed)
         return r.events, r.n_loads, r.fn_names, f"Darknet {r.model}"
+    if family == "kvreuse":
+        from repro.workloads.kvreuse import KVREUSE_VARIANTS, run_kvreuse
+
+        v = variant or "prefix"
+        if v not in KVREUSE_VARIANTS:
+            raise SystemExit(
+                f"unknown kvreuse variant {v!r}; pick one of "
+                f"{', '.join(KVREUSE_VARIANTS)}"
+            )
+        r = run_kvreuse(v, scale=scale, seed=seed)
+        return r.events, r.n_loads, r.fn_names, f"KV-reuse {r.variant}"
     raise SystemExit(f"unknown workload family {family!r} (see memgaze trace -h)")
 
 
@@ -298,6 +310,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.reuse_kernel:
         # via the environment so forked pool workers pick the same kernel
         os.environ["MEMGAZE_REUSE_KERNEL"] = args.reuse_kernel
+    if args.cache_kernel:
+        os.environ["MEMGAZE_CACHE_KERNEL"] = args.cache_kernel
+    try:
+        # validate the cache-kernel env here, before the pool forks, so a
+        # typo'd MEMGAZE_CACHE_KERNEL is the CLI's uniform error rather
+        # than a bare ValueError from deep inside a worker's scan
+        from repro.core.cachesim import default_cache_kernel
+
+        default_cache_kernel()
+    except ValueError as exc:
+        raise SystemExit(f"memgaze report: {exc}") from exc
     engine = ParallelEngine(
         workers=args.workers,
         chunk_size=args.chunk_size,
@@ -559,6 +582,15 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         spec = CorpusSpec.load(args.spec, baseline=args.baseline)
     except CorpusSpecError as exc:
         raise SystemExit(f"memgaze matrix: {exc}") from exc
+    if args.cache_sweep:
+        # force the what-if sweep on for every cell (specs can also opt
+        # in per cell with `cache_sweep = true`)
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            cells=tuple(dataclasses.replace(c, cache_sweep=True) for c in spec.cells),
+        )
     thresholds = None
     if args.gate:
         try:
@@ -589,7 +621,10 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(payload_json(payload) + "\n")
 
-    diff = corpus_diff(payload, thresholds, min_accesses=args.min_accesses)
+    try:
+        diff = corpus_diff(payload, thresholds, min_accesses=args.min_accesses)
+    except ThresholdError as exc:
+        raise SystemExit(f"memgaze matrix: {exc}") from exc
     verdict = diff.verdict_payload()
     regressed = [c.label for c in diff.cells if c.regressed]
     if metrics is not None:
@@ -899,6 +934,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical (sets MEMGAZE_REUSE_KERNEL so pool workers inherit)",
     )
     p_report.add_argument(
+        "--cache-kernel", choices=["auto", "vector", "python"], default=None,
+        help="cache-simulation kernel for cachesim-backed passes: 'vector' "
+        "(set-local stack distances), 'python' (reference per-access loop), "
+        "or 'auto' (vector unless prefetching); bit-identical (sets "
+        "MEMGAZE_CACHE_KERNEL so pool workers inherit)",
+    )
+    p_report.add_argument(
         "--stats", action="store_true",
         help="print per-stage analysis timings, throughput, and cache hits",
     )
@@ -967,6 +1009,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verdict", default=None, metavar="PATH",
         help="write the machine-readable per-cell per-metric verdict JSON "
         "to PATH (written for pass and regressed runs alike)",
+    )
+    p_matrix.add_argument(
+        "--cache-sweep", action="store_true",
+        help="run the cache-geometry what-if sweep for every cell (adds "
+        "the cache_sweep pass to cell payloads and enables the cache.* "
+        "gate metrics; specs can also opt in per cell)",
     )
     p_matrix.add_argument("--top", type=int, default=12, help="function movers to show per cell")
     p_matrix.add_argument(

@@ -35,7 +35,7 @@ __all__ = [
 CORPUS_SCHEMA = 1
 
 #: per-cell keys a spec file may set (everything else is a typo)
-_CELL_KEYS = frozenset(["label", "trace", "block", "reuse_block"])
+_CELL_KEYS = frozenset(["label", "trace", "block", "reuse_block", "cache_sweep"])
 _TOP_KEYS = frozenset(["name", "baseline", "cell"])
 
 
@@ -51,6 +51,11 @@ class CellSpec:
     trace: Path
     block: int = 1
     reuse_block: int = 64
+    #: opt-in: run the cache-geometry what-if sweep for this cell (adds
+    #: the ``cache_sweep`` pass to its payload and enables the
+    #: ``cache.*`` gate metrics). Off by default so existing corpus
+    #: payloads stay byte-identical.
+    cache_sweep: bool = False
 
 
 @dataclass(frozen=True)
@@ -173,6 +178,7 @@ class CorpusSpec:
                     trace=trace,
                     block=int(entry.get("block", 1)),
                     reuse_block=int(entry.get("reuse_block", 64)),
+                    cache_sweep=bool(entry.get("cache_sweep", False)),
                 )
             )
         if not cells:
@@ -208,6 +214,11 @@ def cell_payload(analysis) -> dict:
     from repro.core.report import PAYLOAD_SCHEMA
 
     names = ["diagnostics", "hotspot", "captures", "reuse"]
+    if "cache_sweep" in analysis.pass_results:
+        # opt-in what-if sweep (CellSpec.cache_sweep / matrix
+        # --cache-sweep); absent by default so payload bytes are
+        # unchanged for existing corpora
+        names.append("cache_sweep")
     meta = analysis.meta
     return {
         "schema": PAYLOAD_SCHEMA,

@@ -249,15 +249,31 @@ def _reuse_mean(payload: Mapping) -> float:
     return int(r["d_sum"]) / int(r["n_reuse"]) if int(r["n_reuse"]) else 0.0
 
 
+def _sweep_metric(reduce: Callable[[list[dict]], float]) -> Callable[[Mapping], float]:
+    def get(payload: Mapping) -> float:
+        rows = payload["passes"]["cache_sweep"]
+        return float(reduce(rows)) if rows else 0.0
+
+    return get
+
+
+def _pred_gap_max(rows: list[dict]) -> float:
+    return max(abs(r["hit_ratio"] - r["predicted_hit_ratio"]) for r in rows)
+
+
 @dataclass(frozen=True)
 class _Metric:
     extract: Callable[[Mapping], float]
     worse: str  # "higher" | "lower": the direction that counts as regression
+    requires: str | None = None  # pass that must be in the cell payload
 
 
 #: The gateable per-cell metric catalog: how each value is read out of a
 #: cell payload and which direction is a regression. Threshold files may
-#: only name metrics listed here.
+#: only name metrics listed here. Metrics with a ``requires`` pass are
+#: evaluated only for cells that ran it (``memgaze matrix
+#: --cache-sweep``); gating on one when the pass was not run is an error
+#: rather than a silently-passing bound.
 CORPUS_METRICS: dict[str, _Metric] = {
     "dF": _Metric(_diag_metric("dF"), "higher"),
     "dF_irr": _Metric(_diag_metric("dF_irr"), "higher"),
@@ -269,6 +285,23 @@ CORPUS_METRICS: dict[str, _Metric] = {
     "reuse_p90": _Metric(lambda p: _reuse_quantile(p["passes"]["reuse"], 0.90), "higher"),
     "reuse_p99": _Metric(lambda p: _reuse_quantile(p["passes"]["reuse"], 0.99), "higher"),
     "capture_rate": _Metric(_capture_rate, "lower"),
+    # what-if sweep metrics: hit ratios over the swept geometry grid.
+    # A drop in the worst/mean simulated hit rate is the regression
+    # (less cache-friendly), as is the prediction drifting away from
+    # the simulation (reuse-distance model losing fidelity).
+    "cache.hit_ratio_min": _Metric(
+        _sweep_metric(lambda rows: min(r["hit_ratio"] for r in rows)),
+        "lower",
+        requires="cache_sweep",
+    ),
+    "cache.hit_ratio_mean": _Metric(
+        _sweep_metric(lambda rows: sum(r["hit_ratio"] for r in rows) / len(rows)),
+        "lower",
+        requires="cache_sweep",
+    ),
+    "cache.pred_gap_max": _Metric(
+        _sweep_metric(_pred_gap_max), "higher", requires="cache_sweep"
+    ),
 }
 
 
@@ -547,15 +580,26 @@ def corpus_diff(
     for label, payload in sorted(cells.items()):
         if label == base_label:
             continue
+        evidence = []
+        for m in sorted(CORPUS_METRICS):
+            req = CORPUS_METRICS[m].requires
+            if req is not None and (
+                req not in base_payload["passes"] or req not in payload["passes"]
+            ):
+                if thresholds.get(m) is not None:
+                    raise ThresholdError(
+                        f"metric {m!r} is gated but pass {req!r} was not run "
+                        f"for cell {base_label!r} or {label!r} "
+                        f"(re-run the matrix with the pass enabled)"
+                    )
+                continue
+            evidence.append(_evidence(m, base_payload, payload, thresholds))
         cw_cand = _functions_from_payload(payload)
         out.append(
             CellDiff(
                 label=label,
                 deltas=_function_deltas(cw_base, cw_cand, min_accesses),
-                evidence=[
-                    _evidence(m, base_payload, payload, thresholds)
-                    for m in sorted(CORPUS_METRICS)
-                ],
+                evidence=evidence,
                 total_before=total_base,
                 total_after=sum(d.A_est for d in cw_cand.values()),
             )

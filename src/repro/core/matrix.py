@@ -72,12 +72,15 @@ def run_matrix(
     t_run = time.perf_counter()
     for cell in spec.cells:
         t0 = time.perf_counter()
+        extra = [("hotspot", {}), ("windows", {"block": cell.block})]
+        if cell.cache_sweep:
+            extra.append(("cache_sweep", {}))
         analysis = engine.analyze_file(
             cell.trace,
             block=cell.block,
             reuse_block=cell.reuse_block,
             chunk_size=chunk_size,
-            passes=[("hotspot", {}), ("windows", {"block": cell.block})],
+            passes=extra,
         )
         seconds = time.perf_counter() - t0
         result.cells[cell.label] = CellResult(

@@ -53,6 +53,13 @@ from repro._util.sortedset import (
     setxor_sorted,
     union_sorted,
 )
+from repro.core.cachesim import (
+    SweepPartial,
+    sweep_configs,
+    sweep_finalize,
+    sweep_merge,
+    sweep_update,
+)
 from repro.core.diagnostics import FootprintDiagnostics, finalize_diagnostics
 from repro.core.heatmap import accumulate_heatmap, finalize_heatmap, region_points
 from repro.core.hotspot import access_counts, rank_hotspots, roi_from_ranges
@@ -296,6 +303,14 @@ class AnalysisPass:
         """Derived result from the merged partial (floats appear here)."""
         raise NotImplementedError
 
+    def validate(self, params: dict) -> None:
+        """Reject invalid resolved parameters (raise ``ValueError``).
+
+        Runs at schedule time, in the scheduling process — so a bad
+        request fails before any chunk is read or worker forks, not
+        per-call inside the fused scan. The default accepts everything.
+        """
+
     def render(self, result: Any) -> str:
         """Human-readable result block for ``memgaze report --passes``."""
         return str(result)
@@ -407,6 +422,9 @@ def _resolve_params(p: AnalysisPass, params: dict | None) -> dict:
             f"pass {p.name!r} is missing required parameter(s) "
             f"{', '.join(missing)} (supply them in the request)"
         )
+    validate = getattr(p, "validate", None)  # optional on duck-typed passes
+    if validate is not None:
+        validate(resolved)
     return resolved
 
 
@@ -1006,3 +1024,73 @@ class HeatmapPass(AnalysisPass):
         from repro.core.heatmap import render_heatmap_ascii
 
         return render_heatmap_ascii(result.counts)
+
+
+@register_pass
+class CacheSweepPass(AnalysisPass):
+    """What-if cache sweep: simulated hit rate vs. reuse-distance prediction per geometry.
+
+    One fused scan evaluates the whole block-size x capacity x
+    associativity grid. Configurations sharing (line size, set count)
+    share the set-local stack-distance kernel run — associativity is
+    just a threshold on the shared distances — and the paper's
+    reuse-distance prediction (hit iff D < capacity in lines) is the
+    fully-associative member of the same family. Every row's simulated
+    counts are exactly :func:`repro.core.cachesim.simulate_cache` of
+    that configuration; the partial's cross-chunk merge is exact under
+    any chunking (see ``core/cachesim.py``), so the pass shards like
+    every other and needs no sample boundaries.
+    """
+
+    name = "cache_sweep"
+    requires = ("block_ids",)
+    defaults = {
+        "lines": (64,),
+        "sets": (64, 512),
+        "ways": (1, 2, 4, 8),
+        "configs": None,
+        "prefetch": False,
+    }
+
+    @staticmethod
+    def _grid(params):
+        return sweep_configs(
+            lines=tuple(params["lines"]),
+            sets=tuple(params["sets"]),
+            ways=tuple(params["ways"]),
+            configs=params["configs"],
+            prefetch=bool(params["prefetch"]),
+        )
+
+    def validate(self, params):
+        self._grid(params)  # bad geometry/policy fails before any scan
+
+    def init(self, params):
+        return SweepPartial(self._grid(params))
+
+    def update(self, partial, chunk, params):
+        return sweep_update(partial, chunk.events, chunk.block_ids)
+
+    def merge(self, a, b):
+        return sweep_merge(a, b)
+
+    def finalize(self, partial, ctx, params):
+        return sweep_finalize(partial, self._grid(params))
+
+    def render(self, result):
+        from repro.core.report import format_quantity
+
+        if not result:
+            return "  (empty sweep)"
+        lines = [
+            f"  {'size':>8} {'line':>5} {'ways':>4} {'sets':>5}"
+            f" {'hit ratio':>9} {'predicted':>9}"
+        ]
+        for r in result:
+            lines.append(
+                f"  {format_quantity(r.size_bytes) + 'B':>8} {r.line_bytes:>5}"
+                f" {r.ways:>4} {r.n_sets:>5}"
+                f" {100 * r.hit_ratio:>8.1f}% {100 * r.predicted_hit_ratio:>8.1f}%"
+            )
+        lines.append(f"  ({result[0].n_accesses:,} accesses per configuration)")
+        return "\n".join(lines)

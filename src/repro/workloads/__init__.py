@@ -8,7 +8,10 @@
 * :mod:`repro.workloads.gap` — GAP-style PageRank (pr, pr-spmv) and
   Connected Components (cc Afforest, cc-sv Shiloach-Vishkin);
 * :mod:`repro.workloads.darknet` — Darknet-style conv-net inference
-  (im2col + gemm) with AlexNet-like and ResNet152-like layer stacks.
+  (im2col + gemm) with AlexNet-like and ResNet152-like layer stacks;
+* :mod:`repro.workloads.kvreuse` — KV-cache style serving streams
+  (stable prefixes, unstable tails, interleaved sessions) feeding the
+  ``cache_sweep`` what-if pass.
 """
 
 from repro.workloads.microbench import (

@@ -1,0 +1,145 @@
+"""KV-cache style reuse streams (what-if sweep inputs).
+
+Memory-augmented serving systems read a per-request *KV cache*: a
+stable prefix (system prompt / shared context) that every request
+re-scans, followed by a freshly generated tail that is read a few times
+and abandoned. The resulting load streams have a reuse structure unlike
+the graph/array workloads — long-lived strided prefix re-scans layered
+under short-lived irregular tail attention — which is exactly the
+regime where cache-geometry what-ifs (``cache_sweep``) are
+interesting: the prefix fits or does not fit, and interleaving
+concurrent sessions stretches its reuse distance past a capacity that
+one session alone would hit in.
+
+Three variants:
+
+* **prefix** — one session whose requests re-scan a large stable
+  prefix, each followed by a short unstable tail: prefix reuse
+  dominates, so hit ratio falls off a cliff at the prefix size.
+* **tail** — a small prefix under long, once-read tails: streaming
+  behaviour, weak reuse at every capacity.
+* **sessions** — several sessions served round-robin, each re-scanning
+  its *own* prefix: per-session reuse is prefix-sized, but the
+  interleaving multiplies the observed reuse distance by the session
+  count, so capacities between one and N prefixes separate the
+  variants.
+
+Every variant records through the standard simmem collector, so traces
+flow through sampling, compression, and analysis like any other
+workload (``memgaze trace --workload kvreuse:sessions``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+from repro.simmem.address_space import AddressSpace
+from repro.simmem.datastructs.array import FlatArray
+from repro.simmem.recorder import AccessRecorder
+from repro.trace.event import LoadClass
+
+__all__ = ["KVREUSE_VARIANTS", "KVReuseResult", "run_kvreuse"]
+
+KVREUSE_VARIANTS = ("prefix", "tail", "sessions")
+
+#: one KV block per simulated cache line
+_BLOCK_BYTES = 64
+
+
+@dataclass
+class KVReuseResult:
+    """One serving run: the recorded trace plus stream bookkeeping."""
+
+    variant: str
+    events: np.ndarray
+    fn_names: dict[int, str]
+    n_sessions: int
+    n_requests: int
+    prefix_blocks: int
+    n_blocks: int
+    space: AddressSpace
+
+    @property
+    def n_loads(self) -> int:
+        """Retired loads (the sampling population size)."""
+        return len(self.events) + int(self.events["n_const"].sum())
+
+
+def _variant_shape(variant: str, scale: int) -> tuple[int, int, int, int, int]:
+    """(sessions, prefix blocks per session, requests, tail_lo, tail_hi)."""
+    if variant == "prefix":
+        return 1, 32 * scale, 6 * scale, 2, max(3, scale // 2)
+    if variant == "tail":
+        return 1, 4 * scale, 4 * scale, 2 * scale, 4 * scale
+    if variant == "sessions":
+        return 4, 8 * scale, 8 * scale, 2, max(3, scale // 2)
+    raise ValueError(
+        f"unknown variant {variant!r}; expected one of {KVREUSE_VARIANTS}"
+    )
+
+
+def run_kvreuse(
+    variant: str = "prefix",
+    scale: int = 10,
+    seed: int = 0,
+) -> KVReuseResult:
+    """Serve a request stream over a simulated KV-block pool.
+
+    ``scale`` sets prefix sizes, request counts, and tail lengths (all
+    linear or near-linear in ``scale``); the same ``(variant, scale,
+    seed)`` always produces the same trace.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    sessions, prefix, requests, tail_lo, tail_hi = _variant_shape(variant, scale)
+    rng = derive_rng(seed, "kvreuse", variant, scale)
+
+    space = AddressSpace()
+    rec = AccessRecorder()
+    tail_lens = rng.integers(tail_lo, tail_hi + 1, size=requests)
+    n_blocks = sessions * prefix + int(tail_lens.sum()) + 1
+    kv = FlatArray(space, rec, n_blocks, elem_size=_BLOCK_BYTES, name="kv-pool")
+
+    # session s owns prefix blocks [s*prefix, (s+1)*prefix); tails are
+    # appended from the shared allocation cursor, so concurrent sessions'
+    # tails interleave in the pool like a real block allocator's would
+    cursor = sessions * prefix
+    tails: list[list[int]] = [[] for _ in range(sessions)]
+
+    for r in range(requests):
+        s = r % sessions
+        lo = s * prefix
+        with rec.scope("prefix_scan", "kvreuse.py"):
+            # the stable prefix: every request of the session re-reads it
+            kv.load_range(lo, lo + prefix)
+            rec.touch_const(prefix)  # position counters
+        with rec.scope("decode_attend", "kvreuse.py"):
+            for _ in range(int(tail_lens[r])):
+                tails[s].append(cursor)
+                cursor += 1
+                # attention over the recent context: the last few tail
+                # blocks (data-dependent order), plus a couple of probes
+                # back into the stable prefix
+                recent = np.asarray(tails[s][-8:], dtype=np.int64)
+                kv.gather(rng.permutation(recent), pattern=LoadClass.IRREGULAR)
+                probes = lo + rng.integers(0, prefix, size=2)
+                kv.gather(probes, pattern=LoadClass.IRREGULAR)
+                rec.touch_const(3)  # step/length/score scalars
+        if variant == "tail":
+            # unstable: the session's context is dropped after each
+            # request, so tails are read during their own request only
+            tails[s] = []
+
+    return KVReuseResult(
+        variant=variant,
+        events=rec.finalize(),
+        fn_names=rec.function_names,
+        n_sessions=sessions,
+        n_requests=requests,
+        prefix_blocks=prefix,
+        n_blocks=n_blocks,
+        space=space,
+    )

@@ -173,3 +173,126 @@ class TestCacheKernelEquivalence:
         monkeypatch.setenv("MEMGAZE_CACHE_KERNEL", "bogus")
         with pytest.raises(ValueError, match="MEMGAZE_CACHE_KERNEL"):
             default_cache_kernel()
+
+
+# -- config-time kernel validation (hoisted out of the scan) ------------------
+
+
+class TestConfigKernelField:
+    def test_unknown_kernel_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown cache kernel"):
+            CacheConfig(size_bytes=4096, line_bytes=64, ways=4, kernel="bogus")
+
+    def test_vector_plus_prefetch_rejected_at_construction(self):
+        """The incompatibility fails when the config is *built*, not on
+        the first simulation call deep inside a worker's scan."""
+        with pytest.raises(ValueError, match="prefetch"):
+            CacheConfig(
+                size_bytes=4096, line_bytes=64, ways=4,
+                prefetch_next_line=True, kernel="vector",
+            )
+
+    def test_config_kernel_drives_simulation(self, make_rng):
+        rng = make_rng("cfg-kernel")
+        ev = make_events(ip=1, addr=rng.integers(0, 1 << 12, 500) * 8, cls=2)
+        cfg = CacheConfig(size_bytes=4096, line_bytes=64, ways=4, kernel="python")
+        ref = simulate_cache(ev, cfg, kernel="python")
+        assert repr(simulate_cache(ev, cfg)) == repr(ref)
+
+    def test_sweep_schedule_rejects_prefetch(self):
+        from repro.core.passes import schedule_passes
+
+        with pytest.raises(ValueError, match="prefetch"):
+            schedule_passes([("cache_sweep", {"prefetch": True})])
+
+    def test_sweep_schedule_rejects_bad_line(self):
+        from repro.core.passes import schedule_passes
+
+        with pytest.raises(ValueError, match="power of two"):
+            schedule_passes([("cache_sweep", {"lines": (48,)})])
+
+
+# -- fused sweep equivalence --------------------------------------------------
+
+
+class TestSweepEquivalence:
+    """One fused sweep scan == N independent ``simulate_cache`` runs.
+
+    Bit-identical, per configuration, at every worker count and chunk
+    size — the mergeable partial must be exact, not approximate.
+    """
+
+    def _events(self, rng, n=2500):
+        return make_events(
+            ip=1,
+            addr=rng.integers(0, 1 << 14, n) * 8,
+            cls=rng.integers(0, 3, n).astype(np.uint8),
+            n_const=rng.choice([0, 0, 3], n).astype(np.uint16),
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("chunk_size", [17, 257, 5000])
+    def test_fused_sweep_matches_independent_runs(self, make_rng, workers, chunk_size):
+        from repro.core.cachesim import sweep_configs
+        from repro.core.parallel import ParallelEngine
+
+        rng = make_rng("sweep-eq")
+        ev = self._events(rng)
+        # one sample per event so chunk_size controls sharding exactly
+        sid = np.arange(len(ev), dtype=np.int32)
+        with ParallelEngine(workers=workers, chunk_size=chunk_size) as eng:
+            rows = eng.run_passes(ev, ["cache_sweep"], sample_id=sid)["cache_sweep"]
+        grid = sweep_configs()
+        assert len(rows) == len(grid) == 8
+        for row, cfg in zip(rows, grid):
+            ref = simulate_cache(ev, cfg)
+            assert (row.size_bytes, row.line_bytes, row.ways, row.n_sets) == (
+                cfg.size_bytes, cfg.line_bytes, cfg.ways, cfg.n_sets
+            )
+            assert row.n_accesses == ref.n_accesses
+            assert row.n_hits == ref.n_hits
+            assert row.hit_ratio == ref.hit_ratio  # same expression, bit-identical
+            assert row.accesses_by_class == {
+                k.name: v for k, v in ref.accesses_by_class.items() if v
+            }
+            assert row.hits_by_class == {
+                k.name: v for k, v in ref.hits_by_class.items() if v
+            }
+            # the prediction column is the paper's reuse-distance model:
+            # identical to a fully-associative LRU of the same capacity
+            fa = simulate_cache(
+                ev,
+                CacheConfig(
+                    size_bytes=cfg.size_bytes,
+                    line_bytes=cfg.line_bytes,
+                    ways=cfg.size_bytes // cfg.line_bytes,
+                ),
+            )
+            assert row.predicted_hits == fa.n_hits
+            assert row.predicted_hit_ratio == fa.hit_ratio
+
+    def test_explicit_config_triples(self, make_rng):
+        from repro.core.cachesim import sweep_configs
+
+        rng = make_rng("sweep-triples")
+        ev = self._events(rng, n=800)
+        grid = sweep_configs(configs=[(8192, 64, 2), (65536, 128, 8)])
+        from repro.core.parallel import ParallelEngine
+
+        with ParallelEngine(workers=1, chunk_size=257) as eng:
+            rows = eng.run_passes(
+                ev,
+                [("cache_sweep", {"configs": [(8192, 64, 2), (65536, 128, 8)]})],
+                sample_id=np.arange(len(ev), dtype=np.int32),
+            )["cache_sweep"]
+        for row, cfg in zip(rows, grid):
+            ref = simulate_cache(ev, cfg)
+            assert row.n_hits == ref.n_hits and row.n_accesses == ref.n_accesses
+
+    def test_sweep_configs_rejects_duplicates_and_empty(self):
+        from repro.core.cachesim import sweep_configs
+
+        with pytest.raises(ValueError):
+            sweep_configs(configs=[(8192, 64, 2), (8192, 64, 2)])
+        with pytest.raises(ValueError):
+            sweep_configs(ways=())

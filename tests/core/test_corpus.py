@@ -74,6 +74,14 @@ class TestFromFile:
         cand = spec.cell("cand")  # label defaults to the trace stem
         assert cand.block == 4 and cand.reuse_block == 128
         assert cand.trace == tmp_path / "traces" / "cand.npz"
+        assert cand.cache_sweep is False  # opt-in, off by default
+
+    def test_cache_sweep_cell_key(self, tmp_path):
+        _write_archive(tmp_path / "a.npz")
+        p = self._spec_toml(
+            tmp_path, '[[cell]]\ntrace = "a.npz"\ncache_sweep = true\n'
+        )
+        assert CorpusSpec.from_file(p).cell("a").cache_sweep is True
 
     def test_json_spec(self, tmp_path):
         _write_archive(tmp_path / "a.npz")

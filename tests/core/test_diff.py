@@ -328,6 +328,63 @@ class TestCorpusDiff:
         assert pairwise in corpus_diff(payload).render(top=5)
 
 
+def _sweep_row(hit_ratio, predicted):
+    return {
+        "size_bytes": 4096, "line_bytes": 64, "ways": 1, "n_sets": 64,
+        "n_accesses": 1000, "n_hits": int(1000 * hit_ratio),
+        "hit_ratio": hit_ratio, "predicted_hits": int(1000 * predicted),
+        "predicted_hit_ratio": predicted,
+        "accesses_by_class": {}, "hits_by_class": {},
+    }
+
+
+class TestCacheMetrics:
+    """cache.* metrics gate only cells that ran the sweep pass."""
+
+    def _cell_with_sweep(self, ratios):
+        c = _cell()
+        c["passes"]["cache_sweep"] = [_sweep_row(h, p) for h, p in ratios]
+        return c
+
+    def test_absent_pass_skips_cache_metrics(self):
+        from repro.core.diff import corpus_diff
+
+        diff = corpus_diff(_corpus({"base": _cell(), "cand": _cell()}))
+        metrics = {e.metric for e in diff.cells[0].evidence}
+        assert not any(m.startswith("cache.") for m in metrics)
+
+    def test_present_pass_yields_cache_evidence(self):
+        from repro.core.diff import corpus_diff
+
+        payload = _corpus({
+            "base": self._cell_with_sweep([(0.5, 0.5), (0.9, 0.8)]),
+            "cand": self._cell_with_sweep([(0.4, 0.4), (0.8, 0.5)]),
+        })
+        diff = corpus_diff(payload)
+        assert _only_evidence(diff, "cand", "cache.hit_ratio_min").candidate == 0.4
+        assert _only_evidence(diff, "cand", "cache.hit_ratio_mean").candidate == pytest.approx(0.6)
+        assert _only_evidence(diff, "cand", "cache.pred_gap_max").candidate == pytest.approx(0.3)
+
+    def test_hit_ratio_regresses_downward(self):
+        from repro.core.diff import corpus_diff
+
+        payload = _corpus({
+            "base": self._cell_with_sweep([(0.9, 0.9)]),
+            "cand": self._cell_with_sweep([(0.5, 0.5)]),
+        })
+        gated = corpus_diff(payload, _gate(**{"cache.hit_ratio_min": {"max_abs": 0.1}}))
+        assert gated.verdict == "regressed"
+        ok = corpus_diff(payload, _gate(**{"cache.hit_ratio_min": {"max_abs": 0.5}}))
+        assert ok.verdict == "pass"
+
+    def test_gating_without_the_pass_is_an_error(self):
+        from repro.core.diff import ThresholdError, corpus_diff
+
+        payload = _corpus({"base": _cell(), "cand": _cell()})
+        with pytest.raises(ThresholdError, match="cache_sweep.*not run"):
+            corpus_diff(payload, _gate(**{"cache.hit_ratio_min": {"max_abs": 0.1}}))
+
+
 class TestRenderTruncationNote:
     def _diff_with(self, n_functions):
         from repro.core.diagnostics import FootprintDiagnostics

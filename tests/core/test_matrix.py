@@ -61,6 +61,31 @@ class TestRunMatrix:
         cell = run_matrix(spec).cells["base"].payload
         assert payload_json(cell) == payload_json(report)
 
+    def test_cache_sweep_opt_in_per_cell(self, corpus_dir):
+        """A sweep-enabled cell gains the cache_sweep pass; others don't."""
+        import dataclasses
+
+        spec = CorpusSpec.from_directory(corpus_dir)
+        spec = dataclasses.replace(
+            spec,
+            cells=tuple(
+                dataclasses.replace(c, cache_sweep=(c.label == "cand"))
+                for c in spec.cells
+            ),
+        )
+        payload = run_matrix(spec).corpus_payload()
+        assert "cache_sweep" not in payload["cells"]["base"]["passes"]
+        rows = payload["cells"]["cand"]["passes"]["cache_sweep"]
+        assert len(rows) == 8
+        assert all(0.0 <= r["hit_ratio"] <= 1.0 for r in rows)
+
+    def test_cli_cache_sweep_flag_enables_every_cell(self, corpus_dir, capsys):
+        rc = cli_main(["matrix", str(corpus_dir), "--cache-sweep", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        for cell in payload["cells"].values():
+            assert len(cell["passes"]["cache_sweep"]) == 8
+
     def test_warm_run_is_cached_and_byte_identical(self, corpus_dir, tmp_path):
         spec = CorpusSpec.from_directory(corpus_dir)
         cache = tmp_path / "cache"

@@ -94,6 +94,48 @@ class TestSerialFunctions:
         assert rank_hotspots(EMPTY) == []
 
 
+class TestCacheSim:
+    """Cache simulation must hold the zero-identity too (not NaN/raise)."""
+
+    def test_cache_stats_ratios_are_zero(self):
+        from repro.core.cachesim import CacheConfig, simulate_cache
+
+        stats = simulate_cache(EMPTY, CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        assert stats.n_accesses == 0 and stats.n_hits == 0
+        assert stats.hit_ratio == 0.0
+        for cls in LoadClass:
+            assert stats.class_hit_ratio(cls) == 0.0
+
+    def test_class_hit_ratio_for_absent_class(self):
+        from repro.core.cachesim import CacheConfig, simulate_cache
+
+        ev = make_events(
+            ip=np.zeros(8, dtype=np.int64),
+            addr=np.arange(8) * 64,
+            cls=np.full(8, int(LoadClass.STRIDED), dtype=np.uint8),
+        )
+        stats = simulate_cache(ev, CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        # classes with no accesses divide 0/0 — must be 0.0, not a crash
+        assert stats.class_hit_ratio(LoadClass.IRREGULAR) == 0.0
+        assert stats.class_hit_ratio(LoadClass.CONSTANT) == 0.0
+
+    def test_sweep_rows_on_empty_trace(self):
+        from repro.core.cachesim import (
+            SweepPartial,
+            sweep_configs,
+            sweep_finalize,
+            sweep_update,
+        )
+
+        grid = sweep_configs()
+        rows = sweep_finalize(sweep_update(SweepPartial(grid), EMPTY), grid)
+        assert len(rows) == len(grid)
+        for row in rows:
+            assert row.n_accesses == 0 and row.n_hits == 0
+            assert row.hit_ratio == 0.0 and row.predicted_hit_ratio == 0.0
+            assert row.accesses_by_class == {} and row.hits_by_class == {}
+
+
 class TestEveryPass:
     @pytest.mark.parametrize("name", [p.name for p in list_passes()])
     def test_scan_chunk_empty(self, name):

@@ -65,6 +65,18 @@ class TestTrace:
         assert rc == 0
         assert "miniVite v3" in capsys.readouterr().out
 
+    def test_kvreuse_workload(self, tmp_path, capsys):
+        path = tmp_path / "kv.npz"
+        rc = main(
+            ["trace", "--workload", "kvreuse:sessions", "--scale", "6", "-o", str(path)]
+        )
+        assert rc == 0
+        assert "KV-reuse sessions" in capsys.readouterr().out
+
+    def test_kvreuse_unknown_variant(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown kvreuse variant"):
+            main(["trace", "--workload", "kvreuse:x", "-o", str(tmp_path / "t.npz")])
+
 
 class TestInfo:
     def test_shows_metadata(self, trace_file, capsys):
@@ -129,6 +141,33 @@ class TestPasses:
         assert "== pass: roi ==" in out
         # hotspot ran as a dependency but only roi was asked for
         assert "== pass: hotspot ==" not in out
+
+    def test_report_cache_sweep_pass(self, trace_file, capsys):
+        rc = main(["report", str(trace_file), "--passes", "cache_sweep"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pass: cache_sweep" in out
+        assert "hit ratio" in out and "predicted" in out
+
+    def test_cache_kernel_flag_round_trips(self, trace_file, capsys, monkeypatch):
+        monkeypatch.delenv("MEMGAZE_CACHE_KERNEL", raising=False)
+        for kernel in ("vector", "python"):
+            rc = main(
+                ["report", str(trace_file), "--passes", "cache_sweep",
+                 "--cache-kernel", kernel]
+            )
+            assert rc == 0
+        capsys.readouterr()
+
+    def test_bad_cache_kernel_env_is_a_clean_exit(self, trace_file, monkeypatch):
+        """A typo'd MEMGAZE_CACHE_KERNEL must be the CLI's uniform
+        SystemExit with the alternatives listed, not a bare ValueError."""
+        monkeypatch.setenv("MEMGAZE_CACHE_KERNEL", "bogus")
+        with pytest.raises(SystemExit) as exc:
+            main(["report", str(trace_file), "--passes", "cache_sweep"])
+        msg = str(exc.value)
+        assert msg.startswith("memgaze report:")
+        assert "auto" in msg and "vector" in msg and "python" in msg
 
     def test_unknown_pass_exits_with_alternatives(self, trace_file):
         with pytest.raises(SystemExit) as exc:
