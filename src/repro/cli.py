@@ -74,7 +74,7 @@ from repro.core.report import (
 )
 from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
 from repro.core.workingset import working_set_curve
-from repro.trace.collector import CollectionResult, collect_sampled_trace
+from repro.trace.collector import collect_sampled_trace
 from repro.trace.compress import compression_ratio, sample_ratio_from
 from repro.trace.sampler import SamplingConfig
 from repro.trace.tracefile import TraceFormatError, TraceMeta, write_trace
@@ -200,9 +200,7 @@ def _require_trace_path(path, command: str = "memgaze") -> None:
     raise SystemExit(f"{command}: no such trace archive: {path}")
 
 
-def _load(
-    path, journal=None
-) -> tuple[CollectionResult, TraceMeta, dict[int, str], bool]:
+def _load(path, journal=None) -> "LoadedTrace":
     """Read a trace archive through the shared loader, reporting degradation.
 
     Delegates to :func:`repro.trace.loader.load_trace_collection` — the
@@ -214,9 +212,12 @@ def _load(
     analyzed, not an error); real damage (bit-flips, schema drift)
     prints every finding; an unrecoverable archive aborts.
 
-    The returned ``clean`` flag is False when recovery ran — the events
-    in memory are then a *prefix* of the archive, so its health digest
-    no longer addresses them (the analysis cache must stay off).
+    The returned :class:`~repro.trace.loader.LoadedTrace` carries the
+    health verdict: ``clean`` is False when recovery ran — the events in
+    memory are then a *prefix* of the archive, so its health digest no
+    longer addresses them (the analysis cache must stay off), and
+    renderers surface the ``findings`` (the HTML report shows them in a
+    warning banner).
     """
     from repro.trace.loader import load_trace_collection
 
@@ -241,11 +242,29 @@ def _load(
             f"prefix of {n_events:,} events",
             file=sys.stderr,
         )
-    return loaded.collection, loaded.meta, loaded.fn_names, loaded.clean
+    return loaded
+
+
+def _degraded_note(loaded: "LoadedTrace") -> dict | None:
+    """The payload's ``degraded`` dict for a recovered archive (else None).
+
+    Attached only when recovery ran, so clean payloads stay byte-for-byte
+    what they always were.
+    """
+    if loaded.clean:
+        return None
+    return {
+        "growing": loaded.growing,
+        "n_events": int(len(loaded.collection.events)),
+        "findings": [
+            {"kind": f.kind, "detail": f.detail} for f in loaded.findings
+        ],
+    }
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    col, meta, fn_names, _ = _load(args.trace)
+    loaded = _load(args.trace)
+    col, meta, fn_names = loaded.collection, loaded.meta, loaded.fn_names
     print(f"module:        {meta.module}")
     print(f"kind:          {meta.kind}")
     print(f"period (w+z):  {meta.period:,} loads")
@@ -276,7 +295,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         from repro.obs.metrics import MetricsRegistry
 
         metrics = MetricsRegistry()
-    col, meta, fn_names, clean = _load(args.trace, journal=journal)
+    loaded = _load(args.trace, journal=journal)
+    col, meta, fn_names, clean = (
+        loaded.collection,
+        loaded.meta,
+        loaded.fn_names,
+        loaded.clean,
+    )
     if len(col.events) == 0:
         print("trace is empty")
         return 1
@@ -330,6 +355,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
         shm=args.shm,
     )
     token = engine.window_token()
+
+    if args.html:
+        # one self-contained page rendered from the viz payload — the
+        # same payload the serve dashboard polls, through the same
+        # template path, so live and offline renderings of identical
+        # archive bytes are byte-identical. A damaged archive renders
+        # the verified prefix with a warning banner instead of failing.
+        from repro.core.report import viz_report_payload
+        from repro.viz import render_html
+
+        extra = None
+        if args.passes:
+            extra = [s.strip() for s in args.passes.split(",") if s.strip()]
+        try:
+            payload = viz_report_payload(
+                meta.module,
+                col,
+                rho,
+                fn_names,
+                engine,
+                window_token=token,
+                store_key=store_key,
+                degraded=_degraded_note(loaded),
+                extra_passes=extra,
+            )
+        except (UnknownPassError, ValueError) as exc:
+            raise SystemExit(f"memgaze report: {exc}") from exc
+        text = render_html(payload)
+        out = Path(args.html)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {out} ({len(text.encode('utf-8')):,} bytes)")
+        _report_tail(args, engine, journal, metrics)
+        return 0
 
     if args.json:
         # the canonical machine-readable payload — built by the same
@@ -552,8 +610,10 @@ def _cmd_passes(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.core.diff import diff_traces
 
-    col_b, meta_b, fn_b, _ = _load(args.before)
-    col_a, meta_a, fn_a, _ = _load(args.after)
+    before = _load(args.before)
+    after = _load(args.after)
+    col_b, meta_b, fn_b = before.collection, before.meta, before.fn_names
+    col_a, meta_a, fn_a = after.collection, after.meta, after.fn_names
     diff = diff_traces(
         col_b,
         col_a,
@@ -783,6 +843,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         serve_workers=serve_workers,
         session_queue_size=args.session_queue_size,
+        dashboard=args.dashboard,
+        dashboard_port=args.dashboard_port,
     )
 
     async def run() -> None:
@@ -802,6 +864,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{'s' if config.serve_workers != 1 else ''})",
             flush=True,
         )
+        if server.dashboard_port is not None:
+            if args.dashboard_port_file:
+                Path(args.dashboard_port_file).write_text(
+                    f"{server.dashboard_port}\n", encoding="utf-8"
+                )
+            print(
+                f"memgaze serve: dashboard on "
+                f"http://{config.host}:{server.dashboard_port}/",
+                flush=True,
+            )
         await server.serve_until_stopped()
 
     asyncio.run(run())
@@ -908,6 +980,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--passes", default=None, metavar="NAME[,NAME...]",
         help="run exactly these registered analysis passes, fused in one scan "
         "(see 'memgaze passes' for the list)",
+    )
+    p_report.add_argument(
+        "--html", default=None, metavar="OUT.html",
+        help="render one self-contained HTML report (inline SVG/CSS/JS, no "
+        "external fetches): interval-tree flamegraph, phases, heatmaps, "
+        "reuse histogram, sortable tables; with --passes cache_sweep the "
+        "what-if grid is included; a damaged archive renders its verified "
+        "prefix behind a warning banner",
     )
     p_report.add_argument("--phases", action="store_true", help="phase segmentation")
     p_report.add_argument("--hot-threshold", type=float, default=0.10)
@@ -1132,6 +1212,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--journal", default=None, metavar="PATH",
         help="append a JSONL run journal (per-session lines are tagged)",
+    )
+    p_serve.add_argument(
+        "--dashboard", action="store_true",
+        help="serve a live HTML dashboard over HTTP alongside the framed "
+        "protocol: GET / lists sessions, GET /report?session=NAME renders "
+        "the session's current analysis through the same template as "
+        "'memgaze report --html' (off by default; the daemon's protocol "
+        "behavior is unchanged without it)",
+    )
+    p_serve.add_argument(
+        "--dashboard-port", type=int, default=0, metavar="PORT",
+        help="dashboard TCP port (0: let the OS pick; see --dashboard-port-file)",
+    )
+    p_serve.add_argument(
+        "--dashboard-port-file", default=None, metavar="PATH",
+        help="write the bound dashboard port here once listening",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

@@ -31,6 +31,7 @@ __all__ = [
     "render_interval_table",
     "passes_payload",
     "full_report_payload",
+    "viz_report_payload",
     "payload_json",
 ]
 
@@ -165,6 +166,229 @@ def full_report_payload(
     payload["functions"] = {
         name: to_jsonable(d) for name, d in sorted(results["windows"].items())
     }
+    return payload
+
+
+#: Bump when the ``viz`` payload section layout changes.
+VIZ_SCHEMA = 1
+
+#: Fixed geometry of the ``viz`` section. Deliberately small — the
+#: section feeds a report page, not further analysis — and fixed, so the
+#: bytes depend on trace content alone.
+_VIZ_PARAMS = {
+    "n_intervals": 8,
+    "max_tree_depth": 7,
+    "max_regions": 6,
+    "min_region_pct": 2.0,
+    "max_heatmaps": 2,
+    "heatmap_pages": 24,
+    "heatmap_bins": 32,
+}
+
+
+def _viz_num(x):
+    """A finite float, or None — NaN/inf never enter a payload."""
+    v = float(x)
+    if v != v or v in (float("inf"), float("-inf")):
+        return None
+    return v
+
+
+def _viz_tree_node(node, depth_left: int) -> dict:
+    """Serialize one interval-tree node with a bounded depth budget."""
+    d = node.diagnostics
+    out = {
+        "level": int(node.level),
+        "t_start": int(node.t_start),
+        "t_end": int(node.t_end),
+        "exact": bool(node.exact),
+        "function": node.function,
+        "a_obs": int(d.A_obs),
+        "f_est": _viz_num(d.F_est),
+        "df": _viz_num(d.dF),
+        "children": [
+            _viz_tree_node(c, depth_left - 1) for c in node.children
+        ]
+        if depth_left > 0
+        else [],
+    }
+    return out
+
+
+def _viz_section(collection, rho, fn_names, engine, token) -> dict:
+    """The visual-report data: intervals, phases, tree, regions, heatmaps.
+
+    Everything here is derived from trace content through deterministic
+    code paths (the engine's sharded kernels are bit-identical to the
+    serial ones), so the section — like the rest of the payload — is
+    byte-stable across workers, caches, and live-vs-offline renders.
+    """
+    from repro.core.interval_tree import (
+        ExecutionIntervalTree,
+        access_interval_metrics,
+    )
+    from repro.core.phases import detect_phases
+    from repro.core.zoom import ZoomConfig, location_zoom, zoom_leaves
+
+    p = _VIZ_PARAMS
+    events = collection.events
+    sample_id = collection.sample_id
+
+    intervals = [
+        {
+            "interval": int(r["interval"]),
+            "F": _viz_num(r["F"]),
+            "dF": _viz_num(r["dF"]),
+            "D": _viz_num(r["D"]),
+            "A": _viz_num(r["A"]),
+            "A_obs": int(r.get("A_obs", 0)),
+        }
+        for r in access_interval_metrics(
+            events,
+            p["n_intervals"],
+            rho=rho,
+            reuse_block=64,
+            sample_id=sample_id,
+            engine=engine,
+            cache_token=token,
+        )
+    ] if len(events) else []
+
+    phases = [
+        {
+            "index": ph.index,
+            "first_sample": ph.first_sample,
+            "last_sample": ph.last_sample,
+            "t_start": ph.t_start,
+            "t_end": ph.t_end,
+            "n_samples": ph.n_samples,
+            "label": ph.label,
+            "strided_share": _viz_num(ph.strided_share),
+            "df": _viz_num(ph.diagnostics.dF),
+            "a_obs": int(ph.diagnostics.A_obs),
+        }
+        for ph in detect_phases(collection)
+    ]
+
+    try:
+        tree = ExecutionIntervalTree.build(collection, rho=rho, fn_names=fn_names)
+        tree_node = _viz_tree_node(tree.root, p["max_tree_depth"])
+    except ValueError:  # no non-empty samples
+        tree_node = None
+
+    regions = []
+    heatmaps = []
+    if len(events):
+        root = location_zoom(
+            events, ZoomConfig(), sample_id=sample_id, fn_names=fn_names
+        )
+        leaves = zoom_leaves(root, min_pct=p["min_region_pct"])[: p["max_regions"]]
+        for leaf in leaves:
+            top_fn = leaf.functions.most_common(1)
+            name = (
+                f"{leaf.base:#x} ({top_fn[0][0]})" if top_fn else f"{leaf.base:#x}"
+            )
+            regions.append(
+                {
+                    "name": name,
+                    "base": int(leaf.base),
+                    "size": int(leaf.size),
+                    "n_accesses": int(leaf.n_accesses),
+                    "pct_of_total": _viz_num(leaf.pct_of_total),
+                    "d_mean": _viz_num(leaf.D_mean),
+                    "d_max": int(leaf.D_max),
+                    "n_blocks": int(leaf.n_blocks),
+                    "accesses_per_block": _viz_num(leaf.accesses_per_block),
+                    "top_fn": top_fn[0][0] if top_fn else None,
+                }
+            )
+        for leaf, region in zip(leaves[: p["max_heatmaps"]], regions):
+            hm = engine.heatmap(
+                events,
+                leaf.base,
+                leaf.size,
+                n_pages=p["heatmap_pages"],
+                n_bins=p["heatmap_bins"],
+                sample_id=sample_id,
+            )
+            heatmaps.append(
+                {
+                    "name": region["name"],
+                    "base": int(hm.base),
+                    "size": int(leaf.size),
+                    "page_size": int(hm.page_size),
+                    "t_edges": [_viz_num(t) for t in hm.t_edges],
+                    "counts": [[int(c) for c in row] for row in hm.counts],
+                    "reuse": [[_viz_num(v) for v in row] for row in hm.reuse],
+                }
+            )
+
+    return {
+        "schema": VIZ_SCHEMA,
+        "params": dict(p),
+        "intervals": intervals,
+        "phases": phases,
+        "tree": tree_node,
+        "regions": regions,
+        "heatmaps": heatmaps,
+    }
+
+
+def viz_report_payload(
+    module,
+    collection,
+    rho,
+    fn_names,
+    engine,
+    *,
+    window_token=None,
+    store_key=None,
+    degraded=None,
+    extra_passes=None,
+) -> dict:
+    """The full-report payload plus the ``viz`` section the HTML needs.
+
+    Exactly :func:`full_report_payload` extended with ``payload["viz"]``
+    — interval rows, detected phases, the (depth-capped) execution
+    interval tree, zoomed hot regions, and per-region heatmaps — so one
+    payload drives both the offline ``memgaze report --html`` renderer
+    and the serve daemon's live dashboard; identical archive bytes give
+    identical payload bytes on both paths.
+
+    ``extra_passes`` (e.g. ``["cache_sweep"]``) are run through the same
+    fused engine scan and merged under ``payload["passes"]``. A
+    ``degraded`` dict (from a recovered archive read) is attached only
+    when given, so payloads for clean archives carry no extra key.
+    """
+    token = window_token if window_token is not None else engine.window_token()
+    payload = full_report_payload(
+        module,
+        collection,
+        rho,
+        fn_names,
+        engine,
+        window_token=token,
+        store_key=store_key,
+    )
+    if extra_passes:
+        from repro.core.passes import get_pass
+
+        requested = [p for p in extra_passes if p not in payload["passes"]]
+        if requested:
+            results = engine.run_passes(
+                collection.events,
+                requested,
+                sample_id=collection.sample_id,
+                rho=rho,
+                fn_names=fn_names,
+                window_id=(token, "whole"),
+                store_key=store_key,
+            )
+            for name in requested:
+                payload["passes"][name] = get_pass(name).jsonable(results[name])
+    payload["viz"] = _viz_section(collection, rho, fn_names, engine, token)
+    if degraded is not None:
+        payload["degraded"] = degraded
     return payload
 
 

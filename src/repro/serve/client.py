@@ -128,7 +128,11 @@ class ServeClient:
         return resp
 
     def query(
-        self, session: str, passes: list[str] | None = None
+        self,
+        session: str,
+        passes: list[str] | None = None,
+        *,
+        viz: bool = False,
     ) -> tuple[dict, str]:
         """Live analysis of the session's archive as ingested so far.
 
@@ -136,10 +140,15 @@ class ServeClient:
         state (``n_chunks``, ``n_events``, ``mode``, ``skipped_events``)
         and ``payload_text`` is the canonical JSON — byte-identical to
         ``memgaze report --json`` offline on the same archive.
+        ``viz=True`` asks for the visual-report payload instead (the
+        dashboard's input, byte-identical to the payload behind an
+        offline ``memgaze report --html``).
         """
         header: dict = {"type": "query", "session": session}
         if passes is not None:
             header["passes"] = list(passes)
+        if viz:
+            header["viz"] = True
         resp, payload = self._round_trip(header)
         return resp, payload.decode("utf-8")
 

@@ -88,6 +88,12 @@ class ServeConfig:
     #: per-session cap on queued appends, the inner layer of the
     #: backpressure (the global ``queue_size`` is the outer one)
     session_queue_size: int = 16
+    #: serve the live HTML dashboard (``--dashboard``); off by default,
+    #: and when off the daemon's protocol behavior is exactly unchanged
+    dashboard: bool = False
+    #: dashboard TCP port (0: let the OS pick; bound port is
+    #: ``TraceServer.dashboard_port``)
+    dashboard_port: int = 0
 
 
 class TraceServer:
@@ -116,7 +122,9 @@ class TraceServer:
         self._ingest_hook = ingest_hook
         self._query_hook = query_hook
         self.port: int | None = None
+        self.dashboard_port: int | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._dashboard = None
         self.workers: list[ShardWorker] = []
         self._pumps: list[asyncio.Task] = []
         self._queued_total = 0
@@ -160,6 +168,18 @@ class TraceServer:
             self._handle_client, cfg.host, cfg.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if cfg.dashboard:
+            from repro.viz.dashboard import DashboardServer
+
+            self._dashboard = DashboardServer(
+                query=self._dashboard_query,
+                sessions=self._dashboard_sessions,
+                journal=self.journal,
+                metrics=self.metrics,
+            )
+            self.dashboard_port = await self._dashboard.start(
+                cfg.host, cfg.dashboard_port
+            )
         if self.metrics is not None:
             self.metrics.gauge("serve.workers").set(cfg.serve_workers)
         if self.journal is not None:
@@ -185,6 +205,8 @@ class TraceServer:
     async def _shutdown(self) -> None:
         """Close the listener, drain every worker, stop every worker."""
         loop = asyncio.get_running_loop()
+        if self._dashboard is not None:
+            await self._dashboard.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -326,6 +348,54 @@ class TraceServer:
             if self.metrics is not None:
                 self.metrics.counter("serve.ingest_errors").inc()
 
+    # -- dashboard callbacks (see repro.viz.dashboard) -------------------------
+
+    def _dashboard_sessions(self) -> tuple[list[str], set[str]]:
+        """(all session names, currently-open names) for the index page.
+
+        Names come from the shared ``sessions/`` directory plus every
+        worker's open set, so sessions closed in an earlier daemon run
+        are still browsable (a query re-opens them by rehydration).
+        """
+        root = Path(self.config.root) / "sessions"
+        on_disk = {p.stem for p in root.glob("*.npz")} if root.exists() else set()
+        open_names: set[str] = set()
+        for w in self.workers:
+            open_names |= w.sessions
+        return sorted(on_disk | open_names), open_names
+
+    async def _dashboard_query(self, name: str) -> str:
+        """One live viz query for the dashboard; returns canonical JSON.
+
+        Rides the owning worker's FIFO exactly like a protocol query, so
+        it never observes a mid-ingest archive. A session that is not
+        open but has an archive on disk is opened first (rehydration
+        adopts the archive's own metadata). One retry absorbs a worker
+        crash: the respawned worker re-opens from the surviving archive.
+        """
+        worker = self._worker_for(name)
+        for attempt in (0, 1):
+            try:
+                if name not in worker.sessions:
+                    archive = Path(self.config.root) / "sessions" / f"{name}.npz"
+                    if not archive.exists():
+                        raise KeyError(f"no session named {name!r}")
+                    await self._submit(
+                        worker,
+                        {"op": "open", "name": name, "meta": TraceMeta(module=name)},
+                    )
+                    worker.sessions.add(name)
+                    self._gauge_sessions()
+                reply = await self._submit(
+                    worker,
+                    {"op": "query", "name": name, "passes": None, "viz": True},
+                )
+                return reply["text"]
+            except ServeOpError:
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # -- gauges ----------------------------------------------------------------
 
     def _gauge_depth(self, worker: ShardWorker | None = None) -> None:
@@ -455,7 +525,12 @@ class TraceServer:
             worker = self._worker_for(name)
             reply = await self._submit(
                 worker,
-                {"op": "query", "name": name, "passes": header.get("passes")},
+                {
+                    "op": "query",
+                    "name": name,
+                    "passes": header.get("passes"),
+                    "viz": bool(header.get("viz")),
+                },
             )
             return {"type": "result", **reply["info"]}, reply["text"].encode("utf-8")
 

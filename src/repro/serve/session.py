@@ -40,7 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.artifacts import ArtifactStore
-from repro.core.report import full_report_payload, passes_payload
+from repro.core.report import full_report_payload, passes_payload, viz_report_payload
 from repro.trace.compress import sample_ratio_from
 from repro.trace.loader import load_trace_collection
 from repro.trace.tracefile import TraceMeta, write_trace
@@ -142,15 +142,17 @@ class ServeSession:
 
     # -- query (same shard worker, so the archive is stable) -------------------
 
-    def query(self, passes: list[str] | None, engine) -> tuple[dict, dict]:
+    def query(self, passes: list[str] | None, engine, viz: bool = False) -> tuple[dict, dict]:
         """Analyze the archive as it stands; returns ``(info, payload)``.
 
         ``passes=None`` builds the full-report payload; a list of names
-        builds the ``--passes`` payload. Either way the archive is
-        loaded through the shared loader and analyzed through the same
-        engine path the offline CLI uses, keyed by the archive's content
-        digest — so partials warmed by ingest are reused and the payload
-        is byte-identical to the offline report.
+        builds the ``--passes`` payload; ``viz=True`` builds the
+        visual-report payload (:func:`repro.core.report.
+        viz_report_payload`) the daemon's dashboard renders. Either way
+        the archive is loaded through the shared loader and analyzed
+        through the same engine path the offline CLI uses, keyed by the
+        archive's content digest — so partials warmed by ingest are
+        reused and the payload is byte-identical to the offline report.
         """
         if self.n_chunks == 0:
             raise ValueError("session has no ingested chunks yet")
@@ -161,7 +163,17 @@ class ServeSession:
         if loaded.clean and engine.store is not None:
             store_key = ArtifactStore.archive_digest(self.archive)
         token = engine.window_token()
-        if passes is None:
+        if viz:
+            payload = viz_report_payload(
+                self.meta.module,
+                col,
+                rho,
+                loaded.fn_names,
+                engine,
+                window_token=token,
+                store_key=store_key,
+            )
+        elif passes is None:
             payload = full_report_payload(
                 self.meta.module,
                 col,

@@ -151,7 +151,9 @@ def _worker_main(
                 if query_hook is not None:
                     query_hook(name, req["passes"])
                 session = manager.get(name)
-                info, payload = session.query(req["passes"], engine)
+                info, payload = session.query(
+                    req["passes"], engine, viz=bool(req.get("viz"))
+                )
                 reply = {"ok": True, "info": info, "text": payload_json(payload)}
             elif op == "close":
                 reply = {"ok": True, "info": manager.close(name)}

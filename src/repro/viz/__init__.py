@@ -1,0 +1,33 @@
+"""Self-contained HTML rendering of report payloads (``report --html``).
+
+The package is layered so every stage is golden-testable:
+
+``viewmodel``
+    :func:`build_viewmodel` — the pure payload → viewmodel transform.
+    Deterministic bytes for a given payload; no environment leaks.
+``charts``
+    SVG builders (flame tree, heatmap grids, histogram bars) over
+    viewmodel substructures. Pure string functions.
+``template``
+    :func:`render_html` — assembles the one self-contained page with
+    ``string.Template``: inline CSS/JS, no external fetches.
+``dashboard``
+    The daemon's live view (``memgaze serve --dashboard``): a small
+    asyncio HTTP endpoint that polls the query protocol and renders
+    through the *same* template path, so a live rendering of a
+    quiesced session is byte-identical to the offline one.
+``validate``
+    Stdlib ``html.parser`` checker (balanced tags, no external URLs)
+    shared by tests and CI: ``python -m repro.viz.validate FILE``.
+"""
+
+from repro.viz.template import render_html, render_viewmodel
+from repro.viz.viewmodel import VIEWMODEL_SCHEMA, build_viewmodel, viewmodel_json
+
+__all__ = [
+    "VIEWMODEL_SCHEMA",
+    "build_viewmodel",
+    "viewmodel_json",
+    "render_html",
+    "render_viewmodel",
+]

@@ -1,0 +1,420 @@
+"""Assembly of the one self-contained HTML report page.
+
+:func:`render_html` is the single template path for both renderers: the
+offline ``memgaze report --html`` and the live daemon dashboard call it
+with a (jsonable) payload dict and get exactly the same bytes for the
+same payload. The page embeds the canonical viewmodel JSON verbatim in
+``<script type="application/json" id="memgaze-viewmodel">`` — it powers
+the inline JS (table sorting, flamegraph zoom) and gives tests a lossless
+round-trip of every numeric value the page shows. Everything is inline:
+CSS, JS, SVG; no URL on the page points off-host.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from string import Template
+
+from repro.viz.charts import (
+    svg_flame_tree,
+    svg_heatmap,
+    svg_phase_strip,
+    svg_reuse_histogram,
+)
+from repro.viz.viewmodel import build_viewmodel, viewmodel_json
+
+__all__ = ["render_html", "render_viewmodel"]
+
+
+def _esc(s) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def _fmt(value, kind: str = "number") -> str:
+    """Humanised display text for one cell (raw value rides in data-v)."""
+    if value is None:
+        return "-"
+    if kind == "quantity":
+        from repro.core.report import format_quantity
+
+        return format_quantity(float(value))
+    if kind == "percent":
+        return f"{float(value):.1f}%"
+    if kind == "ratio":
+        return f"{float(value):.3f}"
+    if kind == "count":
+        return f"{int(value):,}"
+    if kind == "hex":
+        return f"{int(value):#x}"
+    v = float(value)
+    if math.isfinite(v) and v == int(v):
+        return f"{int(v):,}"
+    return format(v, ".4g")
+
+
+def _cell(value, kind: str = "number") -> str:
+    if isinstance(value, str):
+        return f'<td data-v="{_esc(value)}">{_esc(value)}</td>'
+    raw = "" if value is None else format(float(value), ".17g")
+    return f'<td class="num" data-v="{raw}">{_esc(_fmt(value, kind))}</td>'
+
+
+def _table(table_id: str, columns: list[tuple[str, str]], rows: list[list]) -> str:
+    """A sortable table; ``columns`` is [(header, kind)], rows hold raw values."""
+    head = "".join(
+        f'<th data-col="{i}" title="click to sort">{_esc(name)}</th>'
+        for i, (name, _kind) in enumerate(columns)
+    )
+    body = []
+    for row in rows:
+        cells = "".join(_cell(v, columns[i][1]) for i, v in enumerate(row))
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        f'<table class="sortable" id="{table_id}">'
+        f"<thead><tr>{head}</tr></thead><tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _section(title: str, body: str, note: str = "") -> str:
+    if not body:
+        return ""
+    note_html = f'<p class="note">{_esc(note)}</p>' if note else ""
+    return f"<section><h2>{_esc(title)}</h2>{note_html}{body}</section>"
+
+
+def _banner(degraded: dict | None) -> str:
+    if not degraded:
+        return ""
+    n = degraded.get("n_events", 0)
+    if degraded.get("growing"):
+        what = (
+            "archive tail is incomplete but undamaged — it appears to be "
+            "still growing"
+        )
+    else:
+        what = "damaged archive"
+    findings = degraded.get("findings") or []
+    items = "".join(
+        f"<li><code>{_esc(f.get('kind', '?'))}</code> {_esc(f.get('detail', ''))}</li>"
+        for f in findings
+    )
+    listing = f"<ul>{items}</ul>" if items else ""
+    return (
+        '<div class="banner" role="alert"><strong>warning:</strong> '
+        f"{_esc(what)}; this report covers the verified prefix of "
+        f"{n:,} events.{listing}</div>"
+    )
+
+
+def _summary_html(tiles: list[dict]) -> str:
+    out = []
+    for t in tiles:
+        out.append(
+            '<div class="tile"><span class="value">'
+            f"{_esc(_fmt(t.get('value'), t.get('kind', 'number')))}</span>"
+            f"<span class=\"label\">{_esc(t.get('label', ''))}</span></div>"
+        )
+    return f'<div class="tiles">{"".join(out)}</div>'
+
+
+def _functions_html(rows: list[dict]) -> str:
+    if not rows:
+        return ""
+    cols = [
+        ("function", "text"),
+        ("A (est)", "quantity"),
+        ("F (est)", "quantity"),
+        ("dF", "ratio"),
+        ("F_str%", "percent"),
+        ("A observed", "count"),
+    ]
+    data = [
+        [r["function"], r["A_est"], r["F_est"], r["dF"], r["F_str_pct"], r["A_obs"]]
+        for r in rows
+    ]
+    return _table("functions", cols, data)
+
+
+def _hotspots_html(rows: list[dict]) -> str:
+    if not rows:
+        return ""
+    cols = [("function", "text"), ("share", "percent"), ("sampled loads", "count")]
+    data = [
+        [r["function"], 100.0 * r["share"] if r["share"] is not None else None, r["n_accesses"]]
+        for r in rows
+    ]
+    return _table("hotspots", cols, data)
+
+
+def _regions_html(rows: list[dict]) -> str:
+    if not rows:
+        return ""
+    cols = [
+        ("region", "text"),
+        ("size (bytes)", "count"),
+        ("accesses", "count"),
+        ("% of total", "percent"),
+        ("mean D", "ratio"),
+        ("max D", "count"),
+        ("blocks", "count"),
+        ("A/block", "ratio"),
+    ]
+    data = [
+        [
+            r.get("name", ""),
+            r.get("size"),
+            r.get("n_accesses"),
+            r.get("pct_of_total"),
+            r.get("d_mean"),
+            r.get("d_max"),
+            r.get("n_blocks"),
+            r.get("accesses_per_block"),
+        ]
+        for r in rows
+    ]
+    return _table("regions", cols, data)
+
+
+def _intervals_html(rows: list[dict]) -> str:
+    if not rows:
+        return ""
+    cols = [
+        ("interval", "count"),
+        ("F", "quantity"),
+        ("dF", "ratio"),
+        ("D", "ratio"),
+        ("A", "quantity"),
+        ("A observed", "count"),
+    ]
+    data = [
+        [r["interval"], r["F"], r["dF"], r["D"], r["A"], r["A_obs"]] for r in rows
+    ]
+    return _table("intervals", cols, data)
+
+
+def _sweep_html(rows: list[dict] | None) -> str:
+    if not rows:
+        return ""
+    cols = [
+        ("size (bytes)", "count"),
+        ("line", "count"),
+        ("ways", "count"),
+        ("sets", "count"),
+        ("hit ratio", "percent"),
+        ("predicted", "percent"),
+    ]
+    data = [
+        [
+            r["size_bytes"],
+            r["line_bytes"],
+            r["ways"],
+            r["n_sets"],
+            100.0 * r["hit_ratio"] if r["hit_ratio"] is not None else None,
+            100.0 * r["predicted_hit_ratio"]
+            if r["predicted_hit_ratio"] is not None
+            else None,
+        ]
+        for r in rows
+    ]
+    return _table("sweep", cols, data)
+
+
+def _heatmaps_html(heatmaps: list[dict]) -> str:
+    parts = []
+    for hm in heatmaps:
+        svg = svg_heatmap(hm)
+        if not svg:
+            continue
+        name = hm.get("name", "")
+        parts.append(f'<figure><figcaption>{_esc(name)}</figcaption>{svg}</figure>')
+    return "".join(parts)
+
+
+def _embed_json(text: str) -> str:
+    # "</script>"-proof: JSON never needs a bare "</"
+    return text.replace("</", "<\\/")
+
+
+_CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.45 system-ui, sans-serif; margin: 0 auto; max-width: 960px;
+       padding: 0 18px 48px; color: #1c2330; background: #fcfcfa; }
+h1 { font-size: 21px; margin: 22px 0 2px; }
+h2 { font-size: 16px; margin: 26px 0 6px; border-bottom: 1px solid #d8dbe2;
+     padding-bottom: 3px; }
+.meta { color: #5a6372; margin: 0 0 14px; }
+.note { color: #5a6372; font-size: 12px; margin: 2px 0 8px; }
+.banner { background: #fdf3d7; border: 1px solid #e3c96e; border-radius: 6px;
+          padding: 10px 14px; margin: 14px 0; }
+.banner ul { margin: 6px 0 0 18px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { background: #ffffff; border: 1px solid #e2e5ea; border-radius: 8px;
+        padding: 8px 14px; min-width: 96px; }
+.tile .value { display: block; font-size: 18px; font-weight: 600; }
+.tile .label { display: block; font-size: 11px; color: #5a6372; }
+table { border-collapse: collapse; width: 100%; margin: 6px 0; }
+th, td { text-align: left; padding: 4px 10px; border-bottom: 1px solid #e8eaee;
+         font-variant-numeric: tabular-nums; }
+td.num { text-align: right; }
+th { cursor: pointer; user-select: none; background: #f1f2f5; font-size: 12px; }
+th.sorted-asc::after { content: " \\2191"; }
+th.sorted-desc::after { content: " \\2193"; }
+figure { margin: 10px 0; }
+figcaption { font-size: 12px; color: #5a6372; margin-bottom: 3px; }
+svg.chart { max-width: 100%; height: auto; background: #ffffff;
+            border: 1px solid #e2e5ea; border-radius: 6px; }
+svg .tick { font: 10px system-ui, sans-serif; fill: #5a6372; }
+svg .axis { stroke: #c8ccd4; stroke-width: 1; }
+svg .phaselabel { font: 11px system-ui, sans-serif; fill: #ffffff; }
+svg .framelabel { font: 11px system-ui, sans-serif; fill: #2a2318;
+                  pointer-events: none; }
+svg .frame { stroke: #fcfcfa; stroke-width: 0.6; cursor: pointer; }
+button.reset { font: 12px system-ui, sans-serif; margin: 4px 0; }
+footer { margin-top: 34px; color: #8a8f98; font-size: 12px; }
+"""
+
+_JS = """
+(function () {
+  "use strict";
+  // -- sortable tables: sort by the raw value in data-v ----------------------
+  function cellKey(row, col) {
+    var v = row.children[col].getAttribute("data-v");
+    var f = parseFloat(v);
+    return isNaN(f) ? v : f;
+  }
+  document.querySelectorAll("table.sortable th").forEach(function (th) {
+    th.addEventListener("click", function () {
+      var table = th.closest("table");
+      var col = parseInt(th.getAttribute("data-col"), 10);
+      var asc = !th.classList.contains("sorted-asc");
+      table.querySelectorAll("th").forEach(function (h) {
+        h.classList.remove("sorted-asc", "sorted-desc");
+      });
+      th.classList.add(asc ? "sorted-asc" : "sorted-desc");
+      var body = table.tBodies[0];
+      Array.prototype.slice.call(body.rows)
+        .sort(function (a, b) {
+          var ka = cellKey(a, col), kb = cellKey(b, col);
+          if (ka < kb) return asc ? -1 : 1;
+          if (ka > kb) return asc ? 1 : -1;
+          return 0;
+        })
+        .forEach(function (row) { body.appendChild(row); });
+    });
+  });
+  // -- flamegraph zoom: rescale x from each node's data-t0/t1 ----------------
+  var flame = document.getElementById("flame");
+  if (flame) {
+    var root0 = parseFloat(flame.getAttribute("data-t0"));
+    var root1 = parseFloat(flame.getAttribute("data-t1"));
+    var width = flame.viewBox.baseVal.width;
+    function rescale(lo, hi) {
+      var span = Math.max(hi - lo, 1);
+      flame.querySelectorAll("rect.frame").forEach(function (r) {
+        var t0 = parseFloat(r.getAttribute("data-t0"));
+        var t1 = parseFloat(r.getAttribute("data-t1"));
+        var x = (t0 - lo) / span * width;
+        var w = Math.max((t1 - t0) / span * width, 0.5);
+        r.setAttribute("x", x);
+        r.setAttribute("width", w);
+        r.style.display = (t1 <= lo || t0 >= hi) ? "none" : "";
+      });
+      flame.querySelectorAll("text.framelabel").forEach(function (t) {
+        var t0 = parseFloat(t.getAttribute("data-t0"));
+        var t1 = parseFloat(t.getAttribute("data-t1"));
+        var w = Math.max((t1 - t0) / span * width, 0.5);
+        t.setAttribute("x", (t0 - lo) / span * width + 4);
+        t.style.display = (t1 <= lo || t0 >= hi || w < 64) ? "none" : "";
+      });
+    }
+    flame.addEventListener("click", function (ev) {
+      var r = ev.target.closest("rect.frame");
+      if (r) {
+        rescale(parseFloat(r.getAttribute("data-t0")),
+                parseFloat(r.getAttribute("data-t1")));
+      }
+    });
+    var reset = document.getElementById("flame-reset");
+    if (reset) {
+      reset.addEventListener("click", function () { rescale(root0, root1); });
+    }
+  }
+})();
+"""
+
+_PAGE = Template(
+    """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>$title</title>
+<style>$css</style>
+</head>
+<body>
+$body
+<script type="application/json" id="memgaze-viewmodel">
+$viewmodel
+</script>
+<script>$js</script>
+</body>
+</html>
+"""
+)
+
+
+def render_viewmodel(vm: dict) -> str:
+    """Render a prebuilt viewmodel to the final HTML page string."""
+    meta = vm.get("meta", {})
+    head = (
+        f"<h1>{_esc(vm.get('title', 'MemGaze report'))}</h1>"
+        f'<p class="meta">{meta.get("n_events", 0):,} sampled records in '
+        f'{meta.get("n_samples", 0):,} samples &middot; '
+        f'{meta.get("n_loads_total", 0):,} loads total &middot; '
+        f'rho {_fmt(meta.get("rho"), "ratio")}</p>'
+    )
+    flame = svg_flame_tree(vm.get("tree"))
+    if flame:
+        flame = (
+            '<button class="reset" id="flame-reset">reset zoom</button>' + flame
+        )
+    body = "".join(
+        [
+            head,
+            _banner(vm.get("degraded")),
+            _section("Summary", _summary_html(vm.get("summary", []))),
+            _section(
+                "Execution interval tree",
+                flame,
+                "click an interval to zoom; colors encode footprint growth "
+                "(purple rows are per-function leaves)",
+            ),
+            _section("Execution phases", svg_phase_strip(vm.get("phases", []))),
+            _section("Hot functions", _hotspots_html(vm.get("hotspots", []))),
+            _section("Code windows (per-function locality)", _functions_html(vm.get("functions", []))),
+            _section("Hot memory regions (location zoom)", _regions_html(vm.get("regions", []))),
+            _section("Locality over access intervals", _intervals_html(vm.get("intervals", []))),
+            _section(
+                "Reuse-distance histogram",
+                svg_reuse_histogram(vm.get("reuse")),
+                "log2-binned spatio-temporal reuse distance D; bar height on a sqrt scale",
+            ),
+            _section("Per-region access heatmaps", _heatmaps_html(vm.get("heatmaps", []))),
+            _section("Cache what-if sweep", _sweep_html(vm.get("sweep"))),
+            "<footer>memgaze report &middot; self-contained (inline SVG/CSS/JS, "
+            "no external resources)</footer>",
+        ]
+    )
+    return _PAGE.substitute(
+        title=_esc(vm.get("title", "MemGaze report")),
+        css=_CSS,
+        js=_JS,
+        body=body,
+        viewmodel=_embed_json(viewmodel_json(vm)),
+    )
+
+
+def render_html(payload: dict) -> str:
+    """The one template path: payload → viewmodel → page bytes."""
+    return render_viewmodel(build_viewmodel(payload))

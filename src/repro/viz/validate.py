@@ -1,0 +1,152 @@
+"""Self-contained HTML validation, shared by tests and CI.
+
+:func:`validate_html` parses a page with the stdlib ``html.parser`` and
+returns a list of problems (empty = valid):
+
+* unbalanced tags (a close with no matching open, or opens left at EOF);
+* any reference that would leave the file — ``http(s)://`` or
+  protocol-relative ``//`` values in ``src``/``href``/``data``/…
+  attributes, ``<script src>``, ``<link href>``, ``@import``/``url()``
+  fetches inside CSS;
+* no embedded viewmodel (``script#memgaze-viewmodel`` missing or not
+  parseable as JSON).
+
+Run it from a shell (the CI ``html-smoke`` job does)::
+
+    python -m repro.viz.validate report.html
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from html.parser import HTMLParser
+
+__all__ = ["validate_html", "main"]
+
+#: HTML5 void elements: no close tag expected.
+_VOID = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+}
+
+#: Attributes whose value is a fetchable reference.
+_REF_ATTRS = {"src", "href", "xlink:href", "data", "poster", "action", "formaction"}
+
+_EXTERNAL = re.compile(r"^\s*(https?:)?//", re.IGNORECASE)
+_CSS_FETCH = re.compile(r"@import\b|url\(\s*['\"]?\s*(https?:)?//", re.IGNORECASE)
+
+
+class _Checker(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.problems: list[str] = []
+        self.stack: list[str] = []
+        self._in_style = False
+        self._viewmodel: str | None = None
+        self._capture_viewmodel = False
+
+    # -- tag balance -----------------------------------------------------------
+
+    def handle_starttag(self, tag, attrs) -> None:
+        if tag not in _VOID:
+            self.stack.append(tag)
+        if tag == "style":
+            self._in_style = True
+        attrs = dict(attrs)
+        if tag == "script":
+            if "src" in attrs:
+                self.problems.append(f"external script: src={attrs['src']!r}")
+            self._capture_viewmodel = attrs.get("id") == "memgaze-viewmodel"
+            if self._capture_viewmodel:
+                self._viewmodel = ""
+        if tag == "link" and "href" in attrs:
+            self.problems.append(f"external link: href={attrs['href']!r}")
+        for name, value in attrs.items():
+            if name in _REF_ATTRS and value and _EXTERNAL.match(value):
+                self.problems.append(f"external reference: <{tag} {name}={value!r}>")
+            if name == "style" and value and _CSS_FETCH.search(value):
+                self.problems.append(f"external CSS fetch in <{tag} style=...>")
+
+    def handle_startendtag(self, tag, attrs) -> None:
+        # self-closing: balanced by construction, but still check refs
+        self.handle_starttag(tag, attrs)
+        if tag not in _VOID and self.stack and self.stack[-1] == tag:
+            self.stack.pop()
+
+    def handle_endtag(self, tag) -> None:
+        if tag in _VOID:
+            return
+        if tag == "style":
+            self._in_style = False
+        if tag == "script":
+            self._capture_viewmodel = False
+        if not self.stack:
+            self.problems.append(f"unmatched close tag </{tag}>")
+            return
+        if self.stack[-1] == tag:
+            self.stack.pop()
+            return
+        if tag in self.stack:  # mis-nested: report and unwind to it
+            self.problems.append(
+                f"mis-nested close tag </{tag}> (open stack ends with "
+                f"<{self.stack[-1]}>)"
+            )
+            while self.stack and self.stack[-1] != tag:
+                self.stack.pop()
+            if self.stack:
+                self.stack.pop()
+        else:
+            self.problems.append(f"unmatched close tag </{tag}>")
+
+    def handle_data(self, data) -> None:
+        if self._in_style and _CSS_FETCH.search(data):
+            self.problems.append("external CSS fetch in <style> block")
+        if self._capture_viewmodel:
+            self._viewmodel = (self._viewmodel or "") + data
+
+    # -- result ----------------------------------------------------------------
+
+    def finish(self) -> list[str]:
+        for tag in self.stack:
+            self.problems.append(f"unclosed tag <{tag}>")
+        if self._viewmodel is None:
+            self.problems.append("no embedded viewmodel (script#memgaze-viewmodel)")
+        else:
+            try:
+                json.loads(self._viewmodel.replace("<\\/", "</"))
+            except ValueError as exc:
+                self.problems.append(f"embedded viewmodel is not valid JSON: {exc}")
+        return self.problems
+
+
+def validate_html(text: str) -> list[str]:
+    """Problems found in one page; an empty list means it passed."""
+    checker = _Checker()
+    checker.feed(text)
+    checker.close()
+    return checker.finish()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.viz.validate FILE [FILE...]`` — exit 1 on problems."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.viz.validate FILE [FILE...]", file=sys.stderr)
+        return 2
+    bad = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            problems = validate_html(fh.read())
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"{path}: {p}")
+        else:
+            print(f"{path}: OK (self-contained, balanced)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

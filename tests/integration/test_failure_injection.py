@@ -111,6 +111,66 @@ class TestDropsThroughRebuild:
             assert clean_by_t[int(t)] == int(a)
 
 
+class TestDamagedArchiveHtmlReport:
+    """``report --html`` on a hurt archive: verified prefix + banner."""
+
+    def _archive(self, path, rng):
+        from repro.trace.tracefile import HEALTH_CHUNK_EVENTS
+
+        n = 3 * HEALTH_CHUNK_EVENTS
+        ev = make_events(
+            ip=rng.integers(0, 32, n),
+            addr=rng.integers(0, 1 << 22, n),
+            cls=rng.choice([0, 1, 2], n).astype(np.uint8),
+        )
+        sample_id = np.repeat(np.arange(3, dtype=np.int32), n // 3)
+        meta = TraceMeta(
+            module="hurt", kind="sampled", period=100,
+            buffer_capacity=n // 3, n_loads_total=n, n_samples=3,
+        )
+        write_trace(path, ev, meta, sample_id)
+
+    def _render(self, archive, out):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["report", str(archive), "--html", str(out)]) == 0
+        return out.read_text(encoding="utf-8")
+
+    @pytest.mark.faults
+    def test_truncated_archive_renders_prefix_with_banner(self, tmp_path, rng):
+        """Tail truncation reads as *still growing*: the page renders the
+        verified prefix and says so, instead of crashing or lying."""
+        from obs import faults
+
+        clean = tmp_path / "clean.npz"
+        self._archive(clean, rng)
+        hurt = faults.truncate(clean, tmp_path / "hurt.npz")
+
+        page = self._render(hurt, tmp_path / "hurt.html")
+        assert "verified prefix" in page
+        assert "still growing" in page
+
+    @pytest.mark.faults
+    def test_bitflipped_archive_renders_prefix_with_banner(self, tmp_path, rng):
+        from obs import faults
+
+        clean = tmp_path / "clean.npz"
+        self._archive(clean, rng)
+        hurt = faults.bit_flip(clean, tmp_path / "hurt.npz")
+
+        page = self._render(hurt, tmp_path / "hurt.html")
+        assert "verified prefix" in page
+        assert "damaged archive" in page
+
+    def test_clean_archive_has_no_banner(self, tmp_path, rng):
+        """The degraded banner must not leak into healthy reports (its
+        absence keeps clean payloads byte-identical to the golden ones)."""
+        clean = tmp_path / "clean.npz"
+        self._archive(clean, rng)
+        page = self._render(clean, tmp_path / "clean.html")
+        assert "verified prefix" not in page
+
+
 class TestDegenerateInputs:
     def test_sampling_period_longer_than_run(self):
         ev = make_events(ip=1, addr=np.arange(50))

@@ -1,0 +1,317 @@
+"""Property suite for the HTML report renderer.
+
+Hypothesis generates adversarial report payloads — hostile function
+names, NaN/inf metrics, empty and single-row sections, degenerate
+trees — and asserts the invariants the renderer promises:
+
+* every payload renders without raising;
+* the output passes the self-containment validator (balanced tags, no
+  external fetches, parseable embedded viewmodel);
+* the embedded viewmodel round-trips: parsing it back yields exactly
+  ``build_viewmodel(payload)`` after canonical serialization;
+* every numeric SVG coordinate in the page is finite, even for
+  zero-event / single-sample / empty-heatmap payloads;
+* table cells carry their raw values losslessly in ``data-v``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.viz import build_viewmodel, render_html, viewmodel_json
+from repro.viz.validate import validate_html
+
+from test_golden_html import embedded_viewmodel
+
+# names deliberately include markup, quotes, and non-ASCII
+_NAMES = st.text(
+    alphabet=st.sampled_from(list("abz</>&\"'`汉 =")), min_size=0, max_size=10
+)
+_ANY_FLOAT = st.floats(width=32)  # NaN and ±inf included on purpose
+_FINITE = st.floats(
+    allow_nan=False, allow_infinity=False, width=32, min_value=0.0
+)
+_MAYBE_FLOAT = st.none() | _ANY_FLOAT
+_COUNT = st.integers(min_value=0, max_value=10**9)
+
+
+@st.composite
+def _function_diag(draw):
+    return {
+        "A_obs": draw(_COUNT),
+        "A_est": draw(_MAYBE_FLOAT),
+        "F_est": draw(_MAYBE_FLOAT),
+        "dF": draw(_MAYBE_FLOAT),
+        "F_str": draw(st.integers(0, 1000)),
+        "F_irr": draw(st.integers(0, 1000)),
+        "dF_str": draw(_ANY_FLOAT),
+        "dF_irr": draw(_ANY_FLOAT),
+    }
+
+
+@st.composite
+def _tree(draw, t0, t1, depth=0):
+    node = {
+        "level": depth,
+        "t_start": t0,
+        "t_end": t1,
+        "exact": draw(st.booleans()),
+        "function": draw(st.none() | _NAMES),
+        "a_obs": draw(_COUNT),
+        "f_est": draw(_MAYBE_FLOAT),
+        "df": draw(_MAYBE_FLOAT),
+        "children": [],
+    }
+    if depth < 2 and t1 - t0 > 1 and draw(st.booleans()):
+        mid = (t0 + t1) // 2
+        node["children"] = [
+            draw(_tree(t0, mid, depth + 1)),
+            draw(_tree(mid, t1, depth + 1)),
+        ]
+    return node
+
+
+@st.composite
+def _heatmap(draw):
+    n_pages = draw(st.integers(0, 4))
+    n_bins = draw(st.integers(0, 5))
+    return {
+        "name": draw(_NAMES),
+        "base": draw(_COUNT),
+        "size": draw(_COUNT),
+        "counts": [
+            [draw(_FINITE) for _ in range(n_bins)] for _ in range(n_pages)
+        ],
+        "reuse": [
+            [draw(st.none() | _ANY_FLOAT) for _ in range(n_bins)]
+            for _ in range(n_pages)
+        ],
+    }
+
+
+@st.composite
+def _viz_section(draw):
+    t_end = draw(st.integers(1, 10**6))
+    n_phases = draw(st.integers(0, 3))
+    return {
+        "schema": 1,
+        "intervals": [
+            {
+                "interval": i,
+                "F": draw(_MAYBE_FLOAT),
+                "dF": draw(_MAYBE_FLOAT),
+                "D": draw(_MAYBE_FLOAT),
+                "A": draw(_MAYBE_FLOAT),
+                "A_obs": draw(_COUNT),
+            }
+            for i in range(draw(st.integers(0, 4)))
+        ],
+        "phases": [
+            {
+                "index": i,
+                "t_start": draw(st.integers(0, t_end)),
+                "t_end": draw(st.integers(0, t_end)),
+                "label": draw(
+                    st.sampled_from(["regular", "irregular", "mixed", "??"])
+                ),
+                "strided_share": draw(st.none() | _ANY_FLOAT),
+                "n_samples": draw(st.integers(0, 64)),
+            }
+            for i in range(n_phases)
+        ],
+        "tree": draw(st.none() | _tree(0, t_end)),
+        "regions": [
+            {"name": draw(_NAMES), "base": draw(_COUNT), "size": draw(_COUNT)}
+            for _ in range(draw(st.integers(0, 2)))
+        ],
+        "heatmaps": [draw(_heatmap()) for _ in range(draw(st.integers(0, 2)))],
+    }
+
+
+@st.composite
+def payloads(draw):
+    passes = {}
+    if draw(st.booleans()):
+        passes["diagnostics"] = draw(_function_diag())
+        passes["diagnostics"]["A_const_pct"] = draw(_ANY_FLOAT)
+    if draw(st.booleans()):
+        n_bins = draw(st.integers(0, 8))
+        passes["reuse"] = {
+            "counts": [draw(_COUNT) for _ in range(n_bins)],
+            "n_cold": draw(_COUNT),
+            "n_reuse": draw(_COUNT),
+            "d_sum": draw(_COUNT),
+            "d_max": draw(_COUNT),
+            "scope": "sample",
+        }
+    if draw(st.booleans()):
+        passes["hotspot"] = [
+            {
+                "function": draw(_NAMES),
+                "share": draw(_MAYBE_FLOAT),
+                "n_accesses": draw(_COUNT),
+            }
+            for _ in range(draw(st.integers(0, 3)))
+        ]
+    if draw(st.booleans()):
+        passes["cache_sweep"] = [
+            {
+                "size_bytes": draw(_COUNT),
+                "line_bytes": draw(st.sampled_from([32, 64, 128])),
+                "ways": draw(st.integers(1, 16)),
+                "n_sets": draw(_COUNT),
+                "hit_ratio": draw(_ANY_FLOAT),
+                "predicted_hit_ratio": draw(_MAYBE_FLOAT),
+                "n_accesses": draw(_COUNT),
+            }
+            for _ in range(draw(st.integers(0, 3)))
+        ]
+    functions = {
+        f"{draw(_NAMES)}#{i}": draw(_function_diag())
+        for i in range(draw(st.integers(0, 3)))
+    }
+    payload = {
+        "schema": 1,
+        "module": draw(_NAMES),
+        "n_events": draw(_COUNT),
+        "n_samples": draw(_COUNT),
+        "n_loads_total": draw(_COUNT),
+        "rho": draw(_ANY_FLOAT),
+        "functions": functions,
+        "passes": passes,
+    }
+    if draw(st.booleans()):
+        payload["viz"] = draw(_viz_section())
+    if draw(st.booleans()):
+        payload["degraded"] = {
+            "growing": draw(st.booleans()),
+            "n_events": draw(_COUNT),
+            "findings": [
+                {"kind": draw(_NAMES), "detail": draw(_NAMES)}
+                for _ in range(draw(st.integers(0, 2)))
+            ],
+        }
+    return payload
+
+
+#: hand-picked degenerate payloads the issue calls out explicitly
+EDGE_PAYLOADS = [
+    pytest.param(
+        {"schema": 1, "module": "zero", "n_events": 0, "n_samples": 0,
+         "n_loads_total": 0, "rho": 1.0, "functions": {}, "passes": {}},
+        id="zero-events",
+    ),
+    pytest.param(
+        {
+            "schema": 1, "module": "one", "n_events": 1, "n_samples": 1,
+            "n_loads_total": 1, "rho": 1.0,
+            "functions": {"f": {"A_obs": 1}},
+            "passes": {"reuse": {"counts": [1], "n_cold": 1, "n_reuse": 0,
+                                 "d_sum": 0, "d_max": 0}},
+            "viz": {
+                "schema": 1,
+                "intervals": [{"interval": 0, "F": 1.0, "dF": 0.0, "D": 0.0,
+                               "A": 1.0, "A_obs": 1}],
+                "phases": [{"index": 0, "t_start": 0, "t_end": 0,
+                            "label": "regular", "strided_share": 1.0,
+                            "n_samples": 1}],
+                "tree": {"level": 0, "t_start": 5, "t_end": 5, "exact": True,
+                         "function": None, "a_obs": 1, "f_est": 1.0,
+                         "df": None, "children": []},
+                "regions": [],
+                "heatmaps": [],
+            },
+        },
+        id="single-sample",
+    ),
+    pytest.param(
+        {
+            "schema": 1, "module": "heat", "n_events": 4, "n_samples": 1,
+            "n_loads_total": 4, "rho": 1.0, "functions": {}, "passes": {},
+            "viz": {
+                "schema": 1, "intervals": [], "phases": [], "tree": None,
+                "regions": [],
+                "heatmaps": [
+                    {"name": "empty", "base": 0, "size": 0,
+                     "counts": [], "reuse": []},
+                    {"name": "blank rows", "base": 64, "size": 256,
+                     "counts": [[0.0, 0.0], [0.0, 0.0]],
+                     "reuse": [[None, None], [None, None]]},
+                ],
+            },
+        },
+        id="empty-heatmap",
+    ),
+]
+
+_SVG_COORD_RE = re.compile(
+    r'\b(?:x|y|x1|x2|y1|y2|width|height)="([^"%]*)"'
+)
+
+
+def _assert_page_invariants(payload):
+    page = render_html(payload)
+    problems = validate_html(page)
+    assert problems == [], f"validator rejected the page: {problems}"
+
+    # embedded viewmodel round-trips the payload's viewmodel exactly
+    vm = json.loads(embedded_viewmodel(page))
+    assert vm == json.loads(viewmodel_json(build_viewmodel(payload)))
+
+    # every numeric coordinate in the page is finite
+    for m in _SVG_COORD_RE.finditer(page):
+        v = float(m.group(1))
+        assert math.isfinite(v), f"non-finite SVG coordinate {m.group(0)}"
+    return page
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(payload=payloads())
+def test_arbitrary_payload_renders_valid_self_contained_html(payload):
+    _assert_page_invariants(payload)
+
+
+@pytest.mark.parametrize("payload", EDGE_PAYLOADS)
+def test_degenerate_payloads_render(payload):
+    _assert_page_invariants(payload)
+
+
+def test_numeric_cells_round_trip_exactly():
+    """``data-v`` carries the raw value: parsing it back is lossless."""
+    awkward = [0.1, 1.0 / 3.0, 12345678.90123456789, 1e-17, 2.0**53 - 1]
+    payload = {
+        "schema": 1, "module": "roundtrip", "n_events": 10, "n_samples": 2,
+        "n_loads_total": 10, "rho": 0.25,
+        "functions": {
+            f"f{i}": {"A_obs": i, "A_est": v, "F_est": v, "dF": v}
+            for i, v in enumerate(awkward)
+        },
+        "passes": {},
+    }
+    page = render_html(payload)
+    cells = {
+        float(v)
+        for v in re.findall(r'<td class="num" data-v="([^"]+)"', page)
+    }
+    for v in awkward:
+        assert v in cells, f"{v!r} did not survive the data-v round trip"
+
+
+def test_hostile_module_name_is_escaped():
+    payload = {
+        "schema": 1, "module": '</script><script>alert(1)</script>',
+        "n_events": 0, "n_samples": 0, "n_loads_total": 0, "rho": 1.0,
+        "functions": {}, "passes": {},
+    }
+    page = _assert_page_invariants(payload)
+    assert "<script>alert(1)</script>" not in page
